@@ -1,0 +1,152 @@
+// Command msite-admin is the headless administrator tool: inspect a live
+// page's selectable objects (the visual tool's inventory), detect a
+// fragment's intra-page dependencies, and validate adaptation specs.
+//
+// Usage:
+//
+//	msite-admin inspect http://localhost:8800/
+//	msite-admin deps http://localhost:8800/ "#loginform"
+//	msite-admin validate spec.json
+//	msite-admin example http://localhost:8800 > spec.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"msite/internal/admin"
+	"msite/internal/experiments"
+	"msite/internal/html"
+	"msite/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "msite-admin:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	width := flag.Int("width", 1024, "render width for coordinates")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		return fmt.Errorf("usage: msite-admin [-width N] inspect|deps|validate|example ...")
+	}
+	switch args[0] {
+	case "inspect":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: msite-admin inspect <url>")
+		}
+		return inspect(args[1], *width)
+	case "deps":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: msite-admin deps <url> <selector>")
+		}
+		return deps(args[1], args[2])
+	case "validate":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: msite-admin validate <spec.json>")
+		}
+		return validate(args[1])
+	case "example":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: msite-admin example <origin-url>")
+		}
+		return example(args[1])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func fetchPage(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", fmt.Errorf("fetching %s: %w", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s returned %d", url, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+func inspect(url string, width int) error {
+	src, err := fetchPage(url)
+	if err != nil {
+		return err
+	}
+	objects := admin.Inspect(src, width)
+	fmt.Printf("%-28s %-24s %-10s %s\n", "SELECTOR", "REGION", "KIND", "PREVIEW")
+	for _, o := range objects {
+		sel := o.Selector
+		if sel == "" {
+			sel = o.XPath
+		}
+		kind := "visual"
+		region := fmt.Sprintf("%d,%d %dx%d", o.Region.X, o.Region.Y, o.Region.W, o.Region.H)
+		if o.NonVisual {
+			kind = "dock"
+			region = "-"
+		}
+		preview := o.TextPreview
+		if len(preview) > 40 {
+			preview = preview[:40]
+		}
+		fmt.Printf("%-28s %-24s %-10s %s\n", sel, region, kind, preview)
+	}
+	return nil
+}
+
+func deps(url, selector string) error {
+	src, err := fetchPage(url)
+	if err != nil {
+		return err
+	}
+	doc := html.Tidy(src)
+	paths, err := admin.DetectDependencies(doc, selector)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		fmt.Println("no intra-page dependencies detected")
+		return nil
+	}
+	fmt.Printf("dependencies of %s:\n", selector)
+	for _, p := range paths {
+		fmt.Println(" ", p)
+	}
+	return nil
+}
+
+func validate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sp, err := spec.Parse(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spec %q valid: %d objects, %d filters, %d actions\n",
+		sp.Name, len(sp.Objects), len(sp.Filters), len(sp.Actions))
+	return nil
+}
+
+func example(originURL string) error {
+	sp := experiments.SpecForForum(originURL)
+	data, err := sp.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(data, '\n'))
+	return err
+}

@@ -1,0 +1,122 @@
+// Command msite-bench regenerates the paper's evaluation: Table 1,
+// Figure 7, and the in-text page-weight / pre-render speedup / image
+// fidelity results, printing each in the paper's form with the paper's
+// values alongside. It spins up the synthetic origin internally unless
+// -origin points at a running one.
+//
+// Usage:
+//
+//	msite-bench all
+//	msite-bench table1
+//	msite-bench fig7 -window 10s
+//	msite-bench fidelity | speedup | pageweight | ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"msite/internal/experiments"
+	"msite/internal/origin"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "msite-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	originURL := flag.String("origin", "", "forum origin URL (default: internal server)")
+	window := flag.Duration("window", 3*time.Second, "Figure 7 measurement window per run")
+	reps := flag.Int("reps", 3, "Figure 7 repetitions per point")
+	csv := flag.Bool("csv", false, "emit Figure 7 data as CSV for plotting")
+	flag.Parse()
+
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+
+	url := *originURL
+	if url == "" {
+		forum := origin.NewForum(origin.DefaultForumConfig())
+		srv := httptest.NewServer(forum.Handler())
+		defer srv.Close()
+		url = srv.URL + "/"
+		fmt.Printf("internal origin: %s (%d byte entry page)\n\n", url, forum.EntryPageBytes())
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			rows, err := experiments.Table1(url)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatTable1(rows))
+		case "fig7":
+			if !*csv {
+				fmt.Printf("Figure 7 sweep: window=%v, %d reps/point (paper: 1 min windows) ...\n", *window, *reps)
+			}
+			points, err := experiments.Figure7(experiments.Fig7Config{
+				OriginURL: url, Window: *window, Reps: *reps,
+			})
+			if err != nil {
+				return err
+			}
+			if *csv {
+				fmt.Println("browser_percent,req_per_min,runs")
+				for _, p := range points {
+					fmt.Printf("%.1f,%.0f,%d\n", p.BrowserPercent, p.ReqPerMin, p.Runs)
+				}
+				return nil
+			}
+			fmt.Println(experiments.FormatFig7(points))
+		case "fidelity":
+			rows, err := experiments.ImageFidelity(url)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatFidelity(rows))
+		case "speedup":
+			res, err := experiments.PreRenderSpeedup(url)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Pre-render speedup (§3.3; paper: factor of 5)\ndirect BlackBerry load: %v\ncached snapshot load:   %v\nspeedup: %.1fx\n\n",
+				res.Direct.Round(100*time.Millisecond), res.Snapshot.Round(100*time.Millisecond), res.Factor)
+		case "pageweight":
+			w, err := experiments.MeasurePageWeight(url)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatPageWeight(w))
+		case "ablation":
+			row, err := experiments.CacheAblation(url)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Ablation: %s\nrender: %v, cache hit: %v (%.0fx)\n\n",
+				row.Name, row.Baseline, row.Variant,
+				float64(row.Baseline)/float64(row.Variant))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if what == "all" {
+		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "fig7"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(what)
+}

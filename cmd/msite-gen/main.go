@@ -1,0 +1,68 @@
+// Command msite-gen is the code generator: it turns an adaptation spec
+// into a standalone Go proxy program — the analog of the paper's
+// generated php shell code.
+//
+// Usage:
+//
+//	msite-gen -spec spec.json -o cmd/sawdust-proxy/main.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"msite/internal/gen"
+	"msite/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "msite-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	specPath := flag.String("spec", "", "adaptation spec JSON (required)")
+	out := flag.String("o", "", "output file (default stdout)")
+	pkg := flag.String("package", "main", "generated package name")
+	addr := flag.String("addr", ":8900", "default listen address baked into the proxy")
+	sessions := flag.String("sessions", "./msite-sessions", "default session root baked into the proxy")
+	flag.Parse()
+
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	sp, err := spec.Parse(data)
+	if err != nil {
+		return err
+	}
+	code, err := gen.GenerateProxyMain(sp, gen.Options{
+		Package:     *pkg,
+		ListenAddr:  *addr,
+		SessionRoot: *sessions,
+		Timestamp:   time.Now(),
+	})
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(code)
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("generated proxy for %q → %s\n", sp.Name, *out)
+	return nil
+}

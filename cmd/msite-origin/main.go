@@ -1,0 +1,58 @@
+// Command msite-origin serves the synthetic origin sites the evaluation
+// runs against: the vBulletin-analog forum (SawmillCreek.org stand-in)
+// and the CraigsList-analog classifieds engine.
+//
+// Usage:
+//
+//	msite-origin -site forum -addr :8800
+//	msite-origin -site classifieds -addr :8801
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"msite/internal/origin"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "msite-origin:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	site := flag.String("site", "forum", "which site to serve: forum or classifieds")
+	addr := flag.String("addr", ":8800", "listen address")
+	seed := flag.Int64("seed", 42, "content seed")
+	flag.Parse()
+
+	var handler http.Handler
+	switch *site {
+	case "forum":
+		cfg := origin.DefaultForumConfig()
+		cfg.Seed = *seed
+		forum := origin.NewForum(cfg)
+		handler = forum.Handler()
+		fmt.Printf("forum origin (%d members, %d byte entry page) on %s\n",
+			cfg.Members, forum.EntryPageBytes(), *addr)
+	case "classifieds":
+		cfg := origin.DefaultClassifiedsConfig()
+		cfg.Seed = *seed
+		handler = origin.NewClassifieds(cfg).Handler()
+		fmt.Printf("classifieds origin (%d listings/category) on %s\n", cfg.Listings, *addr)
+	default:
+		return fmt.Errorf("unknown site %q (want forum or classifieds)", *site)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

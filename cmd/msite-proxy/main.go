@@ -1,0 +1,97 @@
+// Command msite-proxy runs the m.Site content adaptation proxy for an
+// adaptation spec, without the code-generation step (the generated
+// proxies embed their spec; this tool loads one at startup).
+//
+// Usage:
+//
+//	msite-proxy -spec spec.json -addr :8900 -sessions /tmp/msite
+//	msite-proxy -spec page1.json -spec page2.json   # multi-page hosting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"msite/internal/core"
+	"msite/internal/spec"
+)
+
+// specList accumulates repeated -spec flags.
+type specList []string
+
+func (s *specList) String() string { return fmt.Sprint(*s) }
+
+func (s *specList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "msite-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var specPaths specList
+	flag.Var(&specPaths, "spec", "adaptation spec JSON (repeatable for multi-page hosting)")
+	addr := flag.String("addr", ":8900", "listen address")
+	sessions := flag.String("sessions", "./msite-sessions", "session directory root")
+	width := flag.Int("width", 0, "server-side render width override")
+	gcEvery := flag.Duration("gc", 10*time.Minute, "session GC interval")
+	flag.Parse()
+
+	if len(specPaths) == 0 {
+		return fmt.Errorf("-spec is required")
+	}
+	cfg := core.Config{SessionRoot: *sessions, ViewportWidth: *width}
+
+	if len(specPaths) > 1 {
+		specs := make([]*spec.Spec, 0, len(specPaths))
+		for _, path := range specPaths {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			sp, err := spec.Parse(data)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			specs = append(specs, sp)
+		}
+		mf, err := core.NewMulti(specs, cfg)
+		if err != nil {
+			return err
+		}
+		go gcLoop(mf.Sessions(), *gcEvery)
+		fmt.Printf("m.Site multi-proxy hosting %v on %s\n", mf.Sites(), *addr)
+		return mf.ListenAndServe(*addr)
+	}
+
+	data, err := os.ReadFile(specPaths[0])
+	if err != nil {
+		return err
+	}
+	fw, err := core.NewFromJSON(data, cfg)
+	if err != nil {
+		return err
+	}
+
+	go gcLoop(fw.Sessions(), *gcEvery)
+	fmt.Printf("m.Site proxy %q for %s on %s\n", fw.Spec().Name, fw.Spec().Origin, *addr)
+	return fw.ListenAndServe(*addr)
+}
+
+// gcLoop collects idle sessions for the life of the process.
+func gcLoop(sessions interface{ GC() int }, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for range ticker.C {
+		if n := sessions.GC(); n > 0 {
+			fmt.Printf("gc: collected %d idle sessions\n", n)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Device-sim: the Table 1 wall-clock model, expanded.
+//
+// The paper compares a handful of device/link pairs; this example runs
+// the full matrix — every device class against every link class — for
+// both the direct page load and the cached-snapshot mobile entry page,
+// making the crossover structure behind Table 1 visible.
+//
+// Run: go run ./examples/device-sim
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"msite/internal/attr"
+	"msite/internal/device"
+	"msite/internal/experiments"
+	"msite/internal/fetch"
+	"msite/internal/netsim"
+	"msite/internal/origin"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "device-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	srv := httptest.NewServer(forum.Handler())
+	defer srv.Close()
+
+	load, err := fetch.New(nil).GetWithResources(srv.URL + "/")
+	if err != nil {
+		return err
+	}
+	c := attr.ComplexityOf(load.Page.Doc(), load.TotalBytes, load.Requests)
+	direct := device.PageComplexity{
+		Bytes: c.Bytes, Requests: c.Requests, Elements: c.Elements,
+		Scripts: c.Scripts, Images: c.Images, StyleRules: c.StyleRules,
+	}
+	// The cached snapshot entry page: one scaled low-fidelity image plus
+	// a small overlay document.
+	snapshot := device.PageComplexity{
+		Bytes: 32_000, Requests: 2, Elements: 12, Images: 1,
+	}
+
+	fmt.Printf("origin entry page: %d bytes over %d requests, %d elements, %d scripts\n\n",
+		direct.Bytes, direct.Requests, direct.Elements, direct.Scripts)
+
+	links := []netsim.Link{netsim.ThreeG, netsim.WiFi, netsim.Broadband}
+
+	fmt.Println("== direct page load (wall-clock, simulated) ==")
+	printMatrix(direct, links)
+
+	fmt.Println("\n== cached snapshot entry page ==")
+	printMatrix(snapshot, links)
+
+	fmt.Println("\n== pre-render speedup per device on 3G ==")
+	for _, p := range device.Profiles() {
+		if !p.Mobile {
+			continue
+		}
+		directT := wall(p, netsim.ThreeG, direct)
+		snapT := wall(p, netsim.ThreeG, snapshot)
+		fmt.Printf("%-18s %8s → %8s  (%.1fx)\n",
+			p.Name, round(directT), round(snapT), float64(directT)/float64(snapT))
+	}
+
+	// Paper-faithful Table 1 for reference.
+	rows, err := experiments.Table1(srv.URL + "/")
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(experiments.FormatTable1(rows))
+	return nil
+}
+
+func printMatrix(c device.PageComplexity, links []netsim.Link) {
+	fmt.Printf("%-18s", "device \\ link")
+	for _, l := range links {
+		fmt.Printf("%12s", l.Name)
+	}
+	fmt.Println()
+	for _, p := range device.Profiles() {
+		fmt.Printf("%-18s", p.Name)
+		for _, l := range links {
+			fmt.Printf("%12s", round(wall(p, l, c)))
+		}
+		fmt.Println()
+	}
+}
+
+func wall(p device.Profile, l netsim.Link, c device.PageComplexity) time.Duration {
+	return l.TransferTime(c.Bytes, c.Requests) + p.ClientCPUTime(c)
+}
+
+func round(d time.Duration) string {
+	return d.Round(100 * time.Millisecond).String()
+}

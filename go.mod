@@ -1,0 +1,3 @@
+module msite
+
+go 1.24

@@ -1,0 +1,427 @@
+// Package admin is the headless analog of m.Site's visual administrator
+// tool (§3.1): it loads a live page, enumerates the selectable objects
+// with their rendered coordinates (the "point and click" inventory, plus
+// the separate dock of non-visual objects — CSS, scripts, head content),
+// detects intra-page dependencies for subpage extraction, and builds the
+// adaptation spec the generator and proxy consume.
+package admin
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"msite/internal/attr"
+	"msite/internal/css"
+	"msite/internal/dom"
+	"msite/internal/html"
+	"msite/internal/layout"
+	"msite/internal/spec"
+)
+
+// ObjectInfo describes one selectable page object.
+type ObjectInfo struct {
+	// Tag and ID identify the element; Classes lists its class names.
+	Tag     string
+	ID      string
+	Classes []string
+	// Selector is the suggested CSS selector for the spec.
+	Selector string
+	// XPath is the exact location path.
+	XPath string
+	// Region is the rendered rectangle; zero for non-visual objects.
+	Region attr.Region
+	// NonVisual marks dock objects (style, script, meta, head content).
+	NonVisual bool
+	// TextPreview is the first few words of content.
+	TextPreview string
+}
+
+// Inspect renders a page and returns its selectable objects: every
+// element with an id, plus structural containers (forms, tables, divs
+// with classes), plus the non-visual dock.
+func Inspect(src string, width int) []ObjectInfo {
+	doc := html.Tidy(src)
+	styler := css.StylerForDocument(doc)
+	res := layout.Layout(doc, styler, layout.Viewport{Width: width})
+
+	var out []ObjectInfo
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Type != dom.ElementNode {
+			return true
+		}
+		nonVisual := isNonVisual(n)
+		if !selectable(n, nonVisual) {
+			return true
+		}
+		info := ObjectInfo{
+			Tag:       n.Tag,
+			ID:        n.ID(),
+			Classes:   n.Classes(),
+			Selector:  suggestSelector(n),
+			XPath:     n.Path(),
+			NonVisual: nonVisual,
+		}
+		if x, y, w, h, ok := res.Region(n); ok && !nonVisual {
+			info.Region = attr.Region{X: x, Y: y, W: w, H: h}
+		}
+		info.TextPreview = preview(n)
+		out = append(out, info)
+		return true
+	})
+	return out
+}
+
+func isNonVisual(n *dom.Node) bool {
+	switch n.Tag {
+	case "style", "script", "meta", "link", "title", "base":
+		return true
+	}
+	return false
+}
+
+func selectable(n *dom.Node, nonVisual bool) bool {
+	if nonVisual {
+		return true
+	}
+	if n.ID() != "" {
+		return true
+	}
+	switch n.Tag {
+	case "form", "table":
+		return true
+	case "div", "ul", "section", "nav":
+		return len(n.Classes()) > 0
+	}
+	return false
+}
+
+// suggestSelector prefers #id, then tag.class chains, then the XPath.
+func suggestSelector(n *dom.Node) string {
+	if id := n.ID(); id != "" {
+		return "#" + id
+	}
+	if classes := n.Classes(); len(classes) > 0 {
+		return n.Tag + "." + strings.Join(classes, ".")
+	}
+	return ""
+}
+
+func preview(n *dom.Node) string {
+	words := strings.Fields(n.Text())
+	if len(words) > 8 {
+		words = words[:8]
+	}
+	return strings.Join(words, " ")
+}
+
+// DetectDependencies finds the non-visual objects a fragment depends on:
+// style elements whose rules select into the fragment and scripts whose
+// source references the fragment's ids or function calls found in its
+// inline handlers. This is the intra-page dependency identification of
+// §3.1 ("objects may have intra-page dependencies ... identified in the
+// visual tool").
+func DetectDependencies(doc *dom.Node, selector string) ([]string, error) {
+	sels, err := css.ParseSelectorList(selector)
+	if err != nil {
+		return nil, fmt.Errorf("admin: %w", err)
+	}
+	var roots []*dom.Node
+	for _, sel := range sels {
+		roots = append(roots, sel.QueryAll(doc)...)
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("admin: selector %q matched nothing", selector)
+	}
+
+	// Vocabulary referenced by the fragment: ids, classes, tags, and
+	// identifiers invoked from inline handlers.
+	idents := make(map[string]bool)
+	for _, root := range roots {
+		root.Walk(func(n *dom.Node) bool {
+			if n.Type != dom.ElementNode {
+				return true
+			}
+			if id := n.ID(); id != "" {
+				idents["#"+id] = true
+			}
+			for _, c := range n.Classes() {
+				idents["."+c] = true
+			}
+			for _, a := range n.Attrs {
+				if strings.HasPrefix(a.Key, "on") {
+					for _, fn := range jsCalls(a.Val) {
+						idents["fn:"+fn] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	var deps []string
+	seen := make(map[string]bool)
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			deps = append(deps, path)
+		}
+	}
+	for _, styleEl := range doc.Elements("style") {
+		if styleMatches(styleEl, idents) {
+			add(styleEl.Path())
+		}
+	}
+	for _, scriptEl := range doc.Elements("script") {
+		if scriptMatches(scriptEl, idents) {
+			add(scriptEl.Path())
+		}
+	}
+	sort.Strings(deps)
+	return deps, nil
+}
+
+func styleMatches(styleEl *dom.Node, idents map[string]bool) bool {
+	var src strings.Builder
+	for c := styleEl.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.TextNode {
+			src.WriteString(c.Data)
+		}
+	}
+	text := src.String()
+	for ident := range idents {
+		if strings.HasPrefix(ident, "#") || strings.HasPrefix(ident, ".") {
+			if strings.Contains(text, ident) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func scriptMatches(scriptEl *dom.Node, idents map[string]bool) bool {
+	if scriptEl.HasAttr("src") {
+		return false // external scripts resolve by URL, not content
+	}
+	text := scriptEl.Text()
+	var src strings.Builder
+	for c := scriptEl.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.TextNode {
+			src.WriteString(c.Data)
+		}
+	}
+	text = src.String()
+	for ident := range idents {
+		switch {
+		case strings.HasPrefix(ident, "fn:"):
+			if strings.Contains(text, "function "+ident[3:]) {
+				return true
+			}
+		case strings.HasPrefix(ident, "#"):
+			if strings.Contains(text, "'"+ident[1:]+"'") ||
+				strings.Contains(text, `"`+ident[1:]+`"`) ||
+				strings.Contains(text, "'"+ident+"'") ||
+				strings.Contains(text, `"`+ident+`"`) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// jsCalls extracts called identifiers from an inline handler body.
+func jsCalls(code string) []string {
+	var out []string
+	i := 0
+	for i < len(code) {
+		if !isIdentStart(code[i]) {
+			i++
+			continue
+		}
+		start := i
+		for i < len(code) && isIdentChar(code[i]) {
+			i++
+		}
+		j := i
+		for j < len(code) && code[j] == ' ' {
+			j++
+		}
+		if j < len(code) && code[j] == '(' {
+			out = append(out, code[start:i])
+		}
+	}
+	return out
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// Builder assembles an adaptation spec fluently — the scripting analog
+// of clicking objects and assigning attributes from the menu.
+type Builder struct {
+	sp spec.Spec
+}
+
+// NewBuilder starts a spec for one origin page.
+func NewBuilder(name, originURL string) *Builder {
+	return &Builder{sp: spec.Spec{Name: name, Origin: originURL}}
+}
+
+// Viewport sets the server-side render width.
+func (b *Builder) Viewport(width int) *Builder {
+	b.sp.ViewportWidth = width
+	return b
+}
+
+// Snapshot enables the cached snapshot entry page.
+func (b *Builder) Snapshot(fidelity string, scale float64, ttlSeconds int) *Builder {
+	b.sp.Snapshot = spec.SnapshotSpec{
+		Enabled: true, Fidelity: fidelity, Scale: scale,
+		CacheTTLSeconds: ttlSeconds, Shared: true,
+	}
+	return b
+}
+
+// Filter appends a source-level filter.
+func (b *Builder) Filter(filterType string, params map[string]string) *Builder {
+	b.sp.Filters = append(b.sp.Filters, spec.Filter{Type: filterType, Params: params})
+	return b
+}
+
+// Action registers an AJAX rewrite rule.
+func (b *Builder) Action(id int, match, target, extract string, cacheTTLSeconds int) *Builder {
+	b.sp.Actions = append(b.sp.Actions, spec.Action{
+		ID: id, Match: match, Target: target, Extract: extract,
+		CacheTTLSeconds: cacheTTLSeconds,
+	})
+	return b
+}
+
+// Object selects a page object by CSS selector and returns its
+// attribute menu.
+func (b *Builder) Object(name, selector string) *ObjectBuilder {
+	b.sp.Objects = append(b.sp.Objects, spec.Object{Name: name, Selector: selector})
+	return &ObjectBuilder{b: b, idx: len(b.sp.Objects) - 1}
+}
+
+// ObjectXPath selects a page object by XPath.
+func (b *Builder) ObjectXPath(name, path string) *ObjectBuilder {
+	b.sp.Objects = append(b.sp.Objects, spec.Object{Name: name, XPath: path})
+	return &ObjectBuilder{b: b, idx: len(b.sp.Objects) - 1}
+}
+
+// Spec validates and returns the built spec.
+func (b *Builder) Spec() (*spec.Spec, error) {
+	sp := b.sp // copy
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// AutoDependencies inspects the page and, for every subpage object
+// already selected, attaches dependency objects for the styles and
+// scripts DetectDependencies finds — the visual tool's one-click
+// "satisfy intra-page dependencies" action (§3.1).
+func (b *Builder) AutoDependencies(doc *dom.Node) (*Builder, error) {
+	type pending struct{ subpage, path string }
+	var found []pending
+	for _, obj := range b.sp.Objects {
+		isSubpage := false
+		for _, at := range obj.Attributes {
+			if at.Type == spec.AttrSubpage {
+				isSubpage = true
+			}
+		}
+		if !isSubpage || obj.Selector == "" {
+			continue
+		}
+		paths, err := DetectDependencies(doc, obj.Selector)
+		if err != nil {
+			// Objects that match nothing on this page are skipped, not
+			// fatal: the spec may cover content that appears later.
+			continue
+		}
+		for _, p := range paths {
+			found = append(found, pending{subpage: obj.Name, path: p})
+		}
+	}
+	for i, f := range found {
+		name := fmt.Sprintf("dep_%s_%d", f.subpage, i)
+		b.ObjectXPath(name, f.path).DependencyOf(f.subpage)
+	}
+	return b, nil
+}
+
+// ObjectBuilder assigns attributes to one selected object.
+type ObjectBuilder struct {
+	b   *Builder
+	idx int
+}
+
+// With assigns an arbitrary attribute.
+func (ob *ObjectBuilder) With(attrType spec.AttrType, params map[string]string) *ObjectBuilder {
+	obj := &ob.b.sp.Objects[ob.idx]
+	obj.Attributes = append(obj.Attributes, spec.Attribute{Type: attrType, Params: params})
+	return ob
+}
+
+// Subpage applies the page-splitting attribute.
+func (ob *ObjectBuilder) Subpage(title string) *ObjectBuilder {
+	return ob.With(spec.AttrSubpage, map[string]string{"title": title})
+}
+
+// PreRenderedSubpage splits and pre-renders in one step.
+func (ob *ObjectBuilder) PreRenderedSubpage(title, fidelity string) *ObjectBuilder {
+	return ob.With(spec.AttrSubpage, map[string]string{
+		"title": title, "prerender": "true", "fidelity": fidelity,
+	})
+}
+
+// AJAXSubpage splits into an asynchronously loaded subpage.
+func (ob *ObjectBuilder) AJAXSubpage(title string) *ObjectBuilder {
+	return ob.With(spec.AttrSubpage, map[string]string{"title": title, "ajax": "true"})
+}
+
+// Remove strips the object.
+func (ob *ObjectBuilder) Remove() *ObjectBuilder {
+	return ob.With(spec.AttrRemove, nil)
+}
+
+// Hide hides the object via CSS.
+func (ob *ObjectBuilder) Hide() *ObjectBuilder {
+	return ob.With(spec.AttrHide, nil)
+}
+
+// ReplaceWith substitutes markup for the object.
+func (ob *ObjectBuilder) ReplaceWith(markup string) *ObjectBuilder {
+	return ob.With(spec.AttrReplace, map[string]string{"html": markup})
+}
+
+// DependencyOf pulls the (non-visual) object into a subpage's head.
+func (ob *ObjectBuilder) DependencyOf(subpage string) *ObjectBuilder {
+	return ob.With(spec.AttrDependency, map[string]string{"subpage": subpage})
+}
+
+// CopyTo duplicates the object into a subpage.
+func (ob *ObjectBuilder) CopyTo(subpage, position string) *ObjectBuilder {
+	return ob.With(spec.AttrCopyTo, map[string]string{"subpage": subpage, "position": position})
+}
+
+// Cacheable shares the object's render across sessions.
+func (ob *ObjectBuilder) Cacheable(ttlSeconds int) *ObjectBuilder {
+	return ob.With(spec.AttrCacheable, map[string]string{"ttl_seconds": fmt.Sprint(ttlSeconds)})
+}
+
+// Object starts a new object selection, ending this one.
+func (ob *ObjectBuilder) Object(name, selector string) *ObjectBuilder {
+	return ob.b.Object(name, selector)
+}
+
+// Done returns the parent builder.
+func (ob *ObjectBuilder) Done() *Builder { return ob.b }

@@ -1,0 +1,97 @@
+package attr
+
+import (
+	"net/url"
+	"strings"
+
+	"msite/internal/dom"
+)
+
+// urlAttrs are the attributes that carry URLs per tag.
+var urlAttrs = map[string][]string{
+	"a":      {"href"},
+	"area":   {"href"},
+	"img":    {"src"},
+	"iframe": {"src"},
+	"embed":  {"src"},
+	"object": {"data"},
+	"form":   {"action"},
+	"input":  {"src"},
+	"link":   {"href"},
+	"script": {"src"},
+	"video":  {"src", "poster"},
+	"audio":  {"src"},
+	"source": {"src"},
+}
+
+// AbsolutizeURLs rewrites origin-relative URL attributes in doc against
+// base, so adapted pages served from the proxy host keep working: a
+// forum's href="/forumdisplay.php?f=2" becomes the absolute origin URL
+// instead of dangling against the proxy. Proxy-internal references
+// (those starting with any of skipPrefixes), anchors, javascript:, data:,
+// and already-absolute URLs are left alone. Returns the rewrite count.
+func AbsolutizeURLs(doc *dom.Node, base string, skipPrefixes ...string) int {
+	baseURL, err := url.Parse(base)
+	if err != nil || baseURL.Host == "" {
+		return 0
+	}
+	count := 0
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Type != dom.ElementNode {
+			return true
+		}
+		keys, ok := urlAttrs[n.Tag]
+		if !ok {
+			return true
+		}
+		for _, key := range keys {
+			val, ok := n.Attr(key)
+			if !ok || !needsAbsolutizing(val, skipPrefixes) {
+				continue
+			}
+			abs, err := baseURL.Parse(val)
+			if err != nil {
+				continue
+			}
+			n.SetAttr(key, abs.String())
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+func needsAbsolutizing(val string, skipPrefixes []string) bool {
+	if val == "" || strings.HasPrefix(val, "#") {
+		return false
+	}
+	lower := strings.ToLower(val)
+	for _, scheme := range []string{"http:", "https:", "javascript:", "data:", "mailto:", "tel:"} {
+		if strings.HasPrefix(lower, scheme) {
+			return false
+		}
+	}
+	if strings.HasPrefix(val, "//") {
+		return false // protocol-relative: already origin-qualified
+	}
+	for _, p := range skipPrefixes {
+		if p == "" {
+			continue
+		}
+		if val == p {
+			return false
+		}
+		if strings.HasPrefix(val, p) {
+			// Only skip at a path boundary: "/login" must not swallow the
+			// origin's "/login.php".
+			if strings.HasSuffix(p, "/") {
+				return false
+			}
+			switch val[len(p)] {
+			case '/', '?', '#':
+				return false
+			}
+		}
+	}
+	return true
+}

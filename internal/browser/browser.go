@@ -1,0 +1,169 @@
+// Package browser emulates the heavyweight server-side browser instance
+// that m.Site falls back to "only when absolutely necessary" (§1, §4.6).
+// Launching an Instance pays full engine setup (framebuffer allocation
+// plus a warm-up render, standing in for process launch and chrome
+// initialization), and every Load runs the complete parse → cascade →
+// layout → raster → encode pipeline. The cost asymmetry between this path
+// and the lightweight proxy path is exactly what Figure 7 measures.
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"image"
+	"sync"
+
+	"msite/internal/imaging"
+	"msite/internal/layout"
+	"msite/internal/render"
+)
+
+// DefaultHeight is the emulated screen height for the framebuffer.
+const DefaultHeight = 768
+
+// warmupPage is rendered at launch, standing in for browser chrome and
+// profile initialization.
+const warmupPage = `<html><head><style>
+body { margin: 0; background-color: #dddddd }
+.toolbar { background-color: #bbbbbb; height: 28px; border: 1px solid #888888 }
+.tab { background-color: #eeeeee; width: 180px; height: 24px }
+</style></head><body>
+<div class="toolbar"><div class="tab">New Tab</div></div>
+<p>about:blank</p>
+</body></html>`
+
+// Instance is one emulated browser process.
+type Instance struct {
+	renderer    *render.Renderer
+	framebuffer *image.RGBA
+	closed      bool
+	loads       int
+}
+
+// Launch starts a browser instance at the given viewport width. It is
+// deliberately the expensive operation: callers that can avoid it (the
+// lightweight proxy path) scale two orders of magnitude further.
+func Launch(width int) (*Instance, error) {
+	if width <= 0 {
+		width = layout.DefaultViewport.Width
+	}
+	inst := &Instance{
+		renderer:    render.New(width),
+		framebuffer: image.NewRGBA(image.Rect(0, 0, width, DefaultHeight)),
+	}
+	// Warm-up render: parse, style, lay out, and paint the chrome page.
+	snap, err := inst.renderer.RenderHTML(warmupPage)
+	if err != nil {
+		return nil, fmt.Errorf("browser: warm-up render: %w", err)
+	}
+	copyToFramebuffer(inst.framebuffer, snap.Image)
+	return inst, nil
+}
+
+// Load renders a page through the full browser pipeline and returns the
+// snapshot. It fails after Close.
+func (i *Instance) Load(src string) (*render.Snapshot, error) {
+	if i.closed {
+		return nil, errors.New("browser: instance closed")
+	}
+	snap, err := i.renderer.RenderHTML(src)
+	if err != nil {
+		return nil, err
+	}
+	copyToFramebuffer(i.framebuffer, snap.Image)
+	i.loads++
+	return snap, nil
+}
+
+// LoadAndEncode renders a page and encodes the snapshot at a fidelity
+// level, the end-to-end cost of a graphical pre-render request.
+func (i *Instance) LoadAndEncode(src string, f imaging.Fidelity) ([]byte, error) {
+	snap, err := i.Load(src)
+	if err != nil {
+		return nil, err
+	}
+	return imaging.Encode(snap.Image, f)
+}
+
+// Loads reports how many pages this instance has rendered.
+func (i *Instance) Loads() int { return i.loads }
+
+// Close releases the instance. Further Loads fail.
+func (i *Instance) Close() {
+	i.closed = true
+	i.framebuffer = nil
+}
+
+func copyToFramebuffer(fb *image.RGBA, img *image.RGBA) {
+	if fb == nil || img == nil {
+		return
+	}
+	b := fb.Bounds().Intersect(img.Bounds())
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		copy(fb.Pix[fb.PixOffset(b.Min.X, y):fb.PixOffset(b.Max.X, y)],
+			img.Pix[img.PixOffset(b.Min.X, y):img.PixOffset(b.Max.X, y)])
+	}
+}
+
+// Pool is an optional pool of reusable instances. The paper notes the
+// prototype does not use one because sharing instances between clients
+// "can potentially violate security assumptions" (§4.6); the pool exists
+// for the ablation benchmark that quantifies what pooling would buy.
+type Pool struct {
+	width int
+
+	mu   sync.Mutex
+	idle []*Instance
+	max  int
+	live int
+}
+
+// NewPool returns a pool bounded to max live instances.
+func NewPool(width, max int) *Pool {
+	if max < 1 {
+		max = 1
+	}
+	return &Pool{width: width, max: max}
+}
+
+// Acquire returns an idle instance or launches one, blocking never: when
+// the pool is exhausted it launches anyway (the bound applies to reuse,
+// not to peak concurrency, matching the paper's unpooled baseline).
+func (p *Pool) Acquire() (*Instance, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		inst := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return inst, nil
+	}
+	p.live++
+	p.mu.Unlock()
+	return Launch(p.width)
+}
+
+// Release returns an instance for reuse, or closes it when the pool is
+// full.
+func (p *Pool) Release(inst *Instance) {
+	if inst == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.idle) < p.max {
+		p.idle = append(p.idle, inst)
+		return
+	}
+	p.live--
+	inst.Close()
+}
+
+// Close shuts down every idle instance.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, inst := range p.idle {
+		inst.Close()
+	}
+	p.idle = nil
+}

@@ -1,0 +1,128 @@
+package browser
+
+import (
+	"testing"
+
+	"msite/internal/imaging"
+)
+
+const page = `<html><body><h1>Title</h1><p>body text</p></body></html>`
+
+func TestLaunchAndLoad(t *testing.T) {
+	inst, err := Launch(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	snap, err := inst.Load(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Image.Bounds().Dx() != 800 {
+		t.Fatalf("width = %d", snap.Image.Bounds().Dx())
+	}
+	if inst.Loads() != 1 {
+		t.Fatalf("loads = %d", inst.Loads())
+	}
+}
+
+func TestLaunchDefaultWidth(t *testing.T) {
+	inst, err := Launch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	snap, err := inst.Load(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Image.Bounds().Dx() != 1024 {
+		t.Fatalf("default width = %d", snap.Image.Bounds().Dx())
+	}
+}
+
+func TestLoadAfterCloseFails(t *testing.T) {
+	inst, err := Launch(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Close()
+	if _, err := inst.Load(page); err == nil {
+		t.Fatal("expected error after close")
+	}
+}
+
+func TestLoadAndEncode(t *testing.T) {
+	inst, err := Launch(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	data, err := inst.LoadAndEncode(page, imaging.FidelityLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[0] != 0xff {
+		t.Fatal("not a JPEG")
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	p := NewPool(400, 2)
+	defer p.Close()
+	a, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Load(page); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(a)
+	b, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatal("pool did not reuse idle instance")
+	}
+	if b.Loads() != 1 {
+		t.Fatal("reused instance lost state")
+	}
+	p.Release(b)
+}
+
+func TestPoolOverflowCloses(t *testing.T) {
+	p := NewPool(400, 1)
+	defer p.Close()
+	a, _ := p.Acquire()
+	b, _ := p.Acquire()
+	p.Release(a) // fills the pool
+	p.Release(b) // overflow: must be closed
+	if _, err := b.Load(page); err == nil {
+		t.Fatal("overflow instance should be closed")
+	}
+	if _, err := a.Load(page); err != nil {
+		t.Fatal("pooled instance should stay live")
+	}
+}
+
+func TestPoolReleaseNil(t *testing.T) {
+	p := NewPool(400, 1)
+	p.Release(nil) // must not panic
+	p.Close()
+}
+
+func TestPoolMinimumMax(t *testing.T) {
+	p := NewPool(400, 0)
+	a, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(a)
+	b, _ := p.Acquire()
+	if a != b {
+		t.Fatal("max clamped to 1 should still pool one instance")
+	}
+	p.Release(b)
+	p.Close()
+}

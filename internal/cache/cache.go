@@ -1,0 +1,194 @@
+// Package cache implements the server-side render cache of m.Site (§3.3
+// "Object caching"): TTL-bounded entries shared across sessions so that
+// one pre-render is amortized over thousands of clients, with
+// single-flight filling so concurrent requests for a cold key trigger
+// exactly one render.
+package cache
+
+import (
+	"sync"
+	"time"
+)
+
+// Entry is one cached artifact.
+type Entry struct {
+	Data []byte
+	MIME string
+}
+
+// Cache is a TTL key-value cache, safe for concurrent use. The zero
+// value is not usable; call New.
+type Cache struct {
+	clock func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*slot
+	hits    uint64
+	misses  uint64
+	fills   uint64
+}
+
+type slot struct {
+	entry   Entry
+	expires time.Time
+
+	// pending coordinates single-flight fills: non-nil while a fill is in
+	// progress; waiters block on the channel.
+	pending chan struct{}
+	fillErr error
+}
+
+// New returns an empty cache using the real clock.
+func New() *Cache {
+	return NewWithClock(time.Now)
+}
+
+// NewWithClock returns a cache with an injectable clock, for tests and
+// deterministic simulation.
+func NewWithClock(clock func() time.Time) *Cache {
+	return &Cache{clock: clock, entries: make(map[string]*slot)}
+}
+
+// Get returns the entry for key if present and unexpired.
+func (c *Cache) Get(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.entries[key]
+	if !ok || s.pending != nil || c.clock().After(s.expires) {
+		c.misses++
+		return Entry{}, false
+	}
+	c.hits++
+	return s.entry, true
+}
+
+// Put stores an entry with the given time-to-live. A non-positive ttl
+// stores nothing (the attribute system uses ttl<=0 to mean "uncacheable").
+func (c *Cache) Put(key string, e Entry, ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = &slot{entry: e, expires: c.clock().Add(ttl)}
+}
+
+// GetOrFill returns the cached entry, or runs fill exactly once across
+// concurrent callers and caches its result for ttl. A fill error is
+// returned to every waiter and nothing is cached. With ttl <= 0 the fill
+// result is returned but not stored.
+func (c *Cache) GetOrFill(key string, ttl time.Duration, fill func() (Entry, error)) (Entry, error) {
+	for {
+		c.mu.Lock()
+		s, ok := c.entries[key]
+		if ok && s.pending == nil && !c.clock().After(s.expires) {
+			c.hits++
+			entry := s.entry
+			c.mu.Unlock()
+			return entry, nil
+		}
+		if ok && s.pending != nil {
+			// Another goroutine is filling: wait and re-check.
+			waitCh := s.pending
+			c.mu.Unlock()
+			<-waitCh
+			c.mu.Lock()
+			s2, ok2 := c.entries[key]
+			if ok2 && s2.pending == nil && !c.clock().After(s2.expires) {
+				c.hits++
+				entry := s2.entry
+				c.mu.Unlock()
+				return entry, nil
+			}
+			// Fill failed or entry already expired: retry from scratch,
+			// propagating a failure if one was recorded.
+			if ok2 && s2.fillErr != nil {
+				err := s2.fillErr
+				delete(c.entries, key)
+				c.mu.Unlock()
+				return Entry{}, err
+			}
+			c.mu.Unlock()
+			continue
+		}
+		// We are the filler.
+		c.misses++
+		pend := &slot{pending: make(chan struct{})}
+		c.entries[key] = pend
+		c.mu.Unlock()
+
+		entry, err := fill()
+
+		c.mu.Lock()
+		c.fills++
+		if err != nil {
+			pend.fillErr = err
+			close(pend.pending)
+			// Leave the errored slot momentarily so current waiters see
+			// the error; it is deleted by the first waiter or replaced by
+			// the next fill.
+			pend.pending = nil
+			c.mu.Unlock()
+			return Entry{}, err
+		}
+		if ttl > 0 {
+			c.entries[key] = &slot{entry: entry, expires: c.clock().Add(ttl)}
+		} else {
+			delete(c.entries, key)
+		}
+		close(pend.pending)
+		c.mu.Unlock()
+		return entry, nil
+	}
+}
+
+// Delete removes a key.
+func (c *Cache) Delete(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, key)
+}
+
+// Purge removes every entry.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*slot)
+}
+
+// Sweep removes expired entries and returns how many were evicted.
+func (c *Cache) Sweep() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+	n := 0
+	for k, s := range c.entries {
+		if s.pending == nil && now.After(s.expires) {
+			delete(c.entries, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of stored entries (including expired ones not
+// yet swept).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+	Fills  uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Fills: c.fills}
+}

@@ -1,0 +1,200 @@
+// Package core is the public facade of the m.Site framework: one import
+// wires the adaptation spec, session manager, shared render cache, and
+// multi-session proxy into a serving http.Handler. Generated proxy code
+// (see internal/gen), the cmd tools, and the examples all build on this
+// package.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"msite/internal/cache"
+	"msite/internal/fetch"
+	"msite/internal/gen"
+	"msite/internal/proxy"
+	"msite/internal/session"
+	"msite/internal/spec"
+)
+
+// Config wires a Framework.
+type Config struct {
+	// SessionRoot is the directory per-user session trees live under
+	// (required).
+	SessionRoot string
+	// ViewportWidth overrides the spec's server-side render width.
+	ViewportWidth int
+	// SessionTTL bounds idle sessions (default session.DefaultTTL).
+	SessionTTL time.Duration
+	// FetchTimeout bounds each origin request.
+	FetchTimeout time.Duration
+}
+
+// Framework is a running m.Site instance for one adaptation spec.
+type Framework struct {
+	sp       *spec.Spec
+	sessions *session.Manager
+	cache    *cache.Cache
+	proxy    *proxy.Proxy
+}
+
+// New builds a Framework from a validated spec.
+func New(sp *spec.Spec, cfg Config) (*Framework, error) {
+	if sp == nil {
+		return nil, errors.New("core: nil spec")
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SessionRoot == "" {
+		return nil, errors.New("core: SessionRoot required")
+	}
+	ttl := cfg.SessionTTL
+	if ttl <= 0 {
+		ttl = session.DefaultTTL
+	}
+	sessions, err := session.NewManagerWithClock(cfg.SessionRoot, ttl, time.Now)
+	if err != nil {
+		return nil, err
+	}
+	sharedCache := cache.New()
+	var fetchOpts []fetch.Option
+	if cfg.FetchTimeout > 0 {
+		fetchOpts = append(fetchOpts, fetch.WithTimeout(cfg.FetchTimeout))
+	}
+	p, err := proxy.New(proxy.Config{
+		Spec:          sp,
+		Sessions:      sessions,
+		Cache:         sharedCache,
+		ViewportWidth: cfg.ViewportWidth,
+		FetchOptions:  fetchOpts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{sp: sp, sessions: sessions, cache: sharedCache, proxy: p}, nil
+}
+
+// MultiFramework hosts the proxies for several adapted pages under one
+// handler (each at /p/<name>/), sharing sessions and the render cache.
+type MultiFramework struct {
+	sessions *session.Manager
+	cache    *cache.Cache
+	multi    *proxy.MultiProxy
+}
+
+// NewMulti wires several specs into one composite handler.
+func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
+	if cfg.SessionRoot == "" {
+		return nil, errors.New("core: SessionRoot required")
+	}
+	ttl := cfg.SessionTTL
+	if ttl <= 0 {
+		ttl = session.DefaultTTL
+	}
+	sessions, err := session.NewManagerWithClock(cfg.SessionRoot, ttl, time.Now)
+	if err != nil {
+		return nil, err
+	}
+	sharedCache := cache.New()
+	var fetchOpts []fetch.Option
+	if cfg.FetchTimeout > 0 {
+		fetchOpts = append(fetchOpts, fetch.WithTimeout(cfg.FetchTimeout))
+	}
+	multi, err := proxy.NewMulti(proxy.MultiConfig{
+		Specs:         specs,
+		Sessions:      sessions,
+		Cache:         sharedCache,
+		ViewportWidth: cfg.ViewportWidth,
+		FetchOptions:  fetchOpts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MultiFramework{sessions: sessions, cache: sharedCache, multi: multi}, nil
+}
+
+// Handler returns the composite handler.
+func (m *MultiFramework) Handler() http.Handler { return m.multi }
+
+// Sessions exposes the shared session manager.
+func (m *MultiFramework) Sessions() *session.Manager { return m.sessions }
+
+// Sites lists the mounted site names.
+func (m *MultiFramework) Sites() []string { return m.multi.Names() }
+
+// ListenAndServe serves the composite proxy.
+func (m *MultiFramework) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           m.multi,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		return fmt.Errorf("core: serving: %w", err)
+	}
+	return nil
+}
+
+// NewFromJSON parses, validates, and wires a spec in one step — the
+// entry point generated proxy code uses.
+func NewFromJSON(specJSON []byte, cfg Config) (*Framework, error) {
+	sp, err := spec.Parse(specJSON)
+	if err != nil {
+		return nil, err
+	}
+	return New(sp, cfg)
+}
+
+// Spec returns the framework's adaptation spec.
+func (f *Framework) Spec() *spec.Spec { return f.sp }
+
+// Handler returns the proxy handler.
+func (f *Framework) Handler() http.Handler { return f.proxy }
+
+// Sessions exposes the session manager (for GC loops and tests).
+func (f *Framework) Sessions() *session.Manager { return f.sessions }
+
+// Cache exposes the shared render cache.
+func (f *Framework) Cache() *cache.Cache { return f.cache }
+
+// ProxyStats returns the proxy's work counters.
+func (f *Framework) ProxyStats() proxy.Stats { return f.proxy.Stats() }
+
+// CacheStats returns the shared cache counters.
+func (f *Framework) CacheStats() cache.Stats { return f.cache.Stats() }
+
+// GenerateCode emits the standalone Go proxy source for this framework's
+// spec — the m.Site "shell code" artifact.
+func (f *Framework) GenerateCode(opts gen.Options) ([]byte, error) {
+	return gen.GenerateProxyMain(f.sp, opts)
+}
+
+// ListenAndServe serves the proxy until the listener fails.
+func (f *Framework) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           f.proxy,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		return fmt.Errorf("core: serving: %w", err)
+	}
+	return nil
+}
+
+// Serve serves the proxy on an existing listener (tests and examples
+// bind :0 and need the resolved address).
+func (f *Framework) Serve(l net.Listener) error {
+	srv := &http.Server{
+		Handler:           f.proxy,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.Serve(l); err != nil {
+		return fmt.Errorf("core: serving: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"msite/internal/gen"
+	"msite/internal/origin"
+	"msite/internal/spec"
+)
+
+func testSpec(originURL string) *spec.Spec {
+	return &spec.Spec{
+		Name:   "forum",
+		Origin: originURL + "/",
+		Snapshot: spec.SnapshotSpec{
+			Enabled: true, Fidelity: "low", Scale: 0.5,
+			CacheTTLSeconds: 60, Shared: true,
+		},
+		Objects: []spec.Object{
+			{Name: "login", Selector: "#loginform", Attributes: []spec.Attribute{
+				{Type: spec.AttrSubpage, Params: map[string]string{"title": "Log in"}},
+			}},
+		},
+	}
+}
+
+func newFramework(t *testing.T) (*Framework, *httptest.Server) {
+	t.Helper()
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	t.Cleanup(originSrv.Close)
+	fw, err := New(testSpec(originSrv.URL), Config{
+		SessionRoot:  t.TempDir(),
+		FetchTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, originSrv
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{SessionRoot: t.TempDir()}); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+	if _, err := New(&spec.Spec{}, Config{SessionRoot: t.TempDir()}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := New(&spec.Spec{Name: "x", Origin: "http://o/"}, Config{}); err == nil {
+		t.Fatal("missing session root accepted")
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	fw, _ := newFramework(t)
+	srv := httptest.NewServer(fw.Handler())
+	defer srv.Close()
+
+	jar, _ := cookiejar.New(nil)
+	client := &http.Client{Jar: jar}
+	resp, err := client.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "usemap") {
+		t.Fatalf("entry page: %d", resp.StatusCode)
+	}
+
+	resp2, err := client.Get(srv.URL + "/subpage/login")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	_ = resp2.Body.Close()
+	if !strings.Contains(string(body2), "loginform") {
+		t.Fatal("subpage failed")
+	}
+
+	stats := fw.ProxyStats()
+	if stats.Adaptations != 1 || stats.Requests < 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if fw.Sessions().Len() != 1 {
+		t.Fatalf("sessions = %d", fw.Sessions().Len())
+	}
+	if fw.Spec().Name != "forum" {
+		t.Fatal("spec accessor wrong")
+	}
+	_ = fw.CacheStats()
+	_ = fw.Cache()
+}
+
+func TestNewFromJSON(t *testing.T) {
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	defer originSrv.Close()
+
+	data, err := testSpec(originSrv.URL).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := NewFromJSON(data, Config{SessionRoot: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Spec().Origin != originSrv.URL+"/" {
+		t.Fatal("origin lost")
+	}
+	if _, err := NewFromJSON([]byte("{bad"), Config{SessionRoot: t.TempDir()}); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestGenerateCode(t *testing.T) {
+	fw, _ := newFramework(t)
+	code, err := fw.GenerateCode(gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(code), "core.NewFromJSON") {
+		t.Fatal("generated code wrong")
+	}
+}
+
+func TestServeOnListener(t *testing.T) {
+	fw, _ := newFramework(t)
+	srv := httptest.NewUnstartedServer(fw.Handler())
+	srv.Start()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestNewMultiEndToEnd(t *testing.T) {
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	defer originSrv.Close()
+
+	specA := testSpec(originSrv.URL)
+	specA.Name = "forum"
+	specB := &spec.Spec{Name: "threads", Origin: originSrv.URL + "/showthread.php?t=2001"}
+
+	mf, err := NewMulti([]*spec.Spec{specA, specB}, Config{SessionRoot: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mf.Sites()) != 2 {
+		t.Fatalf("sites = %v", mf.Sites())
+	}
+	srv := httptest.NewServer(mf.Handler())
+	defer srv.Close()
+
+	jar, _ := cookiejar.New(nil)
+	client := &http.Client{Jar: jar}
+	resp, err := client.Get(srv.URL + "/p/forum/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "/p/forum/") {
+		t.Fatalf("multi entry: %d", resp.StatusCode)
+	}
+	if mf.Sessions().Len() != 1 {
+		t.Fatalf("sessions = %d", mf.Sessions().Len())
+	}
+}
+
+func TestNewMultiValidation(t *testing.T) {
+	if _, err := NewMulti(nil, Config{SessionRoot: t.TempDir()}); err == nil {
+		t.Fatal("empty specs accepted")
+	}
+	if _, err := NewMulti([]*spec.Spec{{Name: "x", Origin: "http://o/"}}, Config{}); err == nil {
+		t.Fatal("missing session root accepted")
+	}
+}
+
+func TestListenAndServeBindFailure(t *testing.T) {
+	fw, _ := newFramework(t)
+	// Occupy a port, then ask the framework to bind it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	if err := fw.ListenAndServe(l.Addr().String()); err == nil {
+		t.Fatal("expected bind error")
+	} else if !strings.Contains(err.Error(), "core: serving") {
+		t.Fatalf("err = %v", err)
+	}
+
+	mf, err := NewMulti([]*spec.Spec{{Name: "x", Origin: "http://o/"}}, Config{SessionRoot: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.ListenAndServe(l.Addr().String()); err == nil {
+		t.Fatal("expected multi bind error")
+	}
+}

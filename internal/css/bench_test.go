@@ -1,0 +1,64 @@
+package css
+
+import (
+	"strings"
+	"testing"
+
+	"msite/internal/html"
+)
+
+func benchDoc() string {
+	var b strings.Builder
+	b.WriteString(`<html><head><style>`)
+	for i := 0; i < 50; i++ {
+		b.WriteString(".c")
+		b.WriteString(string(rune('a' + i%26)))
+		b.WriteString(" td.alt1 { color: #334455; padding: 4px; border: 1px solid gray }\n")
+	}
+	b.WriteString(`</style></head><body>`)
+	for i := 0; i < 100; i++ {
+		b.WriteString(`<table class="ca"><tr><td class="alt1">x</td><td class="alt2">y</td></tr></table>`)
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+func BenchmarkParseStylesheet(b *testing.B) {
+	src := strings.Repeat(".a .b > .c { margin: 1px 2px 3px; color: red !important }\n", 200)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ParseStylesheet(src).Rules) == 0 {
+			b.Fatal("no rules")
+		}
+	}
+}
+
+func BenchmarkSelectorMatch(b *testing.B) {
+	doc := html.Parse(benchDoc())
+	sel := MustSelector("table.ca td.alt1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(sel.QueryAll(doc)) != 100 {
+			b.Fatal("match count wrong")
+		}
+	}
+}
+
+func BenchmarkComputedStyleFullDocument(b *testing.B) {
+	doc := html.Parse(benchDoc())
+	styler := StylerForDocument(doc)
+	body := doc.Body()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bodyStyle := styler.ComputedStyle(body, nil)
+		count := 0
+		for _, el := range body.Elements("td") {
+			_ = styler.ComputedStyle(el, bodyStyle)
+			count++
+		}
+		if count == 0 {
+			b.Fatal("no elements")
+		}
+	}
+}

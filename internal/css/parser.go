@@ -1,0 +1,311 @@
+package css
+
+import (
+	"strings"
+)
+
+// Declaration is a single property: value pair.
+type Declaration struct {
+	Prop      string
+	Value     string
+	Important bool
+}
+
+// Rule is one style rule: a selector list and its declarations. Media
+// holds the enclosing @media condition, or "" for none.
+type Rule struct {
+	Selectors []*Selector
+	Decls     []Declaration
+	Media     string
+}
+
+// Stylesheet is a parsed sequence of rules in source order.
+type Stylesheet struct {
+	Rules []Rule
+}
+
+// ParseStylesheet parses CSS source. It is error-tolerant in the CSS
+// tradition: rules whose selectors fail to parse are skipped, not fatal,
+// so one vendor-prefixed oddity cannot take down a forum skin.
+func ParseStylesheet(src string) *Stylesheet {
+	sheet := &Stylesheet{}
+	parseRules(stripComments(src), "", sheet)
+	return sheet
+}
+
+func parseRules(src, media string, sheet *Stylesheet) {
+	pos := 0
+	for pos < len(src) {
+		// Skip whitespace.
+		for pos < len(src) && isCSSSpace(src[pos]) {
+			pos++
+		}
+		if pos >= len(src) {
+			return
+		}
+		if src[pos] == '@' {
+			pos = parseAtRule(src, pos, media, sheet)
+			continue
+		}
+		// Selector up to '{'.
+		braceIdx := indexTopLevel(src[pos:], '{')
+		if braceIdx < 0 {
+			return
+		}
+		selText := strings.TrimSpace(src[pos : pos+braceIdx])
+		bodyStart := pos + braceIdx + 1
+		bodyEnd := matchBrace(src, pos+braceIdx)
+		if bodyEnd < 0 {
+			bodyEnd = len(src)
+		}
+		body := src[bodyStart:bodyEnd]
+		pos = bodyEnd + 1
+
+		sels, err := ParseSelectorList(selText)
+		if err != nil {
+			continue // skip unparseable rule, keep going
+		}
+		decls := ParseDeclarations(body)
+		if len(decls) == 0 {
+			continue
+		}
+		sheet.Rules = append(sheet.Rules, Rule{Selectors: sels, Decls: decls, Media: media})
+	}
+}
+
+// parseAtRule handles @media (recursing into its block), and skips any
+// other at-rule safely. It returns the position after the rule.
+func parseAtRule(src string, pos int, media string, sheet *Stylesheet) int {
+	semi := strings.IndexByte(src[pos:], ';')
+	brace := indexTopLevel(src[pos:], '{')
+	// Statement at-rule (@import, @charset ...): ends at ';'.
+	if semi >= 0 && (brace < 0 || semi < brace) {
+		return pos + semi + 1
+	}
+	if brace < 0 {
+		return len(src)
+	}
+	header := strings.TrimSpace(src[pos : pos+brace])
+	end := matchBrace(src, pos+brace)
+	if end < 0 {
+		end = len(src)
+	}
+	body := src[pos+brace+1 : end]
+	if strings.HasPrefix(header, "@media") {
+		cond := strings.TrimSpace(strings.TrimPrefix(header, "@media"))
+		if media != "" {
+			cond = media + " and " + cond
+		}
+		parseRules(body, cond, sheet)
+	}
+	// @font-face, @keyframes, @page ...: skipped.
+	if end >= len(src) {
+		return len(src)
+	}
+	return end + 1
+}
+
+// ParseDeclarations parses the inside of a declaration block (or an
+// inline style attribute value).
+func ParseDeclarations(src string) []Declaration {
+	var out []Declaration
+	for _, part := range splitTopLevel(stripComments(src), ';') {
+		colon := indexTopLevel(part, ':')
+		if colon <= 0 {
+			continue
+		}
+		prop := strings.ToLower(strings.TrimSpace(part[:colon]))
+		val := strings.TrimSpace(part[colon+1:])
+		if prop == "" || val == "" {
+			continue
+		}
+		d := Declaration{Prop: prop, Value: val}
+		if strings.HasSuffix(strings.ToLower(val), "!important") {
+			d.Important = true
+			d.Value = strings.TrimSpace(val[:len(val)-len("!important")])
+		}
+		out = append(out, expandShorthand(d)...)
+	}
+	return out
+}
+
+// expandShorthand expands the shorthand properties the layout engine
+// consumes into their longhand forms. Unknown properties pass through.
+func expandShorthand(d Declaration) []Declaration {
+	switch d.Prop {
+	case "margin", "padding":
+		return expandBox(d.Prop, d)
+	case "border-width":
+		return expandBox("border", d, "-width")
+	case "border":
+		return expandBorder(d, "top", "right", "bottom", "left")
+	case "border-top", "border-right", "border-bottom", "border-left":
+		side := strings.TrimPrefix(d.Prop, "border-")
+		return expandBorder(d, side)
+	case "background":
+		// Take the first token that parses as a color.
+		for _, tok := range strings.Fields(d.Value) {
+			if _, ok := ParseColor(tok); ok {
+				return []Declaration{{Prop: "background-color", Value: tok, Important: d.Important}}
+			}
+		}
+		return []Declaration{d}
+	default:
+		return []Declaration{d}
+	}
+}
+
+// expandBox expands 1-4 value box shorthands: margin/padding/border-width.
+func expandBox(prefix string, d Declaration, suffix ...string) []Declaration {
+	suf := ""
+	if len(suffix) > 0 {
+		suf = suffix[0]
+	}
+	vals := strings.Fields(d.Value)
+	if len(vals) == 0 || len(vals) > 4 {
+		return nil
+	}
+	var top, right, bottom, left string
+	switch len(vals) {
+	case 1:
+		top, right, bottom, left = vals[0], vals[0], vals[0], vals[0]
+	case 2:
+		top, right, bottom, left = vals[0], vals[1], vals[0], vals[1]
+	case 3:
+		top, right, bottom, left = vals[0], vals[1], vals[2], vals[1]
+	case 4:
+		top, right, bottom, left = vals[0], vals[1], vals[2], vals[3]
+	}
+	mk := func(side, v string) Declaration {
+		return Declaration{Prop: prefix + "-" + side + suf, Value: v, Important: d.Important}
+	}
+	return []Declaration{mk("top", top), mk("right", right), mk("bottom", bottom), mk("left", left)}
+}
+
+// expandBorder expands "border[-side]: width style color" for the given
+// sides.
+func expandBorder(d Declaration, sides ...string) []Declaration {
+	var width, style, colorVal string
+	for _, tok := range strings.Fields(d.Value) {
+		lower := strings.ToLower(tok)
+		switch {
+		case lower == "none" || lower == "solid" || lower == "dashed" ||
+			lower == "dotted" || lower == "double" || lower == "hidden":
+			style = lower
+		default:
+			if _, ok := ParseColor(tok); ok {
+				colorVal = tok
+			} else if _, ok := ParseLength(tok, 0); ok || lower == "thin" || lower == "medium" || lower == "thick" {
+				switch lower {
+				case "thin":
+					width = "1px"
+				case "medium":
+					width = "3px"
+				case "thick":
+					width = "5px"
+				default:
+					width = tok
+				}
+			}
+		}
+	}
+	var out []Declaration
+	for _, side := range sides {
+		if width != "" {
+			out = append(out, Declaration{Prop: "border-" + side + "-width", Value: width, Important: d.Important})
+		}
+		if style != "" {
+			out = append(out, Declaration{Prop: "border-" + side + "-style", Value: style, Important: d.Important})
+		}
+		if colorVal != "" {
+			out = append(out, Declaration{Prop: "border-" + side + "-color", Value: colorVal, Important: d.Important})
+		}
+	}
+	return out
+}
+
+func stripComments(src string) string {
+	for {
+		start := strings.Index(src, "/*")
+		if start < 0 {
+			return src
+		}
+		end := strings.Index(src[start+2:], "*/")
+		if end < 0 {
+			return src[:start]
+		}
+		src = src[:start] + " " + src[start+2+end+2:]
+	}
+}
+
+// indexTopLevel returns the index of the first occurrence of target in
+// src that is not nested inside braces, parens, brackets, or quotes.
+func indexTopLevel(src string, target byte) int {
+	var depth int
+	var quote byte
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case '(', '[':
+			depth++
+		case ')', ']':
+			if depth > 0 {
+				depth--
+			}
+		case '{':
+			if target == '{' && depth == 0 {
+				return i
+			}
+			depth++
+		case '}':
+			if depth > 0 {
+				depth--
+			}
+		default:
+			if c == target && depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// matchBrace returns the index of the '}' matching the '{' at open,
+// or -1.
+func matchBrace(src string, open int) int {
+	depth := 0
+	var quote byte
+	for i := open; i < len(src); i++ {
+		c := src[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func isCSSSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}

@@ -1,0 +1,226 @@
+// Package css implements a CSS parser, CSS3 selector engine, and cascade
+// producing computed styles. It is the styling substrate for the m.Site
+// rendering engine and for selector-based object identification in the
+// attribute system (the paper's "new CSS 3 selector support", §3.2).
+package css
+
+import (
+	"image/color"
+	"strconv"
+	"strings"
+)
+
+// DefaultFontSize is the root font size in CSS pixels, used to resolve
+// em units when no base is supplied.
+const DefaultFontSize = 16.0
+
+// ParseLength parses a CSS length into CSS pixels. base supplies the
+// reference for em and % units (pass the parent's resolved value, or 0 to
+// reject relative units). It returns false for unparseable values.
+func ParseLength(s string, base float64) (float64, bool) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "auto" || s == "inherit" {
+		return 0, false
+	}
+	if s == "0" {
+		return 0, true
+	}
+	suffix := ""
+	for _, u := range []string{"rem", "px", "pt", "em", "%", "ex", "in", "cm", "mm"} {
+		if strings.HasSuffix(s, u) {
+			suffix = u
+			s = s[:len(s)-len(u)]
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, false
+	}
+	switch suffix {
+	case "", "px":
+		return v, true
+	case "pt":
+		return v * 96.0 / 72.0, true
+	case "in":
+		return v * 96.0, true
+	case "cm":
+		return v * 96.0 / 2.54, true
+	case "mm":
+		return v * 96.0 / 25.4, true
+	case "em":
+		if base <= 0 {
+			base = DefaultFontSize
+		}
+		return v * base, true
+	case "rem":
+		return v * DefaultFontSize, true
+	case "ex":
+		if base <= 0 {
+			base = DefaultFontSize
+		}
+		return v * base * 0.5, true
+	case "%":
+		if base <= 0 {
+			return 0, false
+		}
+		return v * base / 100.0, true
+	}
+	return 0, false
+}
+
+// namedColors is the subset of CSS named colors observed in template-driven
+// forum skins; unknown names fail to parse rather than guessing.
+var namedColors = map[string]color.RGBA{
+	"black":       {0, 0, 0, 255},
+	"white":       {255, 255, 255, 255},
+	"red":         {255, 0, 0, 255},
+	"green":       {0, 128, 0, 255},
+	"blue":        {0, 0, 255, 255},
+	"yellow":      {255, 255, 0, 255},
+	"orange":      {255, 165, 0, 255},
+	"purple":      {128, 0, 128, 255},
+	"gray":        {128, 128, 128, 255},
+	"grey":        {128, 128, 128, 255},
+	"silver":      {192, 192, 192, 255},
+	"maroon":      {128, 0, 0, 255},
+	"navy":        {0, 0, 128, 255},
+	"teal":        {0, 128, 128, 255},
+	"olive":       {128, 128, 0, 255},
+	"lime":        {0, 255, 0, 255},
+	"aqua":        {0, 255, 255, 255},
+	"cyan":        {0, 255, 255, 255},
+	"fuchsia":     {255, 0, 255, 255},
+	"magenta":     {255, 0, 255, 255},
+	"brown":       {165, 42, 42, 255},
+	"tan":         {210, 180, 140, 255},
+	"beige":       {245, 245, 220, 255},
+	"ivory":       {255, 255, 240, 255},
+	"gold":        {255, 215, 0, 255},
+	"pink":        {255, 192, 203, 255},
+	"coral":       {255, 127, 80, 255},
+	"salmon":      {250, 128, 114, 255},
+	"khaki":       {240, 230, 140, 255},
+	"indigo":      {75, 0, 130, 255},
+	"violet":      {238, 130, 238, 255},
+	"crimson":     {220, 20, 60, 255},
+	"chocolate":   {210, 105, 30, 255},
+	"darkred":     {139, 0, 0, 255},
+	"darkblue":    {0, 0, 139, 255},
+	"darkgreen":   {0, 100, 0, 255},
+	"darkgray":    {169, 169, 169, 255},
+	"darkgrey":    {169, 169, 169, 255},
+	"lightgray":   {211, 211, 211, 255},
+	"lightgrey":   {211, 211, 211, 255},
+	"lightblue":   {173, 216, 230, 255},
+	"lightgreen":  {144, 238, 144, 255},
+	"lightyellow": {255, 255, 224, 255},
+	"whitesmoke":  {245, 245, 245, 255},
+	"gainsboro":   {220, 220, 220, 255},
+	"steelblue":   {70, 130, 180, 255},
+	"slategray":   {112, 128, 144, 255},
+	"transparent": {0, 0, 0, 0},
+}
+
+// ParseColor parses a CSS color: #rgb, #rrggbb, rgb(), rgba(), or a named
+// color. It returns false for unparseable values.
+func ParseColor(s string) (color.RGBA, bool) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return color.RGBA{}, false
+	}
+	if c, ok := namedColors[s]; ok {
+		return c, true
+	}
+	if s[0] == '#' {
+		return parseHexColor(s[1:])
+	}
+	if strings.HasPrefix(s, "rgb(") || strings.HasPrefix(s, "rgba(") {
+		return parseRGBFunc(s)
+	}
+	return color.RGBA{}, false
+}
+
+func parseHexColor(hex string) (color.RGBA, bool) {
+	switch len(hex) {
+	case 3:
+		r, okR := hexNibble(hex[0])
+		g, okG := hexNibble(hex[1])
+		b, okB := hexNibble(hex[2])
+		if !okR || !okG || !okB {
+			return color.RGBA{}, false
+		}
+		return color.RGBA{R: r * 17, G: g * 17, B: b * 17, A: 255}, true
+	case 6:
+		v, err := strconv.ParseUint(hex, 16, 32)
+		if err != nil {
+			return color.RGBA{}, false
+		}
+		return color.RGBA{
+			R: uint8(v >> 16),
+			G: uint8(v >> 8),
+			B: uint8(v),
+			A: 255,
+		}, true
+	}
+	return color.RGBA{}, false
+}
+
+func hexNibble(c byte) (uint8, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func parseRGBFunc(s string) (color.RGBA, bool) {
+	open := strings.IndexByte(s, '(')
+	close_ := strings.LastIndexByte(s, ')')
+	if open < 0 || close_ < open {
+		return color.RGBA{}, false
+	}
+	parts := strings.Split(s[open+1:close_], ",")
+	if len(parts) != 3 && len(parts) != 4 {
+		return color.RGBA{}, false
+	}
+	var vals [3]uint8
+	for i := 0; i < 3; i++ {
+		p := strings.TrimSpace(parts[i])
+		if strings.HasSuffix(p, "%") {
+			f, err := strconv.ParseFloat(p[:len(p)-1], 64)
+			if err != nil || f < 0 {
+				return color.RGBA{}, false
+			}
+			if f > 100 {
+				f = 100
+			}
+			vals[i] = uint8(f * 255 / 100)
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return color.RGBA{}, false
+		}
+		if v > 255 {
+			v = 255
+		}
+		vals[i] = uint8(v)
+	}
+	a := uint8(255)
+	if len(parts) == 4 {
+		f, err := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
+		if err != nil || f < 0 {
+			return color.RGBA{}, false
+		}
+		if f > 1 {
+			f = 1
+		}
+		a = uint8(f * 255)
+	}
+	return color.RGBA{R: vals[0], G: vals[1], B: vals[2], A: a}, true
+}

@@ -1,0 +1,113 @@
+package css
+
+import (
+	"image/color"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseLength(t *testing.T) {
+	cases := []struct {
+		in   string
+		base float64
+		want float64
+		ok   bool
+	}{
+		{"10px", 0, 10, true},
+		{"10", 0, 10, true},
+		{"0", 0, 0, true},
+		{"  12px ", 0, 12, true},
+		{"1.5px", 0, 1.5, true},
+		{"-4px", 0, -4, true},
+		{"72pt", 0, 96, true},
+		{"1in", 0, 96, true},
+		{"2.54cm", 0, 96, true},
+		{"25.4mm", 0, 96, true},
+		{"2em", 10, 20, true},
+		{"2em", 0, 32, true}, // falls back to 16px base
+		{"1rem", 0, 16, true},
+		{"50%", 200, 100, true},
+		{"50%", 0, 0, false}, // % needs a base
+		{"auto", 0, 0, false},
+		{"inherit", 0, 0, false},
+		{"", 0, 0, false},
+		{"abc", 0, 0, false},
+		{"px", 0, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseLength(c.in, c.base)
+		if ok != c.ok || (ok && !close64(got, c.want)) {
+			t.Errorf("ParseLength(%q, %v) = %v, %v; want %v, %v", c.in, c.base, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestParseColorHex(t *testing.T) {
+	cases := map[string]color.RGBA{
+		"#fff":    {255, 255, 255, 255},
+		"#000":    {0, 0, 0, 255},
+		"#f00":    {255, 0, 0, 255},
+		"#ff8800": {255, 136, 0, 255},
+		"#ABCDEF": {171, 205, 239, 255},
+	}
+	for in, want := range cases {
+		got, ok := ParseColor(in)
+		if !ok || got != want {
+			t.Errorf("ParseColor(%q) = %v, %v; want %v", in, got, ok, want)
+		}
+	}
+}
+
+func TestParseColorNamed(t *testing.T) {
+	got, ok := ParseColor("RED")
+	if !ok || got != (color.RGBA{255, 0, 0, 255}) {
+		t.Fatalf("red = %v, %v", got, ok)
+	}
+	if c, ok := ParseColor("transparent"); !ok || c.A != 0 {
+		t.Fatal("transparent should parse with zero alpha")
+	}
+}
+
+func TestParseColorRGBFunc(t *testing.T) {
+	cases := map[string]color.RGBA{
+		"rgb(1,2,3)":          {1, 2, 3, 255},
+		"rgb( 10 , 20 , 30 )": {10, 20, 30, 255},
+		"rgb(300,0,0)":        {255, 0, 0, 255}, // clamped
+		"rgb(100%,0%,50%)":    {255, 0, 127, 255},
+		"rgba(1,2,3,0.5)":     {1, 2, 3, 127},
+		"rgba(1,2,3,2)":       {1, 2, 3, 255}, // alpha clamped
+	}
+	for in, want := range cases {
+		got, ok := ParseColor(in)
+		if !ok || got != want {
+			t.Errorf("ParseColor(%q) = %v, %v; want %v", in, got, ok, want)
+		}
+	}
+}
+
+func TestParseColorInvalid(t *testing.T) {
+	for _, in := range []string{"", "#", "#12", "#12345", "#zzz", "rgb()", "rgb(1,2)", "rgb(a,b,c)", "nosuchcolor", "rgb(-1,0,0)"} {
+		if _, ok := ParseColor(in); ok {
+			t.Errorf("ParseColor(%q) should fail", in)
+		}
+	}
+}
+
+func TestQuickParseColorNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = ParseColor(s)
+		_, _ = ParseLength(s, 16)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func close64(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-6
+}

@@ -1,0 +1,110 @@
+package device
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIsMobile(t *testing.T) {
+	mobile := []string{
+		BlackBerryTour.UserAgent,
+		IPhone4.UserAgent,
+		IPodTouch3G.UserAgent,
+		IPad1.UserAgent,
+		"Mozilla/5.0 (Linux; U; Android 2.2) AppleWebKit/533.1 Mobile Safari/533.1",
+		"Opera/9.80 (J2ME/MIDP; Opera Mini/5.0) Presto/2.4",
+	}
+	for _, ua := range mobile {
+		if !IsMobile(ua) {
+			t.Errorf("IsMobile(%q) = false", ua)
+		}
+	}
+	if IsMobile(Desktop.UserAgent) {
+		t.Error("desktop UA flagged mobile")
+	}
+	if IsMobile("") {
+		t.Error("empty UA flagged mobile")
+	}
+}
+
+func TestDetect(t *testing.T) {
+	cases := map[string]string{
+		BlackBerryTour.UserAgent:  "BlackBerry Tour",
+		BlackBerryStorm.UserAgent: "BlackBerry Storm",
+		IPhone4.UserAgent:         "iPhone 4",
+		IPodTouch3G.UserAgent:     "iPod Touch 3G",
+		IPad1.UserAgent:           "iPad 1",
+		Desktop.UserAgent:         "Desktop",
+		"SomethingWithSymbian OS": "Generic Mobile",
+		"curl/7.88":               "Desktop",
+	}
+	for ua, want := range cases {
+		if got := Detect(ua).Name; got != want {
+			t.Errorf("Detect(%q) = %q, want %q", ua, got, want)
+		}
+	}
+}
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 6 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.Name == "" || p.ViewportW <= 0 || p.CPUFactor <= 0 {
+			t.Errorf("incomplete profile: %+v", p)
+		}
+	}
+}
+
+// forumComplexity approximates the §4.2 entry page: 224,477 bytes, ~12
+// external scripts, dozens of images, a deep table DOM.
+var forumComplexity = PageComplexity{
+	Bytes:      224_477,
+	Requests:   48,
+	Elements:   1500,
+	Scripts:    12,
+	Images:     35,
+	StyleRules: 200,
+}
+
+func TestClientCPUTimeCalibration(t *testing.T) {
+	desktop := Desktop.ClientCPUTime(forumComplexity)
+	// Calibrated to land near the paper's desktop row (1.5 s total, of
+	// which most is client CPU).
+	if desktop < 700*time.Millisecond || desktop > 1600*time.Millisecond {
+		t.Fatalf("desktop CPU = %v, want ≈1 s", desktop)
+	}
+	bb := BlackBerryTour.ClientCPUTime(forumComplexity)
+	if ratio := float64(bb) / float64(desktop); ratio < 12.5 || ratio > 13.5 {
+		t.Fatalf("BlackBerry/desktop ratio = %v, want ≈13", ratio)
+	}
+}
+
+func TestClientCPUTimeMonotoneInComplexity(t *testing.T) {
+	small := PageComplexity{Bytes: 10_000, Elements: 50, Scripts: 0, Images: 2}
+	if Desktop.ClientCPUTime(small) >= Desktop.ClientCPUTime(forumComplexity) {
+		t.Fatal("simpler page should cost less")
+	}
+}
+
+func TestClientCPUTimeOrdering(t *testing.T) {
+	// Devices must order by CPUFactor on the same page.
+	prev := time.Duration(0)
+	for _, p := range []Profile{Desktop, IPad1, IPhone4, IPodTouch3G, BlackBerryStorm, BlackBerryTour} {
+		got := p.ClientCPUTime(forumComplexity)
+		if got <= prev {
+			t.Fatalf("%s (%v) should exceed previous (%v)", p.Name, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestAJAXSupportFlags(t *testing.T) {
+	if BlackBerryTour.SupportsAJAX || BlackBerryStorm.SupportsAJAX {
+		t.Fatal("BlackBerry browsers must not support AJAX (§4.4)")
+	}
+	if !IPhone4.SupportsAJAX || !IPad1.SupportsAJAX {
+		t.Fatal("iOS devices must support AJAX")
+	}
+}

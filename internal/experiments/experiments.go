@@ -1,0 +1,464 @@
+// Package experiments reproduces the paper's evaluation (§4): Table 1's
+// wall-clock comparison, Figure 7's throughput-vs-browser-fraction sweep,
+// and the in-text page-weight, pre-render speedup, and image-fidelity
+// results. Each experiment returns structured rows that cmd/msite-bench
+// prints and the root bench suite asserts on, with the paper's numbers
+// carried alongside for the paper-vs-measured record in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"msite/internal/attr"
+	"msite/internal/css"
+	"msite/internal/device"
+	"msite/internal/fetch"
+	"msite/internal/html"
+	"msite/internal/imaging"
+	"msite/internal/layout"
+	"msite/internal/netsim"
+	"msite/internal/raster"
+	"msite/internal/spec"
+	"msite/internal/workload"
+)
+
+// PageProfile captures the §4.2 cost drivers of the origin entry page,
+// measured by actually fetching the page and every subresource.
+type PageProfile struct {
+	TotalBytes int
+	Requests   int
+	Complexity device.PageComplexity
+	// HTMLSource is the entry page markup (reused by later stages).
+	HTMLSource string
+}
+
+// ProfilePage fetches a page with all subresources and derives the
+// complexity model inputs.
+func ProfilePage(originURL string) (*PageProfile, error) {
+	f := fetch.New(nil)
+	load, err := f.GetWithResources(originURL)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: profiling %s: %w", originURL, err)
+	}
+	doc := load.Page.Doc()
+	c := attr.ComplexityOf(doc, load.TotalBytes, load.Requests)
+	// The render source carries the site's linked stylesheets inlined,
+	// exactly as the proxy's adaptation pipeline prepares pages, so
+	// snapshot renders reflect the real styling and cost.
+	if _, err := f.InlineStylesheets(doc, load.Page.URL); err != nil {
+		return nil, err
+	}
+	return &PageProfile{
+		TotalBytes: load.TotalBytes,
+		Requests:   load.Requests,
+		Complexity: device.PageComplexity{
+			Bytes:      c.Bytes,
+			Requests:   c.Requests,
+			Elements:   c.Elements,
+			Scripts:    c.Scripts,
+			Images:     c.Images,
+			StyleRules: c.StyleRules,
+		},
+		HTMLSource: html.Render(doc),
+	}, nil
+}
+
+// Table1Row is one row of the Table 1 reproduction.
+type Table1Row struct {
+	Label string
+	// Measured is this reproduction's wall-clock value: simulated
+	// (device + network model) for client rows, directly measured for
+	// the server-side snapshot generation row.
+	Measured time.Duration
+	// Paper is the paper's reported value.
+	Paper time.Duration
+	// Simulated marks model-derived rows (vs directly measured).
+	Simulated bool
+}
+
+// Table1 reproduces "Comparison of wall-clock time from initial request
+// to browsable page". originURL must serve the forum entry page.
+func Table1(originURL string) ([]Table1Row, error) {
+	profile, err := ProfilePage(originURL)
+	if err != nil {
+		return nil, err
+	}
+
+	// Server-side snapshot generation: measured for real — fetch is
+	// already done; parse, style, lay out, paint, scale, and encode.
+	start := time.Now()
+	doc := html.Tidy(profile.HTMLSource)
+	styler := css.StylerForDocument(doc)
+	res := layout.Layout(doc, styler, layout.Viewport{Width: 1024})
+	img := raster.Paint(res, raster.Options{})
+	scaled := imaging.ScaleFactor(img, 0.45)
+	snapData, err := imaging.Encode(scaled, imaging.FidelityLow)
+	if err != nil {
+		return nil, err
+	}
+	snapshotGen := time.Since(start)
+
+	// Cached-snapshot entry page: overlay HTML + snapshot image over the
+	// device link; trivial client-side complexity (one image, no
+	// scripts).
+	snapComplexity := device.PageComplexity{
+		Bytes:    len(snapData) + 2_000, // image + overlay HTML
+		Requests: 2,
+		Elements: 12,
+		Images:   1,
+	}
+
+	wall := func(p device.Profile, link netsim.Link, c device.PageComplexity, bytes, reqs int) time.Duration {
+		return link.TransferTime(bytes, reqs) + p.ClientCPUTime(c)
+	}
+
+	rows := []Table1Row{
+		{
+			Label: "BlackBerry Tour browser page load",
+			Measured: wall(device.BlackBerryTour, netsim.ThreeG,
+				profile.Complexity, profile.TotalBytes, profile.Requests),
+			Paper:     20 * time.Second,
+			Simulated: true,
+		},
+		{
+			Label:     "Snapshot page generation",
+			Measured:  snapshotGen,
+			Paper:     2 * time.Second,
+			Simulated: false,
+		},
+		{
+			Label: "Cached snapshot page to BlackBerry",
+			Measured: wall(device.BlackBerryTour, netsim.ThreeG,
+				snapComplexity, snapComplexity.Bytes, snapComplexity.Requests),
+			Paper:     5 * time.Second,
+			Simulated: true,
+		},
+		{
+			Label: "iPhone 4 via 3G",
+			Measured: wall(device.IPhone4, netsim.ThreeG,
+				profile.Complexity, profile.TotalBytes, profile.Requests),
+			Paper:     20 * time.Second,
+			Simulated: true,
+		},
+		{
+			Label: "iPhone 4 via WiFi",
+			Measured: wall(device.IPhone4, netsim.WiFi,
+				profile.Complexity, profile.TotalBytes, profile.Requests),
+			Paper:     4500 * time.Millisecond,
+			Simulated: true,
+		},
+		{
+			Label: "Desktop browser page load",
+			Measured: wall(device.Desktop, netsim.Broadband,
+				profile.Complexity, profile.TotalBytes, profile.Requests),
+			Paper:     1500 * time.Millisecond,
+			Simulated: true,
+		},
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the rows like the paper's table.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: wall-clock time from initial request to browsable page\n")
+	fmt.Fprintf(&b, "%-42s %12s %12s  %s\n", "Device", "Measured", "Paper", "Kind")
+	for _, r := range rows {
+		kind := "measured"
+		if r.Simulated {
+			kind = "simulated"
+		}
+		fmt.Fprintf(&b, "%-42s %12s %12s  %s\n",
+			r.Label, roundDuration(r.Measured), roundDuration(r.Paper), kind)
+	}
+	return b.String()
+}
+
+func roundDuration(d time.Duration) string {
+	return d.Round(100 * time.Millisecond).String()
+}
+
+// Fig7Point is one Figure 7 data point.
+type Fig7Point struct {
+	BrowserPercent float64
+	// ReqPerMin is the mean satisfied requests per one-minute window.
+	ReqPerMin float64
+	Runs      int
+}
+
+// Fig7Config tunes the sweep; the zero value uses paper-faithful
+// percentages with a scaled-down window.
+type Fig7Config struct {
+	OriginURL   string
+	Window      time.Duration
+	Percentages []float64
+	Reps        int
+	Concurrency int
+}
+
+// DefaultFig7Percentages are the sweep points (the paper varies the
+// browser fraction from 0 to 100%).
+var DefaultFig7Percentages = []float64{0, 1, 2, 5, 10, 25, 50, 75, 100}
+
+// Figure7 runs the throughput sweep: satisfied requests per window as
+// the fraction of requests requiring a full browser instance varies,
+// three repetitions per point, interarrival marking via seeded U[0,1].
+func Figure7(cfg Fig7Config) ([]Fig7Point, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = time.Second
+	}
+	if len(cfg.Percentages) == 0 {
+		cfg.Percentages = DefaultFig7Percentages
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 3
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 2
+	}
+	points, err := workload.Sweep(workload.Config{
+		OriginURL:     cfg.OriginURL,
+		Window:        cfg.Window,
+		Concurrency:   cfg.Concurrency,
+		ViewportWidth: 1024,
+		Seed:          42,
+	}, cfg.Percentages, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig7Point, len(points))
+	for i, p := range points {
+		out[i] = Fig7Point{
+			BrowserPercent: p.BrowserPercent,
+			ReqPerMin:      p.MeanThroughput(),
+			Runs:           len(p.Runs),
+		}
+	}
+	return out, nil
+}
+
+// FormatFig7 renders the sweep like the paper's figure data.
+func FormatFig7(points []Fig7Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: satisfied requests per minute vs % requiring a browser instance\n")
+	b.WriteString("(paper endpoints: 100% → 224 req/min, 0% → 29,038 req/min)\n")
+	fmt.Fprintf(&b, "%-20s %15s %6s\n", "% browser renders", "req/min (mean)", "runs")
+	for i := len(points) - 1; i >= 0; i-- {
+		p := points[i]
+		fmt.Fprintf(&b, "%-20.1f %15.0f %6d\n", p.BrowserPercent, p.ReqPerMin, p.Runs)
+	}
+	if len(points) >= 2 {
+		lo := points[len(points)-1].ReqPerMin // highest browser %
+		hi := points[0].ReqPerMin             // 0 %
+		if lo > 0 {
+			fmt.Fprintf(&b, "lightweight/browser throughput ratio: %.0fx\n", hi/lo)
+		}
+	}
+	return b.String()
+}
+
+// FidelityRow is one step of the §3.3 image-fidelity ladder.
+type FidelityRow struct {
+	Level imaging.Fidelity
+	Bytes int
+}
+
+// ImageFidelity renders the origin entry page once and encodes the
+// snapshot at every fidelity level — the paper's "600K png →
+// 25-50k jpg" post-processor result.
+func ImageFidelity(originURL string) ([]FidelityRow, error) {
+	profile, err := ProfilePage(originURL)
+	if err != nil {
+		return nil, err
+	}
+	doc := html.Tidy(profile.HTMLSource)
+	styler := css.StylerForDocument(doc)
+	res := layout.Layout(doc, styler, layout.Viewport{Width: 1024})
+	// Antialias restores real-screenshot pixel entropy (see
+	// raster.Options.Antialias); without it the synthetic flat-color
+	// output makes PNG unrealistically small.
+	img := raster.Paint(res, raster.Options{Antialias: true})
+
+	var rows []FidelityRow
+	for _, f := range []imaging.Fidelity{
+		imaging.FidelityHigh, imaging.FidelityMedium,
+		imaging.FidelityLow, imaging.FidelityThumb,
+	} {
+		data, err := imaging.Encode(img, f)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FidelityRow{Level: f, Bytes: len(data)})
+	}
+	return rows, nil
+}
+
+// FormatFidelity renders the ladder.
+func FormatFidelity(rows []FidelityRow) string {
+	var b strings.Builder
+	b.WriteString("Image fidelity ladder for the full-page snapshot (§3.3)\n")
+	b.WriteString("(paper: high-fidelity png ≈600 KB; reduced-fidelity jpg 25–50 KB)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %10d bytes (%.0f KB)\n", r.Level, r.Bytes, float64(r.Bytes)/1024)
+	}
+	return b.String()
+}
+
+// SpeedupResult is the §3.3 pre-render speedup: direct mobile load vs
+// cached-snapshot load on the same device/link.
+type SpeedupResult struct {
+	Direct   time.Duration
+	Snapshot time.Duration
+	Factor   float64
+}
+
+// PreRenderSpeedup computes the BlackBerry wall-clock ratio the paper
+// summarizes as "this technique can reduce wall-clock load time by a
+// factor of 5".
+func PreRenderSpeedup(originURL string) (*SpeedupResult, error) {
+	rows, err := Table1(originURL)
+	if err != nil {
+		return nil, err
+	}
+	var direct, snapshot time.Duration
+	for _, r := range rows {
+		switch r.Label {
+		case "BlackBerry Tour browser page load":
+			direct = r.Measured
+		case "Cached snapshot page to BlackBerry":
+			snapshot = r.Measured
+		}
+	}
+	if snapshot <= 0 {
+		return nil, fmt.Errorf("experiments: missing snapshot row")
+	}
+	return &SpeedupResult{
+		Direct:   direct,
+		Snapshot: snapshot,
+		Factor:   float64(direct) / float64(snapshot),
+	}, nil
+}
+
+// PageWeight reproduces the §4.2 in-text measurement: total bytes and
+// request count for the entry page.
+type PageWeight struct {
+	TotalBytes int
+	Requests   int
+	Scripts    int
+	Images     int
+	Elements   int
+}
+
+// MeasurePageWeight profiles the entry page.
+func MeasurePageWeight(originURL string) (*PageWeight, error) {
+	profile, err := ProfilePage(originURL)
+	if err != nil {
+		return nil, err
+	}
+	return &PageWeight{
+		TotalBytes: profile.TotalBytes,
+		Requests:   profile.Requests,
+		Scripts:    profile.Complexity.Scripts,
+		Images:     profile.Complexity.Images,
+		Elements:   profile.Complexity.Elements,
+	}, nil
+}
+
+// FormatPageWeight renders the measurement.
+func FormatPageWeight(w *PageWeight) string {
+	return fmt.Sprintf(`Entry page weight (§4.2; paper: 224,477 bytes, ~12 external scripts)
+total bytes: %d
+requests:    %d
+scripts:     %d
+images:      %d
+elements:    %d
+`, w.TotalBytes, w.Requests, w.Scripts, w.Images, w.Elements)
+}
+
+// AblationRow compares a design choice on/off.
+type AblationRow struct {
+	Name     string
+	Baseline time.Duration
+	Variant  time.Duration
+}
+
+// CacheAblation measures one snapshot render vs one cache hit — the
+// amortization argument of §3.3 in microcosm: build the snapshot once,
+// then time serving it from memory.
+func CacheAblation(originURL string) (*AblationRow, error) {
+	profile, err := ProfilePage(originURL)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	doc := html.Tidy(profile.HTMLSource)
+	styler := css.StylerForDocument(doc)
+	res := layout.Layout(doc, styler, layout.Viewport{Width: 1024})
+	img := raster.Paint(res, raster.Options{})
+	data, err := imaging.Encode(imaging.ScaleFactor(img, 0.45), imaging.FidelityLow)
+	if err != nil {
+		return nil, err
+	}
+	render := time.Since(start)
+
+	start = time.Now()
+	copied := make([]byte, len(data))
+	copy(copied, data)
+	hit := time.Since(start)
+	if hit <= 0 {
+		hit = time.Nanosecond
+	}
+	return &AblationRow{Name: "snapshot render vs cache hit", Baseline: render, Variant: hit}, nil
+}
+
+// SpecForForum builds the evaluation spec (§4.3) against an origin URL —
+// shared by the cmd tools, examples, and benches.
+func SpecForForum(originURL string) *spec.Spec {
+	return &spec.Spec{
+		Name:          "sawdust",
+		Origin:        originURL + "/",
+		ViewportWidth: 1024,
+		Snapshot: spec.SnapshotSpec{
+			Enabled: true, Fidelity: "low", Scale: 0.45,
+			CacheTTLSeconds: 3600, Shared: true,
+		},
+		Objects: []spec.Object{
+			{Name: "login", Selector: "#loginform", Attributes: []spec.Attribute{
+				{Type: spec.AttrSubpage, Params: map[string]string{"title": "Log in"}},
+			}},
+			{Name: "logo", Selector: "#logo", Attributes: []spec.Attribute{
+				{Type: spec.AttrCopyTo, Params: map[string]string{
+					"subpage": "login", "position": "top",
+					"set-attr": "src", "set-value": "/m/logo.gif",
+				}},
+			}},
+			{Name: "styles", Selector: "head style", Attributes: []spec.Attribute{
+				{Type: spec.AttrDependency, Params: map[string]string{"subpage": "login"}},
+			}},
+			{Name: "nav", Selector: "#navlinks", Attributes: []spec.Attribute{
+				{Type: spec.AttrRewriteLinks, Params: map[string]string{"columns": "2"}},
+				{Type: spec.AttrSubpage, Params: map[string]string{"title": "Navigation", "ajax": "true"}},
+			}},
+			{Name: "banner", Selector: "#banner", Attributes: []spec.Attribute{
+				{Type: spec.AttrReplace, Params: map[string]string{
+					"html": `<img src="/ads/mobile.gif" width="300" height="50" alt="ad">`}},
+			}},
+			{Name: "shoptour", Selector: "#shoptour object", Attributes: []spec.Attribute{
+				{Type: spec.AttrThumbnail, Params: map[string]string{"scale": "0.4"}},
+			}},
+			{Name: "forums", Selector: "#forums", Attributes: []spec.Attribute{
+				{Type: spec.AttrSubpage, Params: map[string]string{
+					"title": "Forums", "prerender": "true", "fidelity": "low"}},
+				{Type: spec.AttrCacheable, Params: map[string]string{"ttl_seconds": "3600"}},
+				{Type: spec.AttrSearchable, Params: map[string]string{"trigger": "msite-search"}},
+			}},
+		},
+		Actions: []spec.Action{
+			{ID: 1, Match: `do=showpic&id=(\d+)`,
+				Target: originURL + "/site.php?do=showpic&id=$1", Extract: "#pic",
+				CacheTTLSeconds: 300},
+		},
+	}
+}

@@ -1,0 +1,334 @@
+// Package fetch downloads origin pages on behalf of a mobile client's
+// session (§3.2): the per-session cookie jar authenticates the proxy as
+// that user, stored HTTP credentials are replayed on demand, and
+// subresources (images, scripts, stylesheets) are discovered and
+// downloaded so pre-rendering sees the same bytes the client would.
+package fetch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"msite/internal/dom"
+	"msite/internal/html"
+	"msite/internal/session"
+)
+
+// maxBodyBytes bounds one fetched resource (16 MiB).
+const maxBodyBytes = 16 << 20
+
+// AuthRequiredError reports an origin 401; the proxy redirects the
+// client to its lightweight authentication page (§3.3).
+type AuthRequiredError struct {
+	URL   string
+	Realm string
+}
+
+// Error implements error.
+func (e *AuthRequiredError) Error() string {
+	return fmt.Sprintf("fetch: %s requires HTTP authentication (realm %q)", e.URL, e.Realm)
+}
+
+// StatusError reports a non-success origin response.
+type StatusError struct {
+	URL    string
+	Status int
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("fetch: %s returned status %d", e.URL, e.Status)
+}
+
+// Page is one fetched origin page.
+type Page struct {
+	// URL is the final URL after redirects.
+	URL string
+	// Body is the raw response body.
+	Body []byte
+	// ContentType is the response content type.
+	ContentType string
+	// Status is the HTTP status code.
+	Status int
+}
+
+// Doc tidies and parses the page body into a document.
+func (p *Page) Doc() *dom.Node {
+	return html.Tidy(string(p.Body))
+}
+
+// Fetcher downloads origin resources for one session.
+type Fetcher struct {
+	client    *http.Client
+	sess      *session.Session
+	userAgent string
+}
+
+// Option configures a Fetcher.
+type Option func(*Fetcher)
+
+// WithUserAgent sets the User-Agent presented to the origin.
+func WithUserAgent(ua string) Option {
+	return func(f *Fetcher) { f.userAgent = ua }
+}
+
+// WithTimeout bounds each request.
+func WithTimeout(d time.Duration) Option {
+	return func(f *Fetcher) { f.client.Timeout = d }
+}
+
+// New returns a Fetcher bound to a session's cookie jar. sess may be nil
+// for anonymous (shared-cache) fetches.
+func New(sess *session.Session, opts ...Option) *Fetcher {
+	client := &http.Client{Timeout: 30 * time.Second}
+	if sess != nil {
+		client.Jar = sess.Jar
+	}
+	f := &Fetcher{
+		client:    client,
+		sess:      sess,
+		userAgent: "m.Site-proxy/1.0",
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f
+}
+
+// Get fetches one resource.
+func (f *Fetcher) Get(rawURL string) (*Page, error) {
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fetch: building request for %s: %w", rawURL, err)
+	}
+	req.Header.Set("User-Agent", f.userAgent)
+	if f.sess != nil {
+		if creds, ok := f.sess.Auth(req.URL.Host); ok {
+			req.SetBasicAuth(creds.User, creds.Pass)
+		}
+	}
+	// The session jar is carried by the client; re-point it in case
+	// ClearCookies swapped the jar.
+	if f.sess != nil {
+		f.client.Jar = f.sess.Jar
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fetch: requesting %s: %w", rawURL, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+
+	if resp.StatusCode == http.StatusUnauthorized {
+		realm := parseRealm(resp.Header.Get("WWW-Authenticate"))
+		return nil, &AuthRequiredError{URL: rawURL, Realm: realm}
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("fetch: reading %s: %w", rawURL, err)
+	}
+	page := &Page{
+		URL:         resp.Request.URL.String(),
+		Body:        body,
+		ContentType: resp.Header.Get("Content-Type"),
+		Status:      resp.StatusCode,
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return page, &StatusError{URL: rawURL, Status: resp.StatusCode}
+	}
+	return page, nil
+}
+
+// PostForm submits a form to the origin (used to marshal login
+// interactions through the proxy).
+func (f *Fetcher) PostForm(rawURL string, form url.Values) (*Page, error) {
+	if f.sess != nil {
+		f.client.Jar = f.sess.Jar
+	}
+	req, err := http.NewRequest(http.MethodPost, rawURL, strings.NewReader(form.Encode()))
+	if err != nil {
+		return nil, fmt.Errorf("fetch: building POST for %s: %w", rawURL, err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("User-Agent", f.userAgent)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fetch: posting %s: %w", rawURL, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("fetch: reading %s: %w", rawURL, err)
+	}
+	page := &Page{
+		URL:         resp.Request.URL.String(),
+		Body:        body,
+		ContentType: resp.Header.Get("Content-Type"),
+		Status:      resp.StatusCode,
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return page, &StatusError{URL: rawURL, Status: resp.StatusCode}
+	}
+	return page, nil
+}
+
+func parseRealm(header string) string {
+	const marker = `realm="`
+	i := strings.Index(header, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := header[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return rest
+	}
+	return rest[:j]
+}
+
+// Subresources lists the absolute URLs of the images, external scripts,
+// and stylesheets a document references.
+func Subresources(doc *dom.Node, base string) []string {
+	baseURL, err := url.Parse(base)
+	if err != nil {
+		baseURL = nil
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(ref string) {
+		if ref == "" || strings.HasPrefix(ref, "data:") ||
+			strings.HasPrefix(ref, "javascript:") || strings.HasPrefix(ref, "#") {
+			return
+		}
+		abs := ref
+		if baseURL != nil {
+			if u, err := baseURL.Parse(ref); err == nil {
+				abs = u.String()
+			}
+		}
+		if !seen[abs] {
+			seen[abs] = true
+			out = append(out, abs)
+		}
+	}
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Type != dom.ElementNode {
+			return true
+		}
+		switch n.Tag {
+		case "img", "iframe", "embed":
+			add(n.AttrOr("src", ""))
+		case "script":
+			add(n.AttrOr("src", ""))
+		case "link":
+			rel := strings.ToLower(n.AttrOr("rel", ""))
+			if strings.Contains(rel, "stylesheet") || strings.Contains(rel, "icon") {
+				add(n.AttrOr("href", ""))
+			}
+		case "input":
+			if strings.EqualFold(n.AttrOr("type", ""), "image") {
+				add(n.AttrOr("src", ""))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// PageLoad is the result of fetching a page plus all of its
+// subresources — the byte/request accounting Table 1 is built from.
+type PageLoad struct {
+	Page *Page
+	// Resources maps each subresource URL to its bytes (nil on fetch
+	// failure: a broken image does not fail the page).
+	Resources map[string][]byte
+	// TotalBytes is page + all fetched subresources.
+	TotalBytes int
+	// Requests is 1 + number of subresource fetch attempts.
+	Requests int
+	// Failures counts subresources that could not be fetched.
+	Failures int
+}
+
+// GetWithResources fetches a page and everything it references.
+func (f *Fetcher) GetWithResources(rawURL string) (*PageLoad, error) {
+	page, err := f.Get(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	doc := page.Doc()
+	refs := Subresources(doc, page.URL)
+	load := &PageLoad{
+		Page:       page,
+		Resources:  make(map[string][]byte, len(refs)),
+		TotalBytes: len(page.Body),
+		Requests:   1 + len(refs),
+	}
+	for _, ref := range refs {
+		sub, err := f.Get(ref)
+		if err != nil {
+			load.Failures++
+			load.Resources[ref] = nil
+			continue
+		}
+		load.Resources[ref] = sub.Body
+		load.TotalBytes += len(sub.Body)
+	}
+	return load, nil
+}
+
+// InlineStylesheets replaces every <link rel="stylesheet"> in doc with a
+// <style> element containing the fetched sheet, so the server-side
+// renderer (and every generated subpage) sees the site's real styling
+// and the mobile client is spared the extra request. Sheets that fail to
+// fetch are left as links. Returns how many sheets were inlined.
+func (f *Fetcher) InlineStylesheets(doc *dom.Node, base string) (int, error) {
+	baseURL, err := url.Parse(base)
+	if err != nil {
+		return 0, fmt.Errorf("fetch: bad base URL %q: %w", base, err)
+	}
+	inlined := 0
+	for _, link := range doc.Elements("link") {
+		rel := strings.ToLower(link.AttrOr("rel", ""))
+		if !strings.Contains(rel, "stylesheet") {
+			continue
+		}
+		href := link.AttrOr("href", "")
+		if href == "" {
+			continue
+		}
+		abs, err := baseURL.Parse(href)
+		if err != nil {
+			continue
+		}
+		page, err := f.Get(abs.String())
+		if err != nil {
+			continue // degrade: keep the link
+		}
+		style := dom.NewElement("style")
+		style.SetAttr("type", "text/css")
+		style.SetAttr("data-msite", "inlined-css")
+		if media := link.AttrOr("media", ""); media != "" {
+			style.SetAttr("media", media)
+		}
+		style.AppendChild(dom.NewText(string(page.Body)))
+		link.ReplaceWith(style)
+		inlined++
+	}
+	return inlined, nil
+}
+
+// ErrNoSession is returned by helpers that need a session-bound fetcher.
+var ErrNoSession = errors.New("fetch: fetcher has no session")
+
+// Session returns the bound session.
+func (f *Fetcher) Session() (*session.Session, error) {
+	if f.sess == nil {
+		return nil, ErrNoSession
+	}
+	return f.sess, nil
+}

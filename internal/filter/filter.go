@@ -1,0 +1,174 @@
+// Package filter implements m.Site's source-level filter phase (§3.2):
+// transformations applied to raw HTML before any DOM parse. "The page
+// could be completely adapted after just a few simple filters, avoiding a
+// DOM parse altogether" — this is the lightweight fast path whose cost
+// asymmetry against full rendering drives the Figure 7 scalability
+// result.
+package filter
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+
+	"msite/internal/spec"
+)
+
+// Precompiled patterns for the built-in filters.
+var (
+	reDoctype   = regexp.MustCompile(`(?is)<!doctype[^>]*>`)
+	reTitle     = regexp.MustCompile(`(?is)<title[^>]*>.*?</title>`)
+	reScript    = regexp.MustCompile(`(?is)<script[^>]*>.*?</script>|<script[^>]*/>`)
+	reStyle     = regexp.MustCompile(`(?is)<style[^>]*>.*?</style>`)
+	reStyleLink = regexp.MustCompile(`(?is)<link[^>]*rel=["']?stylesheet["']?[^>]*>`)
+	reImgSrc    = regexp.MustCompile(`(?is)(<img[^>]*\bsrc=["'])([^"']+)(["'])`)
+	reHeadOpen  = regexp.MustCompile(`(?is)<head[^>]*>`)
+)
+
+// Apply runs each filter over src in order. Unknown filter types are an
+// error (Validate on the spec should have caught them earlier).
+func Apply(src string, filters []spec.Filter) (string, error) {
+	for i, f := range filters {
+		var err error
+		src, err = applyOne(src, f)
+		if err != nil {
+			return "", fmt.Errorf("filter %d (%s): %w", i, f.Type, err)
+		}
+	}
+	return src, nil
+}
+
+func applyOne(src string, f spec.Filter) (string, error) {
+	param := func(key, def string) string {
+		if v, ok := f.Params[key]; ok {
+			return v
+		}
+		return def
+	}
+	switch f.Type {
+	case "doctype":
+		return SetDoctype(src, param("value", "html")), nil
+	case "title":
+		return SetTitle(src, param("value", "")), nil
+	case "strip-scripts":
+		return StripScripts(src), nil
+	case "strip-css":
+		return StripCSS(src), nil
+	case "rewrite-images":
+		if prefix := param("prefix", ""); prefix != "" {
+			return RewriteImages(src, func(orig string) string {
+				return prefix + orig
+			}), nil
+		}
+		pattern, replace := param("pattern", ""), param("replace", "")
+		if pattern == "" {
+			return "", fmt.Errorf("rewrite-images needs prefix or pattern")
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return "", fmt.Errorf("compiling pattern: %w", err)
+		}
+		return RewriteImages(src, func(orig string) string {
+			return re.ReplaceAllString(orig, replace)
+		}), nil
+	case "replace":
+		pattern := param("pattern", "")
+		if pattern == "" {
+			return "", fmt.Errorf("replace needs a pattern")
+		}
+		re, err := compileCached(pattern)
+		if err != nil {
+			return "", fmt.Errorf("compiling pattern: %w", err)
+		}
+		return re.ReplaceAllString(src, param("with", "")), nil
+	default:
+		return "", fmt.Errorf("unknown filter type %q", f.Type)
+	}
+}
+
+// SetDoctype replaces (or prepends) the document's doctype — the paper's
+// example of an "extremely simple filter".
+func SetDoctype(src, doctype string) string {
+	decl := "<!DOCTYPE " + doctype + ">"
+	if reDoctype.MatchString(src) {
+		return reDoctype.ReplaceAllString(src, decl)
+	}
+	return decl + "\n" + src
+}
+
+// SetTitle replaces (or inserts) the document title.
+func SetTitle(src, title string) string {
+	element := "<title>" + title + "</title>"
+	if reTitle.MatchString(src) {
+		return reTitle.ReplaceAllString(src, element)
+	}
+	if loc := reHeadOpen.FindStringIndex(src); loc != nil {
+		return src[:loc[1]] + element + src[loc[1]:]
+	}
+	return element + src
+}
+
+// StripScripts blanket-removes script elements at the source level.
+func StripScripts(src string) string {
+	return reScript.ReplaceAllString(src, "")
+}
+
+// StripCSS blanket-removes style blocks and stylesheet links.
+func StripCSS(src string) string {
+	return reStyleLink.ReplaceAllString(reStyle.ReplaceAllString(src, ""), "")
+}
+
+// RewriteImages rewrites every <img src> through fn — the paper's
+// "rewriting all images to reference a low-fidelity image cache or
+// different server".
+func RewriteImages(src string, fn func(string) string) string {
+	return reImgSrc.ReplaceAllStringFunc(src, func(m string) string {
+		parts := reImgSrc.FindStringSubmatch(m)
+		if parts == nil {
+			return m
+		}
+		return parts[1] + fn(parts[2]) + parts[3]
+	})
+}
+
+// compileCached caches user-supplied replace patterns; proxies run the
+// same filter list on every request.
+var (
+	reCacheMu sync.Mutex
+	reCache   = make(map[string]*regexp.Regexp)
+)
+
+func compileCached(pattern string) (*regexp.Regexp, error) {
+	reCacheMu.Lock()
+	defer reCacheMu.Unlock()
+	if re, ok := reCache[pattern]; ok {
+		return re, nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if len(reCache) > 512 { // bound growth from hostile specs
+		reCache = make(map[string]*regexp.Regexp)
+	}
+	reCache[pattern] = re
+	return re, nil
+}
+
+// Identify returns the source spans matching a regex pattern — the
+// paper's source-level object identification ("matching objects and
+// content with regular expressions", §3.1).
+func Identify(src, pattern string) ([]string, error) {
+	re, err := compileCached(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("filter: compiling identify pattern: %w", err)
+	}
+	matches := re.FindAllString(src, -1)
+	// Copy out of the (potentially huge) source string.
+	out := make([]string, len(matches))
+	for i, m := range matches {
+		out[i] = strings.Clone(m)
+	}
+	return out, nil
+}

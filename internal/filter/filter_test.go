@@ -1,0 +1,158 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+
+	"msite/internal/spec"
+)
+
+const page = `<!DOCTYPE html PUBLIC "-//W3C//DTD XHTML 1.0 Transitional//EN">
+<html><head>
+<title>SawmillCreek Woodworking</title>
+<link rel="stylesheet" href="/clientscript/vbulletin.css">
+<style type="text/css">.tborder { background: #fff }</style>
+<script type="text/javascript" src="/clientscript/yui.js"></script>
+<script>var SESSIONURL = "";</script>
+</head><body>
+<img src="/images/logo.gif" alt="logo">
+<img src='/images/banner.png'>
+<p>content</p>
+</body></html>`
+
+func TestSetDoctype(t *testing.T) {
+	out := SetDoctype(page, "html")
+	if !strings.HasPrefix(out, "<!DOCTYPE html>") {
+		t.Fatalf("prefix = %q", out[:40])
+	}
+	if strings.Count(out, "<!DOCTYPE") != 1 {
+		t.Fatal("duplicate doctype")
+	}
+	// Missing doctype gets prepended.
+	out = SetDoctype("<html></html>", "html")
+	if !strings.HasPrefix(out, "<!DOCTYPE html>") {
+		t.Fatal("doctype not prepended")
+	}
+}
+
+func TestSetTitle(t *testing.T) {
+	out := SetTitle(page, "m.Sawmill")
+	if !strings.Contains(out, "<title>m.Sawmill</title>") {
+		t.Fatal("title not replaced")
+	}
+	if strings.Contains(out, "Woodworking</title>") {
+		t.Fatal("old title remains")
+	}
+	// Page without a title gets one inserted in head.
+	out = SetTitle("<html><head></head><body></body></html>", "X")
+	if !strings.Contains(out, "<head><title>X</title>") {
+		t.Fatalf("title not inserted: %q", out)
+	}
+}
+
+func TestStripScripts(t *testing.T) {
+	out := StripScripts(page)
+	if strings.Contains(out, "<script") || strings.Contains(out, "SESSIONURL") {
+		t.Fatal("scripts remain")
+	}
+	if !strings.Contains(out, "<p>content</p>") {
+		t.Fatal("content lost")
+	}
+}
+
+func TestStripCSS(t *testing.T) {
+	out := StripCSS(page)
+	if strings.Contains(out, "<style") || strings.Contains(out, "stylesheet") {
+		t.Fatal("css remains")
+	}
+	if !strings.Contains(out, "<script") {
+		t.Fatal("scripts should remain")
+	}
+}
+
+func TestRewriteImages(t *testing.T) {
+	out := RewriteImages(page, func(src string) string {
+		return "/lowfi" + src
+	})
+	if !strings.Contains(out, `src="/lowfi/images/logo.gif"`) {
+		t.Fatalf("double-quoted src not rewritten: %s", out)
+	}
+	if !strings.Contains(out, `src='/lowfi/images/banner.png'`) {
+		t.Fatal("single-quoted src not rewritten")
+	}
+}
+
+func TestApplyChain(t *testing.T) {
+	out, err := Apply(page, []spec.Filter{
+		{Type: "doctype", Params: map[string]string{"value": "html"}},
+		{Type: "title", Params: map[string]string{"value": "Mobile"}},
+		{Type: "strip-scripts"},
+		{Type: "rewrite-images", Params: map[string]string{"prefix": "/cache"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "<!DOCTYPE html>") ||
+		!strings.Contains(out, "<title>Mobile</title>") ||
+		strings.Contains(out, "<script") ||
+		!strings.Contains(out, "/cache/images/logo.gif") {
+		t.Fatalf("chain output wrong: %s", out)
+	}
+}
+
+func TestApplyRewritePattern(t *testing.T) {
+	out, err := Apply(page, []spec.Filter{
+		{Type: "rewrite-images", Params: map[string]string{
+			"pattern": `\.png$`, "replace": ".jpg",
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "banner.jpg") || !strings.Contains(out, "logo.gif") {
+		t.Fatal("pattern rewrite wrong")
+	}
+}
+
+func TestApplyReplaceFilter(t *testing.T) {
+	out, err := Apply("ad ad ad", []spec.Filter{
+		{Type: "replace", Params: map[string]string{"pattern": "ad", "with": "x"}},
+	})
+	if err != nil || out != "x x x" {
+		t.Fatalf("replace = %q, %v", out, err)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	cases := []spec.Filter{
+		{Type: "nope"},
+		{Type: "replace"},
+		{Type: "replace", Params: map[string]string{"pattern": "("}},
+		{Type: "rewrite-images"},
+	}
+	for _, f := range cases {
+		if _, err := Apply("x", []spec.Filter{f}); err == nil {
+			t.Errorf("filter %+v should fail", f)
+		}
+	}
+}
+
+func TestIdentify(t *testing.T) {
+	got, err := Identify(page, `<img[^>]+>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	if _, err := Identify(page, "("); err == nil {
+		t.Fatal("bad pattern should fail")
+	}
+}
+
+func TestStripScriptsMultiline(t *testing.T) {
+	src := "<script>\nline1\nline2\n</script>after"
+	if got := StripScripts(src); got != "after" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,62 @@
+package html
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchPage() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>t</title><style>.x{color:red}</style></head><body>")
+	for i := 0; i < 200; i++ {
+		b.WriteString(`<div class="row"><table><tr><td><a href="/x">link text</a></td><td>cell &amp; entity</td></tr></table><p>paragraph body text`)
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	src := benchPage()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z := NewTokenizer(src)
+		for {
+			if z.Next().Type == ErrorToken {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := benchPage()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Parse(src) == nil {
+			b.Fatal("nil doc")
+		}
+	}
+}
+
+func BenchmarkTidyString(b *testing.B) {
+	src := benchPage()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if TidyString(src) == "" {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	doc := Parse(benchPage())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Render(doc) == "" {
+			b.Fatal("empty")
+		}
+	}
+}

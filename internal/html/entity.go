@@ -1,0 +1,164 @@
+package html
+
+import (
+	"strconv"
+	"strings"
+)
+
+// namedEntities is the set of named character references the tokenizer
+// decodes. It is the pragmatic subset that appears in real template-driven
+// forum markup; unknown references pass through verbatim, which matches
+// browser error-recovery behaviour.
+var namedEntities = map[string]rune{
+	"amp":    '&',
+	"lt":     '<',
+	"gt":     '>',
+	"quot":   '"',
+	"apos":   '\'',
+	"nbsp":   ' ',
+	"copy":   '©',
+	"reg":    '®',
+	"trade":  '™',
+	"hellip": '…',
+	"mdash":  '—',
+	"ndash":  '–',
+	"lsquo":  '‘',
+	"rsquo":  '’',
+	"ldquo":  '“',
+	"rdquo":  '”',
+	"laquo":  '«',
+	"raquo":  '»',
+	"times":  '×',
+	"divide": '÷',
+	"middot": '·',
+	"bull":   '•',
+	"deg":    '°',
+	"pound":  '£',
+	"euro":   '€',
+	"yen":    '¥',
+	"cent":   '¢',
+	"sect":   '§',
+	"para":   '¶',
+	"plusmn": '±',
+	"frac12": '½',
+	"frac14": '¼',
+	"sup2":   '²',
+	"sup3":   '³',
+	"micro":  'µ',
+	"larr":   '←',
+	"rarr":   '→',
+	"uarr":   '↑',
+	"darr":   '↓',
+	"harr":   '↔',
+}
+
+// UnescapeEntities decodes HTML character references in s: the named subset
+// above plus numeric (&#123;) and hex (&#x7b;) forms. Malformed references
+// are left intact.
+func UnescapeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		// Find the terminating semicolon within a reasonable window.
+		end := -1
+		for j := i + 1; j < len(s) && j < i+12; j++ {
+			if s[j] == ';' {
+				end = j
+				break
+			}
+			if s[j] == '&' || s[j] == ' ' || s[j] == '<' {
+				break
+			}
+		}
+		if end < 0 {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		name := s[i+1 : end]
+		if r, ok := decodeEntityName(name); ok {
+			b.WriteRune(r)
+			i = end + 1
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String()
+}
+
+func decodeEntityName(name string) (rune, bool) {
+	if name == "" {
+		return 0, false
+	}
+	if name[0] == '#' {
+		num := name[1:]
+		base := 10
+		if len(num) > 1 && (num[0] == 'x' || num[0] == 'X') {
+			base = 16
+			num = num[1:]
+		}
+		v, err := strconv.ParseInt(num, base, 32)
+		if err != nil || v <= 0 || v > 0x10ffff {
+			return 0, false
+		}
+		return rune(v), true
+	}
+	r, ok := namedEntities[name]
+	return r, ok
+}
+
+// EscapeText escapes s for use as HTML text content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// EscapeAttr escapes s for use inside a double-quoted attribute value.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `&<>"`) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

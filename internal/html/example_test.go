@@ -1,0 +1,24 @@
+package html_test
+
+import (
+	"fmt"
+
+	"msite/internal/html"
+)
+
+// Tidy turns tag soup into well-formed XHTML the XML/DOM toolchain can
+// consume — HTML Tidy's role in the m.Site pipeline.
+func ExampleTidyString() {
+	fmt.Println(html.TidyString(`<p>un<b>closed<br><li>stray`))
+	// Output:
+	// <!DOCTYPE html><html><head></head><body><p>un<b>closed<br /><li>stray</li></b></p></body></html>
+}
+
+func ExampleParse() {
+	doc := html.Parse(`<ul><li>one<li>two</ul>`)
+	fmt.Println(len(doc.Elements("li")), "items")
+	fmt.Println(doc.Text())
+	// Output:
+	// 2 items
+	// onetwo
+}

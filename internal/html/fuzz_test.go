@@ -1,0 +1,40 @@
+package html
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the parser must never panic, must terminate, and must
+// produce output whose re-parse is stable.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<html><body><p>hi</p></body></html>",
+		"<div><span>x</div>after",
+		"<script>if (a<b) {</script>",
+		"<!DOCTYPE html><!-- c --><p>&amp;&#65;&#x41;&nosuch;",
+		"<table><tr><td>a<td>b<tr>c",
+		"<a href='x' b=\"y\" c=d disabled>t</a>",
+		"< not a tag <img src=x.png /><",
+		strings.Repeat("<div>", 100),
+		"<p style=\"color:red\">mixed <B>CASE</b></P>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := Parse(src)
+		if doc == nil {
+			t.Fatal("nil document")
+		}
+		out := Render(doc)
+		if Render(Parse(out)) != out {
+			t.Fatalf("render not stable for %q", src)
+		}
+		tidied := TidyString(src)
+		if TidyString(tidied) != tidied {
+			t.Fatalf("tidy not idempotent for %q", src)
+		}
+	})
+}

@@ -1,0 +1,303 @@
+package html
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"msite/internal/dom"
+)
+
+func TestParseBasicDocument(t *testing.T) {
+	doc := Parse(`<!DOCTYPE html><html><head><title>T</title></head><body><p>hi</p></body></html>`)
+	if doc.Type != dom.DocumentNode {
+		t.Fatal("not a document")
+	}
+	html := doc.DocumentElement()
+	if html == nil {
+		t.Fatal("no html element")
+	}
+	if doc.Head() == nil || doc.Body() == nil {
+		t.Fatal("no head/body")
+	}
+	title := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "title" })
+	if title == nil || title.Text() != "T" {
+		t.Fatal("title wrong")
+	}
+}
+
+func TestParseVoidElements(t *testing.T) {
+	doc := Parse(`<div><br><img src="a"><hr>text</div>`)
+	div := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "div" })
+	kids := div.ChildNodes()
+	if len(kids) != 4 {
+		t.Fatalf("children = %d, want 4 (br img hr text)", len(kids))
+	}
+	if kids[0].Tag != "br" || kids[0].FirstChild != nil {
+		t.Fatal("br should be empty")
+	}
+	if kids[3].Type != dom.TextNode || kids[3].Data != "text" {
+		t.Fatal("text must be sibling, not child of hr")
+	}
+}
+
+func TestParseAutoCloseParagraph(t *testing.T) {
+	doc := Parse(`<body><p>one<p>two</body>`)
+	ps := doc.Elements("p")
+	if len(ps) != 2 {
+		t.Fatalf("p count = %d, want 2", len(ps))
+	}
+	if strings.TrimSpace(ps[0].Text()) != "one" || strings.TrimSpace(ps[1].Text()) != "two" {
+		t.Fatal("p nesting wrong")
+	}
+	if ps[1].Parent == ps[0] {
+		t.Fatal("second p nested inside first")
+	}
+}
+
+func TestParseAutoCloseListItems(t *testing.T) {
+	doc := Parse(`<ul><li>a<li>b<li>c</ul>`)
+	lis := doc.Elements("li")
+	if len(lis) != 3 {
+		t.Fatalf("li count = %d", len(lis))
+	}
+	for _, li := range lis {
+		if li.Parent.Tag != "ul" {
+			t.Fatalf("li parent = %q", li.Parent.Tag)
+		}
+	}
+}
+
+func TestParseAutoCloseTableCells(t *testing.T) {
+	doc := Parse(`<table><tr><td>a<td>b<tr><td>c</table>`)
+	if n := len(doc.Elements("tr")); n != 2 {
+		t.Fatalf("tr count = %d", n)
+	}
+	if n := len(doc.Elements("td")); n != 3 {
+		t.Fatalf("td count = %d", n)
+	}
+	for _, td := range doc.Elements("td") {
+		if td.Parent.Tag != "tr" {
+			t.Fatalf("td parent = %q", td.Parent.Tag)
+		}
+	}
+}
+
+func TestParseDivClosesP(t *testing.T) {
+	doc := Parse(`<p>text<div>block</div>`)
+	p := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "p" })
+	div := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "div" })
+	if p.Contains(div) {
+		t.Fatal("div must not nest inside p")
+	}
+}
+
+func TestParseUnmatchedEndTagIgnored(t *testing.T) {
+	doc := Parse(`<div>a</span>b</div>`)
+	div := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "div" })
+	if got := div.Text(); got != "ab" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestParseMisnestedRecovery(t *testing.T) {
+	// </div> closes past the span.
+	doc := Parse(`<div><span>x</div>after`)
+	div := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "div" })
+	span := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "span" })
+	if !div.Contains(span) {
+		t.Fatal("span should stay inside div")
+	}
+	if div.Text() != "x" {
+		t.Fatalf("div text = %q", div.Text())
+	}
+}
+
+func TestParseStrayEndVoidIgnored(t *testing.T) {
+	doc := Parse(`a</br>b`)
+	if got := doc.Text(); got != "ab" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestParseScriptContentPreserved(t *testing.T) {
+	src := `<script type="text/javascript">if (a<b) document.write("<b>hi</b>");</script>`
+	doc := Parse(src)
+	script := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "script" })
+	if script == nil {
+		t.Fatal("no script")
+	}
+	if script.FirstChild == nil || !strings.Contains(script.FirstChild.Data, `document.write("<b>hi</b>")`) {
+		t.Fatalf("script body = %q", script.FirstChild.Data)
+	}
+	if doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "b" }) != nil {
+		t.Fatal("markup inside script must not be parsed")
+	}
+}
+
+func TestParseFragment(t *testing.T) {
+	nodes := ParseFragment(`<li>a</li><li>b</li>`)
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	for _, n := range nodes {
+		if n.Parent != nil {
+			t.Fatal("fragment nodes must be detached")
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	src := `<!DOCTYPE html><html><head><title>T</title></head><body><div id="main" class="a b"><p>x &amp; y</p><br><img src="i.png"></div></body></html>`
+	doc := Parse(src)
+	out := Render(doc)
+	doc2 := Parse(out)
+	if Render(doc2) != out {
+		t.Fatalf("render not stable:\n1: %s\n2: %s", out, Render(doc2))
+	}
+	if !strings.Contains(out, `x &amp; y`) {
+		t.Fatalf("entity not re-escaped: %s", out)
+	}
+}
+
+func TestRenderBooleanAttr(t *testing.T) {
+	doc := Parse(`<input disabled type="text">`)
+	out := Render(doc)
+	if !strings.Contains(out, "<input disabled type=") {
+		t.Fatalf("boolean attr wrong: %s", out)
+	}
+	xout := RenderXHTML(doc)
+	if !strings.Contains(xout, `disabled=""`) {
+		t.Fatalf("xhtml must quote all attrs: %s", xout)
+	}
+}
+
+func TestRenderXHTMLSelfCloses(t *testing.T) {
+	doc := Parse(`<div><br><img src="a.png"></div>`)
+	out := RenderXHTML(doc)
+	if !strings.Contains(out, "<br />") || !strings.Contains(out, `<img src="a.png" />`) {
+		t.Fatalf("void not self-closed: %s", out)
+	}
+}
+
+func TestRenderScriptNotEscaped(t *testing.T) {
+	doc := Parse(`<script>a && b < c</script>`)
+	out := Render(doc)
+	if !strings.Contains(out, "a && b < c") {
+		t.Fatalf("script body escaped: %s", out)
+	}
+}
+
+func TestTidyAddsSkeleton(t *testing.T) {
+	doc := Tidy(`<p>bare paragraph`)
+	if doc.DocumentElement() == nil || doc.Head() == nil || doc.Body() == nil {
+		t.Fatal("skeleton missing")
+	}
+	hasDoctype := false
+	for c := doc.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.DoctypeNode {
+			hasDoctype = true
+		}
+	}
+	if !hasDoctype {
+		t.Fatal("doctype missing")
+	}
+	p := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "p" })
+	if p == nil || !doc.Body().Contains(p) {
+		t.Fatal("content not moved to body")
+	}
+}
+
+func TestTidyRelocatesHeadContent(t *testing.T) {
+	doc := Tidy(`<title>T</title><meta charset="utf-8"><div>x</div>`)
+	head, body := doc.Head(), doc.Body()
+	title := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "title" })
+	meta := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "meta" })
+	div := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "div" })
+	if !head.Contains(title) || !head.Contains(meta) {
+		t.Fatal("head content not relocated")
+	}
+	if !body.Contains(div) {
+		t.Fatal("body content not relocated")
+	}
+}
+
+func TestTidyPreservesExistingStructure(t *testing.T) {
+	src := `<!DOCTYPE html><html><head><title>x</title></head><body><p>y</p></body></html>`
+	doc := Tidy(src)
+	if len(doc.Elements("head")) != 1 || len(doc.Elements("body")) != 1 {
+		t.Fatal("duplicated structure")
+	}
+}
+
+func TestTidyStringWellFormed(t *testing.T) {
+	out := TidyString(`<ul><li>a<li>b<br>`)
+	// Every open li must be closed in the XHTML output.
+	if strings.Count(out, "<li>") != strings.Count(out, "</li>") {
+		t.Fatalf("unbalanced li: %s", out)
+	}
+	if !strings.Contains(out, "<br />") {
+		t.Fatalf("br not closed: %s", out)
+	}
+	if !strings.HasPrefix(out, "<!DOCTYPE") {
+		t.Fatalf("no doctype: %s", out)
+	}
+}
+
+func TestTidyNonDocumentNoop(t *testing.T) {
+	el := dom.NewElement("div")
+	TidyTree(el) // must not panic or modify
+	if el.FirstChild != nil {
+		t.Fatal("element modified")
+	}
+}
+
+// Property: parsing never panics and always yields a document whose
+// serialization re-parses to the same serialization (idempotent render).
+func TestQuickParseRenderStable(t *testing.T) {
+	f := func(s string) bool {
+		doc := Parse(s)
+		out := Render(doc)
+		return Render(Parse(out)) == out
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TidyString output always contains balanced html/head/body.
+func TestQuickTidyAlwaysStructured(t *testing.T) {
+	f := func(s string) bool {
+		out := TidyString(s)
+		return strings.Contains(out, "<html>") &&
+			strings.Contains(out, "</html>") &&
+			strings.Contains(out, "<head>") &&
+			strings.Contains(out, "<body>")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRealWorldForumSnippet(t *testing.T) {
+	// Modeled on vBulletin-era markup: tables, font tags, unclosed cells.
+	src := `
+	<table class="tborder" cellpadding="6" cellspacing="1" border="0" width="100%">
+	<tr>
+		<td class="alt1"><img src="forum_new.gif" alt=""></td>
+		<td class="alt2"><a href="forumdisplay.php?f=5"><strong>General Woodworking</strong></a>
+			<div class="smallfont">Discuss your projects</div>
+		<td class="alt1" nowrap>
+			<div class="smallfont" align="right">Today 09:14 AM</div>
+	</tr>
+	</table>`
+	doc := Parse(src)
+	tds := doc.Elements("td")
+	if len(tds) != 3 {
+		t.Fatalf("td count = %d, want 3", len(tds))
+	}
+	link := doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "a" })
+	if link == nil || link.AttrOr("href", "") != "forumdisplay.php?f=5" {
+		t.Fatal("link lost")
+	}
+}

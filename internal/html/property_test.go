@@ -1,0 +1,81 @@
+package html
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestTidyStringIdempotent: tidying already-tidied output changes
+// nothing. This is the property that lets the proxy re-run the filter +
+// Tidy pipeline safely on its own artifacts.
+func TestTidyStringIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := TidyString(s)
+		twice := TidyString(once)
+		return once == twice
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTidyStringIdempotentOnMarkup repeats the property on inputs that
+// actually look like markup (random tag soup), where the interesting
+// normalization paths fire.
+func TestTidyStringIdempotentOnMarkup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tags := []string{"div", "p", "span", "li", "ul", "td", "tr", "table", "b", "br", "img", "style", "script", "title", "meta"}
+	for trial := 0; trial < 200; trial++ {
+		var b strings.Builder
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			tag := tags[rng.Intn(len(tags))]
+			switch rng.Intn(4) {
+			case 0:
+				b.WriteString("<" + tag + ">")
+			case 1:
+				b.WriteString("</" + tag + ">")
+			case 2:
+				b.WriteString("<" + tag + " class=\"c" + string(rune('a'+rng.Intn(26))) + "\">")
+			default:
+				b.WriteString("text ")
+			}
+		}
+		src := b.String()
+		once := TidyString(src)
+		twice := TidyString(once)
+		if once != twice {
+			t.Fatalf("not idempotent for %q:\nonce:  %s\ntwice: %s", src, once, twice)
+		}
+	}
+}
+
+// TestRenderParseStableOnMarkup: rendering a parsed random-markup tree
+// and re-parsing yields the same rendering (the parser is a fixpoint on
+// its own output).
+func TestRenderParseStableOnMarkup(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var b strings.Builder
+		for i := 0; i < rng.Intn(20); i++ {
+			switch rng.Intn(5) {
+			case 0:
+				b.WriteString("<div>")
+			case 1:
+				b.WriteString("</div>")
+			case 2:
+				b.WriteString("<p>word")
+			case 3:
+				b.WriteString("<img src='x.png'>")
+			default:
+				b.WriteString(" & <> text ")
+			}
+		}
+		out := Render(Parse(b.String()))
+		if Render(Parse(out)) != out {
+			t.Fatalf("unstable for %q", b.String())
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package html
+
+import "msite/internal/dom"
+
+// Tidy parses src and normalizes it into a well-formed document, playing
+// the role HTML Tidy plays in the m.Site pipeline (§3.2): the output is
+// guaranteed to have a doctype and an html/head/body skeleton, stray
+// head-only elements are relocated into head, and RenderXHTML on the
+// result yields markup consumable by XML/DOM tooling.
+func Tidy(src string) *dom.Node {
+	doc := Parse(src)
+	TidyTree(doc)
+	return doc
+}
+
+// TidyString is a convenience wrapper: Tidy then serialize to XHTML.
+func TidyString(src string) string {
+	return RenderXHTML(Tidy(src))
+}
+
+// TidyTree normalizes an already-parsed document in place.
+func TidyTree(doc *dom.Node) {
+	if doc.Type != dom.DocumentNode {
+		return
+	}
+	ensureDoctype(doc)
+	html := ensureHTML(doc)
+	head, body := ensureHeadBody(html)
+	relocateStrays(doc, html, head, body)
+}
+
+func ensureDoctype(doc *dom.Node) {
+	for c := doc.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.DoctypeNode {
+			return
+		}
+	}
+	doc.PrependChild(dom.NewDoctype("html"))
+}
+
+func ensureHTML(doc *dom.Node) *dom.Node {
+	for c := doc.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.ElementNode && c.Tag == "html" {
+			return c
+		}
+	}
+	html := dom.NewElement("html")
+	doc.AppendChild(html)
+	return html
+}
+
+func ensureHeadBody(html *dom.Node) (head, body *dom.Node) {
+	for c := html.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type != dom.ElementNode {
+			continue
+		}
+		switch c.Tag {
+		case "head":
+			if head == nil {
+				head = c
+			}
+		case "body":
+			if body == nil {
+				body = c
+			}
+		}
+	}
+	if head == nil {
+		head = dom.NewElement("head")
+		html.PrependChild(head)
+	}
+	if body == nil {
+		body = dom.NewElement("body")
+		html.AppendChild(body)
+	}
+	return head, body
+}
+
+// relocateStrays moves any content that sits outside head/body into the
+// right place: head-only elements go to head, everything else to body.
+// Document order within each destination is preserved.
+func relocateStrays(doc, html, head, body *dom.Node) {
+	var strays []*dom.Node
+	collect := func(parent *dom.Node) {
+		for c := parent.FirstChild; c != nil; c = c.NextSibling {
+			if c == html || c == head || c == body {
+				continue
+			}
+			if c.Type == dom.DoctypeNode {
+				continue
+			}
+			strays = append(strays, c)
+		}
+	}
+	collect(doc)
+	collect(html)
+
+	for _, n := range strays {
+		n.Detach()
+		if isHeadContent(n) {
+			head.AppendChild(n)
+			continue
+		}
+		if n.Type == dom.TextNode && isAllSpace(n.Data) {
+			continue // drop inter-element whitespace strays
+		}
+		body.AppendChild(n)
+	}
+}
+
+func isHeadContent(n *dom.Node) bool {
+	if n.Type != dom.ElementNode {
+		return false
+	}
+	if headOnlyTags[n.Tag] {
+		return true
+	}
+	switch n.Tag {
+	case "link", "style":
+		return true
+	}
+	return false
+}
+
+func isAllSpace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isSpace(s[i]) {
+			return false
+		}
+	}
+	return true
+}

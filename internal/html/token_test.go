@@ -1,0 +1,248 @@
+package html
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func collectTokens(src string) []Token {
+	z := NewTokenizer(src)
+	var out []Token
+	for {
+		tok := z.Next()
+		if tok.Type == ErrorToken {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestTokenizeSimpleTag(t *testing.T) {
+	toks := collectTokens(`<p class="x">hi</p>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %+v", len(toks), toks)
+	}
+	if toks[0].Type != StartTagToken || toks[0].Tag != "p" {
+		t.Fatalf("start tag wrong: %+v", toks[0])
+	}
+	if v := attrVal(toks[0], "class"); v != "x" {
+		t.Fatalf("class = %q", v)
+	}
+	if toks[1].Type != TextToken || toks[1].Data != "hi" {
+		t.Fatalf("text wrong: %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Tag != "p" {
+		t.Fatalf("end tag wrong: %+v", toks[2])
+	}
+}
+
+func TestTokenizeUppercaseNormalized(t *testing.T) {
+	toks := collectTokens(`<DIV ID="A">x</DIV>`)
+	if toks[0].Tag != "div" {
+		t.Fatalf("tag = %q", toks[0].Tag)
+	}
+	if v := attrVal(toks[0], "id"); v != "A" {
+		t.Fatalf("attr value must keep case, got %q", v)
+	}
+}
+
+func TestTokenizeAttrVariants(t *testing.T) {
+	toks := collectTokens(`<input type=text disabled value='a b' data-x="1&amp;2">`)
+	tok := toks[0]
+	if v := attrVal(tok, "type"); v != "text" {
+		t.Fatalf("unquoted attr = %q", v)
+	}
+	if v, ok := attrLookup(tok, "disabled"); !ok || v != "" {
+		t.Fatal("boolean attr missing")
+	}
+	if v := attrVal(tok, "value"); v != "a b" {
+		t.Fatalf("single-quoted attr = %q", v)
+	}
+	if v := attrVal(tok, "data-x"); v != "1&2" {
+		t.Fatalf("entity in attr = %q", v)
+	}
+}
+
+func TestTokenizeSelfClosing(t *testing.T) {
+	toks := collectTokens(`<br/><img src="a.png" />`)
+	if toks[0].Type != SelfClosingTagToken || toks[0].Tag != "br" {
+		t.Fatalf("br: %+v", toks[0])
+	}
+	if toks[1].Type != SelfClosingTagToken || attrVal(toks[1], "src") != "a.png" {
+		t.Fatalf("img: %+v", toks[1])
+	}
+}
+
+func TestTokenizeComment(t *testing.T) {
+	toks := collectTokens(`a<!-- note -->b`)
+	if len(toks) != 3 || toks[1].Type != CommentToken || toks[1].Data != " note " {
+		t.Fatalf("tokens: %+v", toks)
+	}
+}
+
+func TestTokenizeUnterminatedComment(t *testing.T) {
+	toks := collectTokens(`<!-- never ends`)
+	if len(toks) != 1 || toks[0].Type != CommentToken {
+		t.Fatalf("tokens: %+v", toks)
+	}
+}
+
+func TestTokenizeDoctype(t *testing.T) {
+	toks := collectTokens(`<!DOCTYPE html><html></html>`)
+	if toks[0].Type != DoctypeToken || toks[0].Tag != "html" {
+		t.Fatalf("doctype: %+v", toks[0])
+	}
+}
+
+func TestTokenizeScriptRawText(t *testing.T) {
+	src := `<script>if (a < b && c > d) { x("</div>"); }</script>`
+	_ = src
+	// The tokenizer scans raw text up to the first case-insensitive
+	// close tag; content before it is untouched.
+	toks := collectTokens(`<script>var x = 1 < 2;</script>after`)
+	if len(toks) != 4 {
+		t.Fatalf("tokens: %+v", toks)
+	}
+	if toks[1].Type != TextToken || toks[1].Data != "var x = 1 < 2;" {
+		t.Fatalf("script body: %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Tag != "script" {
+		t.Fatalf("script end: %+v", toks[2])
+	}
+	if toks[3].Data != "after" {
+		t.Fatalf("trailing text: %+v", toks[3])
+	}
+}
+
+func TestTokenizeScriptCaseInsensitiveClose(t *testing.T) {
+	toks := collectTokens(`<style>b { color: red }</STYLE>x`)
+	if toks[1].Data != "b { color: red }" {
+		t.Fatalf("style body: %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Tag != "style" {
+		t.Fatalf("style end: %+v", toks[2])
+	}
+}
+
+func TestTokenizeUnterminatedScript(t *testing.T) {
+	toks := collectTokens(`<script>var x;`)
+	if len(toks) != 2 || toks[1].Data != "var x;" {
+		t.Fatalf("tokens: %+v", toks)
+	}
+}
+
+func TestTokenizeEntitiesInText(t *testing.T) {
+	toks := collectTokens(`Tom &amp; Jerry &lt;3 &#65; &#x42; &nosuch; &broken`)
+	got := toks[0].Data
+	want := `Tom & Jerry <3 A B &nosuch; &broken`
+	if got != want {
+		t.Fatalf("text = %q, want %q", got, want)
+	}
+}
+
+func TestTokenizeLoneLessThan(t *testing.T) {
+	toks := collectTokens(`a < b`)
+	var all strings.Builder
+	for _, tok := range toks {
+		if tok.Type != TextToken {
+			t.Fatalf("non-text token: %+v", tok)
+		}
+		all.WriteString(tok.Data)
+	}
+	if all.String() != "a < b" {
+		t.Fatalf("text = %q", all.String())
+	}
+}
+
+func TestTokenizeProcessingInstruction(t *testing.T) {
+	toks := collectTokens(`<?php echo "hi"; ?>x`)
+	if toks[0].Type != CommentToken {
+		t.Fatalf("pi: %+v", toks[0])
+	}
+	if toks[1].Data != "x" {
+		t.Fatalf("trailing: %+v", toks[1])
+	}
+}
+
+func TestTokenizerNeverLoopsForever(t *testing.T) {
+	// Adversarial inputs must terminate.
+	inputs := []string{
+		"<", "<<", "<a", "</", "</>", "<a b=", `<a b="unterminated`,
+		"<!", "<!-", "<!--", "<!doctype", "<a/", "<a /", "& &#; &#x;",
+	}
+	for _, in := range inputs {
+		z := NewTokenizer(in)
+		for i := 0; i < 1000; i++ {
+			if z.Next().Type == ErrorToken {
+				break
+			}
+			if i == 999 {
+				t.Fatalf("tokenizer stuck on %q", in)
+			}
+		}
+	}
+}
+
+func TestQuickTokenizerTerminates(t *testing.T) {
+	f := func(s string) bool {
+		z := NewTokenizer(s)
+		for i := 0; i < len(s)+16; i++ {
+			if z.Next().Type == ErrorToken {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnescapeEntitiesEdge(t *testing.T) {
+	cases := map[string]string{
+		"":              "",
+		"plain":         "plain",
+		"&amp;":         "&",
+		"&AMP;":         "&AMP;", // names are case-sensitive
+		"&#0;":          "&#0;",  // NUL rejected
+		"&#1114112;":    "&#1114112;",
+		"&#x10FFFF;":    "\U0010FFFF",
+		"a&nbsp;b":      "a b",
+		"&& &lt;&gt; &": "&& <> &",
+	}
+	for in, want := range cases {
+		if got := UnescapeEntities(in); got != want {
+			t.Errorf("UnescapeEntities(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		return UnescapeEntities(EscapeText(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscapeAttrQuotes(t *testing.T) {
+	if got := EscapeAttr(`a"b<c>&`); got != `a&quot;b&lt;c&gt;&amp;` {
+		t.Fatalf("EscapeAttr = %q", got)
+	}
+}
+
+func attrVal(tok Token, key string) string {
+	v, _ := attrLookup(tok, key)
+	return v
+}
+
+func attrLookup(tok Token, key string) (string, bool) {
+	for _, a := range tok.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,265 @@
+// Package imaging is the image post-processor of the m.Site pipeline
+// (§3.3 "Image fidelity"): scaling, cropping, and fidelity-ladder
+// encoding that turns a ~600 KB full-page PNG snapshot into the 25–50 KB
+// JPEG a mobile client actually downloads.
+package imaging
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"image/color"
+	_ "image/gif" // registered for Decode: origin sites serve GIFs
+	"image/jpeg"
+	"image/png"
+)
+
+// Fidelity selects an output encoding/quality point on the ladder the
+// attribute system exposes to the site administrator.
+type Fidelity int
+
+// Fidelity levels, ordered from largest to smallest output.
+const (
+	// FidelityHigh is lossless PNG at full resolution.
+	FidelityHigh Fidelity = iota + 1
+	// FidelityMedium is JPEG quality 75.
+	FidelityMedium
+	// FidelityLow is JPEG quality 40 — the paper's "reduced-fidelity jpg".
+	FidelityLow
+	// FidelityThumb is a quarter-scale JPEG quality 50 thumbnail.
+	FidelityThumb
+)
+
+// String names the fidelity level.
+func (f Fidelity) String() string {
+	switch f {
+	case FidelityHigh:
+		return "high"
+	case FidelityMedium:
+		return "medium"
+	case FidelityLow:
+		return "low"
+	case FidelityThumb:
+		return "thumb"
+	default:
+		return "unknown"
+	}
+}
+
+// MIME returns the encoded content type for the level.
+func (f Fidelity) MIME() string {
+	if f == FidelityHigh {
+		return "image/png"
+	}
+	return "image/jpeg"
+}
+
+// Ext returns the conventional file extension for the level.
+func (f Fidelity) Ext() string {
+	if f == FidelityHigh {
+		return ".png"
+	}
+	return ".jpg"
+}
+
+// Encode encodes img at the given fidelity level.
+func Encode(img image.Image, f Fidelity) ([]byte, error) {
+	switch f {
+	case FidelityHigh:
+		return EncodePNG(img)
+	case FidelityMedium:
+		return EncodeJPEG(img, 75)
+	case FidelityLow:
+		return EncodeJPEG(img, 40)
+	case FidelityThumb:
+		b := img.Bounds()
+		thumb := Scale(img, b.Dx()/4, b.Dy()/4)
+		return EncodeJPEG(thumb, 50)
+	default:
+		return nil, fmt.Errorf("imaging: unknown fidelity %d", f)
+	}
+}
+
+// EncodePNG encodes img as PNG.
+func EncodePNG(img image.Image) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		return nil, fmt.Errorf("imaging: encoding png: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeJPEG encodes img as JPEG at the given quality (1-100).
+func EncodeJPEG(img image.Image, quality int) ([]byte, error) {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var buf bytes.Buffer
+	if err := jpeg.Encode(&buf, img, &jpeg.Options{Quality: quality}); err != nil {
+		return nil, fmt.Errorf("imaging: encoding jpeg: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode decodes PNG, JPEG, or GIF bytes.
+func Decode(data []byte) (image.Image, error) {
+	img, _, err := image.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("imaging: decoding image: %w", err)
+	}
+	return img, nil
+}
+
+// Scale resizes img to w x h using box sampling for minification and
+// bilinear interpolation for magnification. Dimensions are clamped to 1.
+func Scale(img image.Image, w, h int) *image.RGBA {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	src := img.Bounds()
+	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	sw, sh := src.Dx(), src.Dy()
+	if sw == 0 || sh == 0 {
+		return out
+	}
+	if w < sw || h < sh {
+		boxScale(out, img, w, h)
+		return out
+	}
+	bilinearScale(out, img, w, h)
+	return out
+}
+
+// ScaleToWidth resizes preserving aspect ratio.
+func ScaleToWidth(img image.Image, w int) *image.RGBA {
+	b := img.Bounds()
+	if b.Dx() == 0 {
+		return image.NewRGBA(image.Rect(0, 0, 1, 1))
+	}
+	h := int(float64(w) * float64(b.Dy()) / float64(b.Dx()))
+	return Scale(img, w, h)
+}
+
+// ScaleFactor resizes by a multiplicative factor.
+func ScaleFactor(img image.Image, factor float64) *image.RGBA {
+	b := img.Bounds()
+	return Scale(img, int(float64(b.Dx())*factor), int(float64(b.Dy())*factor))
+}
+
+// boxScale averages all source pixels covered by each destination pixel —
+// the right filter for the strong minification snapshots need.
+func boxScale(out *image.RGBA, img image.Image, w, h int) {
+	src := img.Bounds()
+	sw, sh := src.Dx(), src.Dy()
+	for dy := 0; dy < h; dy++ {
+		sy0 := src.Min.Y + dy*sh/h
+		sy1 := src.Min.Y + (dy+1)*sh/h
+		if sy1 <= sy0 {
+			sy1 = sy0 + 1
+		}
+		for dx := 0; dx < w; dx++ {
+			sx0 := src.Min.X + dx*sw/w
+			sx1 := src.Min.X + (dx+1)*sw/w
+			if sx1 <= sx0 {
+				sx1 = sx0 + 1
+			}
+			var rs, gs, bs, as, n uint64
+			for sy := sy0; sy < sy1; sy++ {
+				for sx := sx0; sx < sx1; sx++ {
+					r, g, b, a := img.At(sx, sy).RGBA()
+					rs += uint64(r)
+					gs += uint64(g)
+					bs += uint64(b)
+					as += uint64(a)
+					n++
+				}
+			}
+			out.SetRGBA(dx, dy, color.RGBA{
+				R: uint8(rs / n >> 8),
+				G: uint8(gs / n >> 8),
+				B: uint8(bs / n >> 8),
+				A: uint8(as / n >> 8),
+			})
+		}
+	}
+}
+
+func bilinearScale(out *image.RGBA, img image.Image, w, h int) {
+	src := img.Bounds()
+	sw, sh := src.Dx(), src.Dy()
+	for dy := 0; dy < h; dy++ {
+		fy := (float64(dy) + 0.5) * float64(sh) / float64(h)
+		sy := int(fy - 0.5)
+		ty := fy - 0.5 - float64(sy)
+		if sy < 0 {
+			sy, ty = 0, 0
+		}
+		if sy >= sh-1 {
+			sy, ty = sh-2, 1
+			if sy < 0 {
+				sy, ty = 0, 0
+			}
+		}
+		for dx := 0; dx < w; dx++ {
+			fx := (float64(dx) + 0.5) * float64(sw) / float64(w)
+			sx := int(fx - 0.5)
+			tx := fx - 0.5 - float64(sx)
+			if sx < 0 {
+				sx, tx = 0, 0
+			}
+			if sx >= sw-1 {
+				sx, tx = sw-2, 1
+				if sx < 0 {
+					sx, tx = 0, 0
+				}
+			}
+			out.SetRGBA(dx, dy, lerpPixels(img, src, sx, sy, tx, ty))
+		}
+	}
+}
+
+func lerpPixels(img image.Image, src image.Rectangle, sx, sy int, tx, ty float64) color.RGBA {
+	at := func(x, y int) (float64, float64, float64, float64) {
+		if x > src.Dx()-1 {
+			x = src.Dx() - 1
+		}
+		if y > src.Dy()-1 {
+			y = src.Dy() - 1
+		}
+		r, g, b, a := img.At(src.Min.X+x, src.Min.Y+y).RGBA()
+		return float64(r), float64(g), float64(b), float64(a)
+	}
+	r00, g00, b00, a00 := at(sx, sy)
+	r10, g10, b10, a10 := at(sx+1, sy)
+	r01, g01, b01, a01 := at(sx, sy+1)
+	r11, g11, b11, a11 := at(sx+1, sy+1)
+	lerp2 := func(v00, v10, v01, v11 float64) uint8 {
+		top := v00*(1-tx) + v10*tx
+		bot := v01*(1-tx) + v11*tx
+		return uint8(uint32(top*(1-ty)+bot*ty) >> 8)
+	}
+	return color.RGBA{
+		R: lerp2(r00, r10, r01, r11),
+		G: lerp2(g00, g10, g01, g11),
+		B: lerp2(b00, b10, b01, b11),
+		A: lerp2(a00, a10, a01, a11),
+	}
+}
+
+// Crop returns the sub-image of img covering r, copied into a new RGBA.
+func Crop(img image.Image, r image.Rectangle) *image.RGBA {
+	r = r.Intersect(img.Bounds())
+	out := image.NewRGBA(image.Rect(0, 0, r.Dx(), r.Dy()))
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		for x := r.Min.X; x < r.Max.X; x++ {
+			out.Set(x-r.Min.X, y-r.Min.Y, img.At(x, y))
+		}
+	}
+	return out
+}

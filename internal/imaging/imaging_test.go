@@ -1,0 +1,230 @@
+package imaging
+
+import (
+	"image"
+	"image/color"
+	"testing"
+	"testing/quick"
+)
+
+func gradient(w, h int) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, color.RGBA{
+				R: uint8(x * 255 / max(w-1, 1)),
+				G: uint8(y * 255 / max(h-1, 1)),
+				B: 128, A: 255,
+			})
+		}
+	}
+	return img
+}
+
+func solid(w, h int, c color.RGBA) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+	return img
+}
+
+func TestFidelityStringsAndMIME(t *testing.T) {
+	if FidelityHigh.String() != "high" || FidelityThumb.String() != "thumb" || Fidelity(0).String() != "unknown" {
+		t.Fatal("strings wrong")
+	}
+	if FidelityHigh.MIME() != "image/png" || FidelityLow.MIME() != "image/jpeg" {
+		t.Fatal("mime wrong")
+	}
+	if FidelityHigh.Ext() != ".png" || FidelityMedium.Ext() != ".jpg" {
+		t.Fatal("ext wrong")
+	}
+}
+
+// noisy builds a deterministic high-entropy image, which behaves like a
+// text-dense page snapshot under the encoders (PNG large, JPEG smaller).
+func noisy(w, h int) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	state := uint32(12345)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			state = state*1664525 + 1013904223
+			v := uint8(state >> 24)
+			img.SetRGBA(x, y, color.RGBA{R: v, G: v, B: v, A: 255})
+		}
+	}
+	return img
+}
+
+func TestEncodeLadderMonotone(t *testing.T) {
+	img := noisy(400, 300)
+	sizes := map[Fidelity]int{}
+	for _, f := range []Fidelity{FidelityHigh, FidelityMedium, FidelityLow, FidelityThumb} {
+		data, err := Encode(img, f)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		sizes[f] = len(data)
+	}
+	if !(sizes[FidelityHigh] > sizes[FidelityMedium] &&
+		sizes[FidelityMedium] > sizes[FidelityLow] &&
+		sizes[FidelityLow] > sizes[FidelityThumb]) {
+		t.Fatalf("ladder not monotone: %v", sizes)
+	}
+}
+
+func TestEncodeUnknownFidelity(t *testing.T) {
+	if _, err := Encode(gradient(4, 4), Fidelity(99)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := solid(10, 10, color.RGBA{10, 200, 30, 255})
+	data, err := EncodePNG(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b, _ := back.At(5, 5).RGBA()
+	if uint8(r>>8) != 10 || uint8(g>>8) != 200 || uint8(b>>8) != 30 {
+		t.Fatalf("round trip lost color: %d %d %d", r>>8, g>>8, b>>8)
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	if _, err := Decode([]byte("not an image")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestJPEGQualityClamped(t *testing.T) {
+	img := gradient(50, 50)
+	lo, err := EncodeJPEG(img, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := EncodeJPEG(img, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lo) >= len(hi) {
+		t.Fatal("clamped qualities should still order")
+	}
+}
+
+func TestScaleDown(t *testing.T) {
+	img := solid(100, 100, color.RGBA{50, 60, 70, 255})
+	out := Scale(img, 25, 25)
+	if out.Bounds().Dx() != 25 || out.Bounds().Dy() != 25 {
+		t.Fatalf("bounds = %v", out.Bounds())
+	}
+	if got := out.RGBAAt(12, 12); got != (color.RGBA{50, 60, 70, 255}) {
+		t.Fatalf("solid color changed: %v", got)
+	}
+}
+
+func TestScaleUp(t *testing.T) {
+	img := solid(10, 10, color.RGBA{90, 90, 90, 255})
+	out := Scale(img, 40, 40)
+	if out.Bounds().Dx() != 40 {
+		t.Fatalf("bounds = %v", out.Bounds())
+	}
+	if got := out.RGBAAt(20, 20); got != (color.RGBA{90, 90, 90, 255}) {
+		t.Fatalf("solid upscale changed: %v", got)
+	}
+}
+
+func TestScaleDownAverages(t *testing.T) {
+	// Left half black, right half white; 2x1 result should be one black
+	// and one white pixel.
+	img := image.NewRGBA(image.Rect(0, 0, 100, 10))
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 100; x++ {
+			c := color.RGBA{0, 0, 0, 255}
+			if x >= 50 {
+				c = color.RGBA{255, 255, 255, 255}
+			}
+			img.SetRGBA(x, y, c)
+		}
+	}
+	out := Scale(img, 2, 1)
+	if out.RGBAAt(0, 0).R != 0 || out.RGBAAt(1, 0).R != 255 {
+		t.Fatalf("halves = %v %v", out.RGBAAt(0, 0), out.RGBAAt(1, 0))
+	}
+}
+
+func TestScaleClampsToOne(t *testing.T) {
+	img := solid(10, 10, color.RGBA{1, 2, 3, 255})
+	out := Scale(img, 0, -3)
+	if out.Bounds().Dx() != 1 || out.Bounds().Dy() != 1 {
+		t.Fatalf("bounds = %v", out.Bounds())
+	}
+}
+
+func TestScaleToWidthPreservesAspect(t *testing.T) {
+	img := solid(200, 100, color.RGBA{5, 5, 5, 255})
+	out := ScaleToWidth(img, 50)
+	if out.Bounds().Dx() != 50 || out.Bounds().Dy() != 25 {
+		t.Fatalf("bounds = %v", out.Bounds())
+	}
+}
+
+func TestScaleFactor(t *testing.T) {
+	img := solid(80, 40, color.RGBA{5, 5, 5, 255})
+	out := ScaleFactor(img, 0.5)
+	if out.Bounds().Dx() != 40 || out.Bounds().Dy() != 20 {
+		t.Fatalf("bounds = %v", out.Bounds())
+	}
+}
+
+func TestCrop(t *testing.T) {
+	img := gradient(100, 100)
+	out := Crop(img, image.Rect(10, 20, 60, 70))
+	if out.Bounds().Dx() != 50 || out.Bounds().Dy() != 50 {
+		t.Fatalf("bounds = %v", out.Bounds())
+	}
+	want := img.RGBAAt(10, 20)
+	if got := out.RGBAAt(0, 0); got != want {
+		t.Fatalf("origin pixel = %v, want %v", got, want)
+	}
+}
+
+func TestCropOutOfBoundsClamped(t *testing.T) {
+	img := solid(10, 10, color.RGBA{1, 1, 1, 255})
+	out := Crop(img, image.Rect(5, 5, 50, 50))
+	if out.Bounds().Dx() != 5 || out.Bounds().Dy() != 5 {
+		t.Fatalf("bounds = %v", out.Bounds())
+	}
+}
+
+func TestQuickScaleNeverPanics(t *testing.T) {
+	img := gradient(13, 7)
+	f := func(w, h int16) bool {
+		out := Scale(img, int(w)%64, int(h)%64)
+		return out.Bounds().Dx() >= 1 && out.Bounds().Dy() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThumbQuarterScale(t *testing.T) {
+	img := gradient(400, 200)
+	data, err := Encode(img, FidelityThumb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bounds().Dx() != 100 || back.Bounds().Dy() != 50 {
+		t.Fatalf("thumb bounds = %v", back.Bounds())
+	}
+}

@@ -1,0 +1,36 @@
+package jq_test
+
+import (
+	"fmt"
+
+	"msite/internal/html"
+	"msite/internal/jq"
+)
+
+// The server-side jQuery workflow: select, read, mutate.
+func ExampleSelect() {
+	doc := html.Parse(`<ul class="nav">
+		<li><a href="/home">Home</a></li>
+		<li><a href="/forum">Forum</a></li>
+	</ul>`)
+
+	links := jq.Select(doc, "ul.nav a")
+	fmt.Println("links:", links.Len())
+	fmt.Println("first:", links.AttrOr("href", ""))
+
+	links.AddClass("mobile")
+	jq.Select(doc, "ul.nav").Append(`<li><a href="/search">Search</a></li>`)
+	fmt.Println("after:", jq.Select(doc, "a").Len())
+	// Output:
+	// links: 2
+	// first: /home
+	// after: 3
+}
+
+func ExampleSelection_ReplaceWith() {
+	doc := html.Tidy(`<div id="ad"><img src="/big-banner.gif" width="728"></div>`)
+	jq.Select(doc, "#ad").ReplaceWith(`<div id="ad-mobile">small ad</div>`)
+	fmt.Println(html.Render(doc.Body()))
+	// Output:
+	// <body><div id="ad-mobile">small ad</div></body>
+}

@@ -1,0 +1,452 @@
+// Package jq is a server-side jQuery analog: CSS3-selector based DOM
+// querying and manipulation with a chainable API. It fills the role of the
+// "server-side port of the popular jQuery DOM manipulation library" that
+// m.Site integrates (§3.2): the attribute system and the AJAX rewriter
+// express page modifications against it, keeping heavyweight browser
+// instances out of the common path.
+package jq
+
+import (
+	"strings"
+
+	"msite/internal/css"
+	"msite/internal/dom"
+	"msite/internal/html"
+)
+
+// Selection is an ordered, duplicate-free set of nodes plus the document
+// they came from. Methods that read return data for the first node
+// (jQuery convention); methods that write apply to every node and return
+// the Selection for chaining.
+type Selection struct {
+	doc   *dom.Node
+	nodes []*dom.Node
+	err   error
+}
+
+// Select parses selector and returns the matching elements under root,
+// in document order. A selector parse error is carried on the Selection
+// (observable via Err) and yields an empty selection, so chains degrade
+// gracefully the way jQuery's do.
+func Select(root *dom.Node, selector string) *Selection {
+	sels, err := css.ParseSelectorList(selector)
+	if err != nil {
+		return &Selection{doc: root, err: err}
+	}
+	var nodes []*dom.Node
+	for _, sel := range sels {
+		nodes = append(nodes, sel.QueryAll(root)...)
+	}
+	return &Selection{doc: root, nodes: dom.SortNodes(root, nodes)}
+}
+
+// Wrap builds a Selection over explicit nodes.
+func Wrap(root *dom.Node, nodes ...*dom.Node) *Selection {
+	return &Selection{doc: root, nodes: dom.SortNodes(root, nodes)}
+}
+
+// Err returns the selector parse error, if any.
+func (s *Selection) Err() error { return s.err }
+
+// Len returns the number of selected nodes.
+func (s *Selection) Len() int { return len(s.nodes) }
+
+// Nodes returns a copy of the selected nodes.
+func (s *Selection) Nodes() []*dom.Node {
+	out := make([]*dom.Node, len(s.nodes))
+	copy(out, s.nodes)
+	return out
+}
+
+// First returns the first selected node, or nil.
+func (s *Selection) First() *dom.Node {
+	if len(s.nodes) == 0 {
+		return nil
+	}
+	return s.nodes[0]
+}
+
+// Eq returns a Selection containing only the i-th node (negative counts
+// from the end), or an empty Selection when out of range.
+func (s *Selection) Eq(i int) *Selection {
+	if i < 0 {
+		i += len(s.nodes)
+	}
+	if i < 0 || i >= len(s.nodes) {
+		return &Selection{doc: s.doc, err: s.err}
+	}
+	return &Selection{doc: s.doc, nodes: []*dom.Node{s.nodes[i]}, err: s.err}
+}
+
+// Find returns descendants of the selected nodes matching selector.
+func (s *Selection) Find(selector string) *Selection {
+	sels, err := css.ParseSelectorList(selector)
+	if err != nil {
+		return &Selection{doc: s.doc, err: err}
+	}
+	var nodes []*dom.Node
+	for _, n := range s.nodes {
+		for _, sel := range sels {
+			for _, m := range sel.QueryAll(n) {
+				if m != n {
+					nodes = append(nodes, m)
+				}
+			}
+		}
+	}
+	return &Selection{doc: s.doc, nodes: dom.SortNodes(s.doc, nodes), err: s.err}
+}
+
+// Filter keeps only the selected nodes matching selector.
+func (s *Selection) Filter(selector string) *Selection {
+	sels, err := css.ParseSelectorList(selector)
+	if err != nil {
+		return &Selection{doc: s.doc, err: err}
+	}
+	var nodes []*dom.Node
+	for _, n := range s.nodes {
+		for _, sel := range sels {
+			if sel.Match(n) {
+				nodes = append(nodes, n)
+				break
+			}
+		}
+	}
+	return &Selection{doc: s.doc, nodes: nodes, err: s.err}
+}
+
+// Not removes the selected nodes matching selector.
+func (s *Selection) Not(selector string) *Selection {
+	sels, err := css.ParseSelectorList(selector)
+	if err != nil {
+		return &Selection{doc: s.doc, err: err}
+	}
+	var nodes []*dom.Node
+outer:
+	for _, n := range s.nodes {
+		for _, sel := range sels {
+			if sel.Match(n) {
+				continue outer
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	return &Selection{doc: s.doc, nodes: nodes, err: s.err}
+}
+
+// Parent returns the distinct parents of the selected nodes.
+func (s *Selection) Parent() *Selection {
+	var nodes []*dom.Node
+	for _, n := range s.nodes {
+		if n.Parent != nil && n.Parent.Type == dom.ElementNode {
+			nodes = append(nodes, n.Parent)
+		}
+	}
+	return &Selection{doc: s.doc, nodes: dom.SortNodes(s.doc, nodes), err: s.err}
+}
+
+// Closest returns, for each selected node, the nearest ancestor (or self)
+// matching selector.
+func (s *Selection) Closest(selector string) *Selection {
+	sels, err := css.ParseSelectorList(selector)
+	if err != nil {
+		return &Selection{doc: s.doc, err: err}
+	}
+	var nodes []*dom.Node
+	for _, n := range s.nodes {
+		for p := n; p != nil && p.Type == dom.ElementNode; p = p.Parent {
+			matched := false
+			for _, sel := range sels {
+				if sel.Match(p) {
+					matched = true
+					break
+				}
+			}
+			if matched {
+				nodes = append(nodes, p)
+				break
+			}
+		}
+	}
+	return &Selection{doc: s.doc, nodes: dom.SortNodes(s.doc, nodes), err: s.err}
+}
+
+// Children returns the element children of the selected nodes, optionally
+// filtered by selector.
+func (s *Selection) Children(selector string) *Selection {
+	var nodes []*dom.Node
+	for _, n := range s.nodes {
+		nodes = append(nodes, n.Children()...)
+	}
+	out := &Selection{doc: s.doc, nodes: dom.SortNodes(s.doc, nodes), err: s.err}
+	if selector != "" {
+		return out.Filter(selector)
+	}
+	return out
+}
+
+// Each calls fn for each selected node with its index.
+func (s *Selection) Each(fn func(i int, n *dom.Node)) *Selection {
+	for i, n := range s.nodes {
+		fn(i, n)
+	}
+	return s
+}
+
+// --- readers ---
+
+// Text returns the combined text of every selected node.
+func (s *Selection) Text() string {
+	var b strings.Builder
+	for _, n := range s.nodes {
+		b.WriteString(n.Text())
+	}
+	return b.String()
+}
+
+// Attr returns the named attribute of the first node.
+func (s *Selection) Attr(key string) (string, bool) {
+	if len(s.nodes) == 0 {
+		return "", false
+	}
+	return s.nodes[0].Attr(key)
+}
+
+// AttrOr returns the named attribute of the first node, or def.
+func (s *Selection) AttrOr(key, def string) string {
+	if v, ok := s.Attr(key); ok {
+		return v
+	}
+	return def
+}
+
+// Html returns the inner HTML of the first node.
+func (s *Selection) Html() string {
+	if len(s.nodes) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for c := s.nodes[0].FirstChild; c != nil; c = c.NextSibling {
+		b.WriteString(html.Render(c))
+	}
+	return b.String()
+}
+
+// OuterHtml returns the outer HTML of the first node.
+func (s *Selection) OuterHtml() string {
+	if len(s.nodes) == 0 {
+		return ""
+	}
+	return html.Render(s.nodes[0])
+}
+
+// HasClass reports whether any selected node has the class.
+func (s *Selection) HasClass(c string) bool {
+	for _, n := range s.nodes {
+		if n.HasClass(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- writers (chainable) ---
+
+// SetAttr sets an attribute on every selected node.
+func (s *Selection) SetAttr(key, val string) *Selection {
+	for _, n := range s.nodes {
+		n.SetAttr(key, val)
+	}
+	return s
+}
+
+// RemoveAttr removes an attribute from every selected node.
+func (s *Selection) RemoveAttr(key string) *Selection {
+	for _, n := range s.nodes {
+		n.DelAttr(key)
+	}
+	return s
+}
+
+// AddClass adds a class to every selected node.
+func (s *Selection) AddClass(c string) *Selection {
+	for _, n := range s.nodes {
+		n.AddClass(c)
+	}
+	return s
+}
+
+// RemoveClass removes a class from every selected node.
+func (s *Selection) RemoveClass(c string) *Selection {
+	for _, n := range s.nodes {
+		n.RemoveClass(c)
+	}
+	return s
+}
+
+// SetText replaces the content of every selected node with text.
+func (s *Selection) SetText(text string) *Selection {
+	for _, n := range s.nodes {
+		n.SetText(text)
+	}
+	return s
+}
+
+// SetHtml replaces the content of every selected node with parsed markup.
+func (s *Selection) SetHtml(markup string) *Selection {
+	for _, n := range s.nodes {
+		n.Empty()
+		for _, frag := range html.ParseFragment(markup) {
+			n.AppendChild(frag)
+		}
+	}
+	return s
+}
+
+// Append parses markup and appends it to every selected node.
+func (s *Selection) Append(markup string) *Selection {
+	for _, n := range s.nodes {
+		for _, frag := range html.ParseFragment(markup) {
+			n.AppendChild(frag)
+		}
+	}
+	return s
+}
+
+// Prepend parses markup and prepends it to every selected node.
+func (s *Selection) Prepend(markup string) *Selection {
+	for _, n := range s.nodes {
+		frags := html.ParseFragment(markup)
+		for i := len(frags) - 1; i >= 0; i-- {
+			n.PrependChild(frags[i])
+		}
+	}
+	return s
+}
+
+// AppendNode appends node to the first selected node (cloning for any
+// additional selected nodes).
+func (s *Selection) AppendNode(node *dom.Node) *Selection {
+	for i, n := range s.nodes {
+		if i == 0 {
+			n.AppendChild(node)
+			continue
+		}
+		n.AppendChild(node.Clone())
+	}
+	return s
+}
+
+// Before inserts parsed markup immediately before every selected node.
+func (s *Selection) Before(markup string) *Selection {
+	for _, n := range s.nodes {
+		if n.Parent == nil {
+			continue
+		}
+		for _, frag := range html.ParseFragment(markup) {
+			n.Parent.InsertBefore(frag, n)
+		}
+	}
+	return s
+}
+
+// After inserts parsed markup immediately after every selected node.
+func (s *Selection) After(markup string) *Selection {
+	for _, n := range s.nodes {
+		if n.Parent == nil {
+			continue
+		}
+		frags := html.ParseFragment(markup)
+		for i := len(frags) - 1; i >= 0; i-- {
+			n.InsertAfter(frags[i])
+		}
+	}
+	return s
+}
+
+// Remove detaches every selected node from the document.
+func (s *Selection) Remove() *Selection {
+	for _, n := range s.nodes {
+		n.Detach()
+	}
+	return s
+}
+
+// ReplaceWith replaces every selected node with parsed markup.
+func (s *Selection) ReplaceWith(markup string) *Selection {
+	for _, n := range s.nodes {
+		if n.Parent == nil {
+			continue
+		}
+		parent, next := n.Parent, n.NextSibling
+		n.Detach()
+		for _, frag := range html.ParseFragment(markup) {
+			parent.InsertBefore(frag, next)
+		}
+	}
+	return s
+}
+
+// Wrap wraps each selected node in the (single-element) parsed markup.
+func (s *Selection) Wrap(markup string) *Selection {
+	for _, n := range s.nodes {
+		if n.Parent == nil {
+			continue
+		}
+		frags := html.ParseFragment(markup)
+		if len(frags) == 0 || frags[0].Type != dom.ElementNode {
+			continue
+		}
+		wrapper := frags[0]
+		// Insert the wrapper where n was, then move n into its innermost
+		// element.
+		n.ReplaceWith(wrapper)
+		inner := wrapper
+		for {
+			kids := inner.Children()
+			if len(kids) == 0 {
+				break
+			}
+			inner = kids[0]
+		}
+		inner.AppendChild(n)
+	}
+	return s
+}
+
+// Hide sets display:none via the style attribute on every selected node —
+// the paper's "objects can be hidden (via CSS style properties)".
+func (s *Selection) Hide() *Selection {
+	for _, n := range s.nodes {
+		cur := n.AttrOr("style", "")
+		if cur != "" && !strings.HasSuffix(strings.TrimSpace(cur), ";") {
+			cur += "; "
+		}
+		n.SetAttr("style", cur+"display: none")
+	}
+	return s
+}
+
+// CSSProp sets one inline style property on every selected node,
+// replacing a previous inline value for the same property.
+func (s *Selection) CSSProp(prop, value string) *Selection {
+	prop = strings.ToLower(strings.TrimSpace(prop))
+	for _, n := range s.nodes {
+		decls := css.ParseDeclarations(n.AttrOr("style", ""))
+		var b strings.Builder
+		for _, d := range decls {
+			if d.Prop == prop {
+				continue
+			}
+			b.WriteString(d.Prop)
+			b.WriteString(": ")
+			b.WriteString(d.Value)
+			b.WriteString("; ")
+		}
+		b.WriteString(prop)
+		b.WriteString(": ")
+		b.WriteString(value)
+		n.SetAttr("style", b.String())
+	}
+	return s
+}

@@ -1,0 +1,293 @@
+package jq
+
+import (
+	"strings"
+	"testing"
+
+	"msite/internal/dom"
+	"msite/internal/html"
+)
+
+const testPage = `
+<html><body>
+  <div id="wrap">
+    <ul class="nav">
+      <li class="active"><a href="/a">A</a></li>
+      <li><a href="/b">B</a></li>
+      <li><a href="/c">C</a></li>
+    </ul>
+    <div class="post"><p>first post</p></div>
+    <div class="post"><p>second post</p></div>
+  </div>
+</body></html>`
+
+func page(t *testing.T) *dom.Node {
+	t.Helper()
+	return html.Parse(testPage)
+}
+
+func TestSelectBasics(t *testing.T) {
+	doc := page(t)
+	if n := Select(doc, "li").Len(); n != 3 {
+		t.Fatalf("li = %d", n)
+	}
+	if n := Select(doc, ".post").Len(); n != 2 {
+		t.Fatalf(".post = %d", n)
+	}
+	if n := Select(doc, "li.active a").Len(); n != 1 {
+		t.Fatalf("li.active a = %d", n)
+	}
+}
+
+func TestSelectList(t *testing.T) {
+	doc := page(t)
+	sel := Select(doc, "ul, .post")
+	if sel.Len() != 3 {
+		t.Fatalf("list = %d", sel.Len())
+	}
+	// Document order: ul before posts.
+	if sel.First().Tag != "ul" {
+		t.Fatal("order wrong")
+	}
+}
+
+func TestSelectBadSelector(t *testing.T) {
+	doc := page(t)
+	sel := Select(doc, ":nosuch(")
+	if sel.Err() == nil {
+		t.Fatal("expected error")
+	}
+	if sel.Len() != 0 {
+		t.Fatal("bad selector should be empty")
+	}
+	// Chains on an errored selection stay empty and keep the error.
+	chained := sel.Find("li").Filter(".x")
+	if chained.Len() != 0 {
+		t.Fatal("chain on error should be empty")
+	}
+}
+
+func TestEq(t *testing.T) {
+	doc := page(t)
+	lis := Select(doc, "li")
+	if !lis.Eq(0).HasClass("active") {
+		t.Fatal("Eq(0) wrong")
+	}
+	if lis.Eq(-1).Find("a").AttrOr("href", "") != "/c" {
+		t.Fatal("Eq(-1) wrong")
+	}
+	if lis.Eq(99).Len() != 0 {
+		t.Fatal("Eq out of range should be empty")
+	}
+}
+
+func TestFindFilterNot(t *testing.T) {
+	doc := page(t)
+	if n := Select(doc, "#wrap").Find("a").Len(); n != 3 {
+		t.Fatalf("find a = %d", n)
+	}
+	if n := Select(doc, "li").Filter(".active").Len(); n != 1 {
+		t.Fatalf("filter = %d", n)
+	}
+	if n := Select(doc, "li").Not(".active").Len(); n != 2 {
+		t.Fatalf("not = %d", n)
+	}
+}
+
+func TestFindExcludesSelf(t *testing.T) {
+	doc := page(t)
+	if n := Select(doc, "div").Find("div").Len(); n != 2 {
+		// #wrap contains 2 .post divs; .post divs contain no div.
+		t.Fatalf("find div = %d, want 2", n)
+	}
+}
+
+func TestParentClosestChildren(t *testing.T) {
+	doc := page(t)
+	parents := Select(doc, "a").Parent()
+	if parents.Len() != 3 || parents.First().Tag != "li" {
+		t.Fatalf("parents = %d %q", parents.Len(), parents.First().Tag)
+	}
+	closest := Select(doc, "a").Closest("ul")
+	if closest.Len() != 1 || closest.First().Tag != "ul" {
+		t.Fatal("closest wrong")
+	}
+	self := Select(doc, "ul").Closest(".nav")
+	if self.Len() != 1 {
+		t.Fatal("closest should match self")
+	}
+	kids := Select(doc, "#wrap").Children("")
+	if kids.Len() != 3 {
+		t.Fatalf("children = %d", kids.Len())
+	}
+	posts := Select(doc, "#wrap").Children(".post")
+	if posts.Len() != 2 {
+		t.Fatalf("filtered children = %d", posts.Len())
+	}
+}
+
+func TestTextAndHtml(t *testing.T) {
+	doc := page(t)
+	if got := Select(doc, ".post p").Eq(0).Text(); got != "first post" {
+		t.Fatalf("text = %q", got)
+	}
+	h := Select(doc, ".post").Eq(0).Html()
+	if !strings.Contains(h, "<p>first post</p>") {
+		t.Fatalf("html = %q", h)
+	}
+	oh := Select(doc, ".post").Eq(0).OuterHtml()
+	if !strings.HasPrefix(oh, `<div class="post">`) {
+		t.Fatalf("outer = %q", oh)
+	}
+}
+
+func TestAttrHelpers(t *testing.T) {
+	doc := page(t)
+	a := Select(doc, "a")
+	if v, ok := a.Attr("href"); !ok || v != "/a" {
+		t.Fatalf("attr = %q %v", v, ok)
+	}
+	if Select(doc, "video").AttrOr("src", "dflt") != "dflt" {
+		t.Fatal("empty selection AttrOr wrong")
+	}
+	a.SetAttr("target", "_blank")
+	for _, n := range a.Nodes() {
+		if n.AttrOr("target", "") != "_blank" {
+			t.Fatal("SetAttr not applied to all")
+		}
+	}
+	a.RemoveAttr("target")
+	if Select(doc, "a[target]").Len() != 0 {
+		t.Fatal("RemoveAttr failed")
+	}
+}
+
+func TestClassHelpers(t *testing.T) {
+	doc := page(t)
+	lis := Select(doc, "li")
+	lis.AddClass("m")
+	if Select(doc, "li.m").Len() != 3 {
+		t.Fatal("AddClass failed")
+	}
+	lis.RemoveClass("m")
+	if Select(doc, "li.m").Len() != 0 {
+		t.Fatal("RemoveClass failed")
+	}
+	if !Select(doc, "li").HasClass("active") {
+		t.Fatal("HasClass should see any node's class")
+	}
+}
+
+func TestSetTextAndSetHtml(t *testing.T) {
+	doc := page(t)
+	Select(doc, ".post p").SetText("redacted")
+	if got := Select(doc, ".post").Eq(1).Text(); got != "redacted" {
+		t.Fatalf("text = %q", got)
+	}
+	Select(doc, ".post").Eq(0).SetHtml("<span>new <b>bold</b></span>")
+	if Select(doc, ".post b").Len() != 1 {
+		t.Fatal("SetHtml did not parse markup")
+	}
+}
+
+func TestAppendPrepend(t *testing.T) {
+	doc := page(t)
+	Select(doc, "ul").Append(`<li class="new">D</li>`)
+	lis := Select(doc, "li")
+	if lis.Len() != 4 || !lis.Eq(-1).HasClass("new") {
+		t.Fatal("append wrong")
+	}
+	Select(doc, "ul").Prepend(`<li class="zero">Z</li><li class="one">O</li>`)
+	lis = Select(doc, "li")
+	if lis.Len() != 6 || !lis.Eq(0).HasClass("zero") || !lis.Eq(1).HasClass("one") {
+		t.Fatalf("prepend order wrong: %q %q", lis.Eq(0).AttrOr("class", ""), lis.Eq(1).AttrOr("class", ""))
+	}
+}
+
+func TestBeforeAfter(t *testing.T) {
+	doc := page(t)
+	Select(doc, "ul").Before(`<h2>Menu</h2>`)
+	h2 := Select(doc, "h2").First()
+	if h2 == nil || h2.NextElement().Tag != "ul" {
+		t.Fatal("before wrong")
+	}
+	Select(doc, "ul").After(`<p id="p1">x</p><p id="p2">y</p>`)
+	ul := Select(doc, "ul").First()
+	if ul.NextElement().ID() != "p1" || ul.NextElement().NextElement().ID() != "p2" {
+		t.Fatal("after order wrong")
+	}
+}
+
+func TestRemoveAndReplace(t *testing.T) {
+	doc := page(t)
+	Select(doc, ".post").Remove()
+	if Select(doc, ".post").Len() != 0 {
+		t.Fatal("remove failed")
+	}
+	Select(doc, "ul").ReplaceWith(`<ol class="mobile-nav"><li>m</li></ol>`)
+	if Select(doc, "ul").Len() != 0 || Select(doc, "ol.mobile-nav").Len() != 1 {
+		t.Fatal("replace failed")
+	}
+}
+
+func TestWrap(t *testing.T) {
+	doc := page(t)
+	Select(doc, "ul").Wrap(`<div class="outer"><div class="inner"></div></div>`)
+	inner := Select(doc, ".inner ul")
+	if inner.Len() != 1 {
+		t.Fatal("wrap did not nest into innermost")
+	}
+	outer := Select(doc, "#wrap > .outer")
+	if outer.Len() != 1 {
+		t.Fatal("wrapper not placed at original position")
+	}
+}
+
+func TestHideAndCSSProp(t *testing.T) {
+	doc := page(t)
+	Select(doc, ".post").Eq(0).Hide()
+	style := Select(doc, ".post").Eq(0).AttrOr("style", "")
+	if !strings.Contains(style, "display: none") {
+		t.Fatalf("style = %q", style)
+	}
+	Select(doc, "ul").CSSProp("width", "100px").CSSProp("width", "50px")
+	style = Select(doc, "ul").AttrOr("style", "")
+	if strings.Contains(style, "100px") || !strings.Contains(style, "width: 50px") {
+		t.Fatalf("CSSProp replace failed: %q", style)
+	}
+}
+
+func TestEachIndexes(t *testing.T) {
+	doc := page(t)
+	var seen []int
+	Select(doc, "li").Each(func(i int, n *dom.Node) {
+		seen = append(seen, i)
+		n.SetAttr("data-i", "x")
+	})
+	if len(seen) != 3 || seen[0] != 0 || seen[2] != 2 {
+		t.Fatalf("each = %v", seen)
+	}
+}
+
+func TestAppendNodeClonesForExtras(t *testing.T) {
+	doc := page(t)
+	banner := dom.NewElement("div")
+	banner.SetAttr("class", "ad")
+	Select(doc, ".post").AppendNode(banner)
+	ads := Select(doc, ".post .ad")
+	if ads.Len() != 2 {
+		t.Fatalf("ads = %d", ads.Len())
+	}
+	if ads.Nodes()[0] == ads.Nodes()[1] {
+		t.Fatal("same node attached twice")
+	}
+}
+
+func TestSelectDeduplicates(t *testing.T) {
+	doc := page(t)
+	// Both selectors match the same ul.
+	sel := Select(doc, "ul, .nav")
+	if sel.Len() != 1 {
+		t.Fatalf("dedupe failed: %d", sel.Len())
+	}
+}

@@ -1,0 +1,59 @@
+// Package layout implements a block/inline box-model layout engine over
+// the dom and css packages. It assigns absolute pixel coordinates to every
+// rendered element — the capability m.Site needs to build snapshot image
+// maps ("the coordinates and extents of the original document elements
+// must be queried from the DOM", §4.3) and to pre-render pages on the
+// server, replacing the embedded WebKit of the paper's prototype.
+package layout
+
+// The engine uses a synthetic monospaced font: every glyph advances
+// GlyphAdvance columns at a given size, and the raster package draws the
+// matching 5x7 bitmap glyphs. Keeping metrics and rasterization in
+// lock-step means text measured here lands exactly where raster paints it,
+// which the searchable-snapshot attribute depends on.
+const (
+	// GlyphCols and GlyphRows are the bitmap glyph cell (5x7 plus 1
+	// column of spacing).
+	GlyphCols = 5
+	GlyphRows = 7
+	// GlyphAdvance is the per-character advance in glyph columns.
+	GlyphAdvance = GlyphCols + 1
+)
+
+// GlyphScale returns the pixel size of one glyph column/row at the given
+// CSS font size.
+func GlyphScale(fontSize float64) float64 {
+	if fontSize <= 0 {
+		fontSize = 16
+	}
+	return fontSize / 10.0
+}
+
+// CharWidth returns the advance width in CSS pixels of one character at
+// the given font size.
+func CharWidth(fontSize float64) float64 {
+	return GlyphAdvance * GlyphScale(fontSize)
+}
+
+// TextWidth returns the width in CSS pixels of s at the given font size.
+func TextWidth(s string, fontSize float64) float64 {
+	n := 0
+	for range s {
+		n++
+	}
+	return float64(n) * CharWidth(fontSize)
+}
+
+// LineHeight returns the default line height in CSS pixels for a font
+// size.
+func LineHeight(fontSize float64) float64 {
+	if fontSize <= 0 {
+		fontSize = 16
+	}
+	return fontSize * 1.25
+}
+
+// GlyphHeight returns the painted glyph height in CSS pixels.
+func GlyphHeight(fontSize float64) float64 {
+	return GlyphRows * GlyphScale(fontSize)
+}

@@ -1,0 +1,125 @@
+package layout
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"msite/internal/css"
+	"msite/internal/html"
+)
+
+// genPage builds a random but realistic nested document.
+func genPage(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	var emit func(depth int)
+	emit = func(depth int) {
+		n := rng.Intn(4)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				fmt.Fprintf(&b, `<div style="padding: %dpx; margin: %dpx">`, rng.Intn(20), rng.Intn(20))
+				if depth < 4 {
+					emit(depth + 1)
+				}
+				b.WriteString("</div>")
+			case 1:
+				b.WriteString("<p>")
+				for w := 0; w < rng.Intn(30); w++ {
+					b.WriteString("word ")
+				}
+				b.WriteString("</p>")
+			case 2:
+				fmt.Fprintf(&b, `<img src="x" width="%d" height="%d">`, 1+rng.Intn(300), 1+rng.Intn(200))
+			case 3:
+				b.WriteString("<table><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></table>")
+			case 4:
+				b.WriteString("<ul><li>one</li><li>two</li></ul>")
+			default:
+				b.WriteString("<span>inline <b>bold</b> text</span><br>")
+			}
+		}
+	}
+	emit(0)
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+// TestQuickLayoutInvariants: for random documents, every box has finite
+// non-negative geometry, and every text run lies within the document's
+// vertical extent.
+func TestQuickLayoutInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		src := genPage(rng)
+		doc := html.Parse(src)
+		width := 200 + rng.Intn(1200)
+		res := Layout(doc, css.StylerForDocument(doc), Viewport{Width: width})
+
+		if res.Height < 0 {
+			t.Fatalf("trial %d: negative height", trial)
+		}
+		var check func(b *Box)
+		check = func(b *Box) {
+			if b.W < 0 || b.H < 0 {
+				t.Fatalf("trial %d: negative box %vx%v for <%s>", trial, b.W, b.H, tagOf(b))
+			}
+			for _, v := range []float64{b.X, b.Y, b.W, b.H} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("trial %d: non-finite geometry for <%s>", trial, tagOf(b))
+				}
+			}
+			for _, r := range b.Runs {
+				if r.Y < -1 || r.Y > float64(res.Height)+1 {
+					t.Fatalf("trial %d: run %q at Y=%v outside doc height %d",
+						trial, r.Text, r.Y, res.Height)
+				}
+				if r.FontSize <= 0 {
+					t.Fatalf("trial %d: run with non-positive font size", trial)
+				}
+			}
+			for _, c := range b.Children {
+				check(c)
+			}
+		}
+		check(res.Root)
+	}
+}
+
+// TestQuickBlockStackingMonotone: direct block children of the body
+// appear at non-decreasing Y.
+func TestQuickBlockStackingMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		var b strings.Builder
+		b.WriteString("<html><body>")
+		n := 2 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, `<div id="d%d" style="height: %dpx">x</div>`, i, 1+rng.Intn(60))
+		}
+		b.WriteString("</body></html>")
+		doc := html.Parse(b.String())
+		res := Layout(doc, css.StylerForDocument(doc), Viewport{Width: 600})
+		prevY := -1.0
+		for i := 0; i < n; i++ {
+			box := res.BoxFor(doc.ElementByID(fmt.Sprintf("d%d", i)))
+			if box == nil {
+				t.Fatalf("trial %d: missing box d%d", trial, i)
+			}
+			if box.Y < prevY {
+				t.Fatalf("trial %d: block d%d at Y=%v above previous %v", trial, i, box.Y, prevY)
+			}
+			prevY = box.Y
+		}
+	}
+}
+
+func tagOf(b *Box) string {
+	if b.Node == nil {
+		return "anon"
+	}
+	return b.Node.Tag
+}

@@ -1,0 +1,62 @@
+// Package netsim models network links for the Table 1 reproduction: each
+// link is a bandwidth, a round-trip time, and a browser connection-pool
+// width, from which transfer time for a page and its subresources is
+// computed. It substitutes for the physical 3G and WiFi links of the
+// paper's evaluation.
+package netsim
+
+import "time"
+
+// Link models one access network.
+type Link struct {
+	// Name is the display name used in experiment tables.
+	Name string
+	// KbpsDown is downstream bandwidth in kilobits per second.
+	KbpsDown float64
+	// RTT is the round-trip latency per request.
+	RTT time.Duration
+	// Conns is how many concurrent connections the client browser opens,
+	// which divides the per-request RTT cost.
+	Conns int
+}
+
+// The link classes of the paper's evaluation era.
+var (
+	// ThreeG is a 2010-era cellular link: modest bandwidth, long RTT.
+	ThreeG = Link{Name: "3G", KbpsDown: 300, RTT: 300 * time.Millisecond, Conns: 2}
+	// WiFi is a home/office 802.11g link.
+	WiFi = Link{Name: "WiFi", KbpsDown: 10_000, RTT: 30 * time.Millisecond, Conns: 6}
+	// Broadband is the desktop wired baseline.
+	Broadband = Link{Name: "Broadband", KbpsDown: 20_000, RTT: 20 * time.Millisecond, Conns: 6}
+	// LAN approximates proxy-to-origin colocation (the m.Site proxy is
+	// colocated with the web server, §2).
+	LAN = Link{Name: "LAN", KbpsDown: 1_000_000, RTT: time.Millisecond, Conns: 8}
+)
+
+// Links lists every built-in link class.
+func Links() []Link {
+	return []Link{ThreeG, WiFi, Broadband, LAN}
+}
+
+// TransferTime models fetching totalBytes over requests sequentially
+// scheduled HTTP requests: per-request RTT cost divided across the
+// connection pool, plus payload serialization at link bandwidth.
+func (l Link) TransferTime(totalBytes, requests int) time.Duration {
+	if totalBytes < 0 {
+		totalBytes = 0
+	}
+	if requests < 1 {
+		requests = 1
+	}
+	conns := l.Conns
+	if conns < 1 {
+		conns = 1
+	}
+	rounds := (requests + conns - 1) / conns
+	rttCost := time.Duration(rounds) * l.RTT
+	if l.KbpsDown <= 0 {
+		return rttCost
+	}
+	seconds := float64(totalBytes) * 8 / (l.KbpsDown * 1000)
+	return rttCost + time.Duration(seconds*float64(time.Second))
+}

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransferTimeBandwidthTerm(t *testing.T) {
+	// 300 kbps link, zero-ish RTT: 37.5 KB should take ≈1 s.
+	link := Link{KbpsDown: 300, RTT: 0, Conns: 1}
+	got := link.TransferTime(37_500, 1)
+	if got < 990*time.Millisecond || got > 1010*time.Millisecond {
+		t.Fatalf("transfer = %v, want ≈1 s", got)
+	}
+}
+
+func TestTransferTimeRTTRounds(t *testing.T) {
+	link := Link{KbpsDown: 0, RTT: 100 * time.Millisecond, Conns: 2}
+	// 5 requests over 2 connections = 3 rounds.
+	if got := link.TransferTime(0, 5); got != 300*time.Millisecond {
+		t.Fatalf("rtt rounds = %v", got)
+	}
+}
+
+func TestTransferTimeDefensive(t *testing.T) {
+	link := Link{KbpsDown: 100, RTT: 10 * time.Millisecond, Conns: 0}
+	if got := link.TransferTime(-5, 0); got != 10*time.Millisecond {
+		t.Fatalf("defensive = %v", got)
+	}
+}
+
+func TestLinkOrderingOnForumPage(t *testing.T) {
+	const bytes, reqs = 224_477, 48
+	threeG := ThreeG.TransferTime(bytes, reqs)
+	wifi := WiFi.TransferTime(bytes, reqs)
+	broadband := Broadband.TransferTime(bytes, reqs)
+	lan := LAN.TransferTime(bytes, reqs)
+	if !(threeG > wifi && wifi > broadband && broadband > lan) {
+		t.Fatalf("ordering wrong: 3g=%v wifi=%v bb=%v lan=%v", threeG, wifi, broadband, lan)
+	}
+	// 3G must dominate the mobile experience: several seconds.
+	if threeG < 5*time.Second || threeG > 30*time.Second {
+		t.Fatalf("3G = %v, want several seconds", threeG)
+	}
+	// LAN (proxy to colocated origin) must be negligible.
+	if lan > 50*time.Millisecond {
+		t.Fatalf("LAN = %v, want negligible", lan)
+	}
+}
+
+func TestLinksComplete(t *testing.T) {
+	if len(Links()) != 4 {
+		t.Fatalf("links = %d", len(Links()))
+	}
+	for _, l := range Links() {
+		if l.Name == "" || l.KbpsDown <= 0 || l.Conns <= 0 {
+			t.Errorf("incomplete link: %+v", l)
+		}
+	}
+}

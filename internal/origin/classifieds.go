@@ -1,0 +1,156 @@
+package origin
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// ClassifiedsConfig sizes the CraigsList-analog site.
+type ClassifiedsConfig struct {
+	// City brands the site.
+	City string
+	// Listings is the number of ads per category page (~100 on the real
+	// site).
+	Listings int
+	// Seed drives synthetic content.
+	Seed int64
+}
+
+// DefaultClassifiedsConfig mirrors a busy category page.
+func DefaultClassifiedsConfig() ClassifiedsConfig {
+	return ClassifiedsConfig{City: "williamsburg", Listings: 100, Seed: 7}
+}
+
+// Classifieds is the synthetic classified-listings engine of §4.5: a
+// category page of date-sorted links, each leading to a full ad page —
+// the structure whose navigation the iPad adaptation improves.
+type Classifieds struct {
+	cfg ClassifiedsConfig
+
+	mu    sync.Mutex
+	pages map[string][]byte
+}
+
+// NewClassifieds builds the site.
+func NewClassifieds(cfg ClassifiedsConfig) *Classifieds {
+	if cfg.Listings <= 0 {
+		cfg.Listings = 100
+	}
+	return &Classifieds{cfg: cfg, pages: make(map[string][]byte)}
+}
+
+var adCategories = []string{"tools", "furniture", "materials", "free"}
+
+var adItems = []string{
+	"table saw", "band saw", "router table", "drill press", "jointer",
+	"planer", "workbench", "lathe", "dust collector", "clamps set",
+	"oak boards", "walnut slab", "maple butcher block", "cherry lumber",
+	"dresser", "bookshelf", "dining table", "rocking chair", "tool chest",
+	"air compressor", "shop vac", "sander", "miter saw", "scroll saw",
+}
+
+// Handler returns the site's HTTP handler.
+func (c *Classifieds) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", c.serveCategory)
+	mux.HandleFunc("/search/", c.serveCategory)
+	mux.HandleFunc("/post/", c.servePost)
+	return mux
+}
+
+func (c *Classifieds) cached(key string, build func() []byte) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if data, ok := c.pages[key]; ok {
+		return data
+	}
+	data := build()
+	c.pages[key] = data
+	return data
+}
+
+// serveCategory renders a category page: a dated list of ad links.
+func (c *Classifieds) serveCategory(w http.ResponseWriter, r *http.Request) {
+	category := strings.Trim(strings.TrimPrefix(r.URL.Path, "/search/"), "/")
+	if category == "" {
+		category = "tools"
+	}
+	valid := false
+	for _, cat := range adCategories {
+		if cat == category {
+			valid = true
+		}
+	}
+	if !valid {
+		http.NotFound(w, r)
+		return
+	}
+	data := c.cached("cat:"+category, func() []byte { return c.buildCategory(category) })
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(data)
+}
+
+func (c *Classifieds) buildCategory(category string) []byte {
+	rng := rand.New(rand.NewSource(c.cfg.Seed + int64(len(category))))
+	var b strings.Builder
+	fmt.Fprintf(&b, `<!DOCTYPE html><html><head><title>%s %s - classifieds</title></head>
+<body>
+<h1 id="cat-title">%s for sale in %s</h1>
+<div id="listings">
+`, c.cfg.City, category, category, c.cfg.City)
+	day := 28
+	for i := 0; i < c.cfg.Listings; i++ {
+		if i%7 == 6 && day > 1 {
+			day--
+		}
+		item := adItems[rng.Intn(len(adItems))]
+		price := 20 + rng.Intn(980)
+		id := fmt.Sprintf("%s%04d", category[:1], i)
+		fmt.Fprintf(&b, `<p class="row" data-date="2012-02-%02d">Feb %d - <a href="/post/%s.html">%s - $%d (%s)</a></p>
+`, day, day, id, item, price, c.cfg.City)
+	}
+	b.WriteString(`</div>
+<div id="sidebar"><a href="/search/tools">tools</a> <a href="/search/furniture">furniture</a> <a href="/search/materials">materials</a> <a href="/search/free">free</a></div>
+</body></html>`)
+	return []byte(b.String())
+}
+
+// servePost renders one ad's detail page; #postingbody is the fragment
+// the adapted two-pane UI extracts.
+func (c *Classifieds) servePost(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/post/"), ".html")
+	if id == "" || strings.ContainsAny(id, "/.") {
+		http.NotFound(w, r)
+		return
+	}
+	data := c.cached("post:"+id, func() []byte { return c.buildPost(id) })
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(data)
+}
+
+func (c *Classifieds) buildPost(id string) []byte {
+	seed := c.cfg.Seed
+	for _, ch := range id {
+		seed = seed*31 + int64(ch)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	item := adItems[rng.Intn(len(adItems))]
+	price := 20 + rng.Intn(980)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<!DOCTYPE html><html><head><title>%s - $%d</title></head>
+<body>
+<div id="header"><a href="/">classifieds</a> &gt; %s</div>
+<h2 class="postingtitle">%s - $%d (%s)</h2>
+<section id="postingbody">
+Well cared for %s, stored in a heated shop. Pick up only, cash preferred.
+Condition rated %d/10 by the seller. Reply to listing %s for details.
+<img src="/images/%s.jpg" width="600" height="450" alt="%s">
+</section>
+<div id="footer">posting id: %s — do not contact with unsolicited services</div>
+</body></html>`, item, price, c.cfg.City, item, price, c.cfg.City, item,
+		5+rng.Intn(5), id, id, item, id)
+	return []byte(b.String())
+}

@@ -1,0 +1,462 @@
+package proxy
+
+import (
+	"image"
+	"image/color"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"msite/internal/cache"
+	"msite/internal/imaging"
+	"msite/internal/origin"
+	"msite/internal/session"
+	"msite/internal/spec"
+)
+
+// loginRig wires a proxy whose spec enables origin form-login
+// marshaling and an action that requires the origin login cookie.
+func loginRig(t *testing.T) *testRig {
+	t.Helper()
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	t.Cleanup(originSrv.Close)
+
+	sp := &spec.Spec{
+		Name:   "members",
+		Origin: originSrv.URL + "/",
+		Login:  spec.LoginSpec{URL: originSrv.URL + "/login.php"},
+		Actions: []spec.Action{
+			{ID: 5, Match: `private\.php`, Target: originSrv.URL + "/private.php", Extract: "#pm"},
+		},
+	}
+	sessions, err := session.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Spec: sp, Sessions: sessions, Cache: cache.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(p)
+	t.Cleanup(proxySrv.Close)
+
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{origin: originSrv, proxy: proxySrv, p: p,
+		client: &http.Client{Jar: jar}}
+}
+
+func TestLoginFormServed(t *testing.T) {
+	rig := loginRig(t)
+	body, resp := rig.get(t, "/login")
+	if resp.StatusCode != 200 || !strings.Contains(body, `action="/login"`) {
+		t.Fatalf("login form: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestLoginMarshaledToOrigin(t *testing.T) {
+	rig := loginRig(t)
+	// Before login: the private-area action fails (origin 403).
+	_, resp := rig.get(t, "/ajax?action=5")
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("pre-login action = %d", resp.StatusCode)
+	}
+
+	// Log in through the proxy (forum accepts password "sawdust").
+	postResp, err := rig.client.PostForm(rig.proxy.URL+"/login", url.Values{
+		"username": {"oakhand"}, "password": {"sawdust"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(postResp.Body)
+	_ = postResp.Body.Close()
+	if postResp.Request.URL.Path != "/" {
+		t.Fatalf("post-login redirect landed at %s", postResp.Request.URL.Path)
+	}
+
+	// Now the proxy's cookie jar is authenticated on the origin, so the
+	// private fragment is fetchable on the user's behalf.
+	body, resp := rig.get(t, "/ajax?action=5")
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-login action = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "oakhand") || !strings.Contains(body, "Private messages") {
+		t.Fatalf("fragment = %s", body)
+	}
+}
+
+func TestLoginBadCredentials(t *testing.T) {
+	rig := loginRig(t)
+	resp, err := rig.client.PostForm(rig.proxy.URL+"/login", url.Values{
+		"username": {"oakhand"}, "password": {"wrong"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("bad login = %d", resp.StatusCode)
+	}
+}
+
+func TestLoginDisabledWithoutSpec(t *testing.T) {
+	rig := newRig(t, nil) // forumSpec has no Login config
+	_, resp := rig.get(t, "/login")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("login without config = %d", resp.StatusCode)
+	}
+}
+
+func TestLoginIsolatedPerSession(t *testing.T) {
+	rig := loginRig(t)
+	// User A logs in.
+	resp, err := rig.client.PostForm(rig.proxy.URL+"/login", url.Values{
+		"username": {"alice"}, "password": {"sawdust"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+
+	// A fresh client (user B) without login still gets the 403 path.
+	jar, _ := cookiejar.New(nil)
+	clientB := &http.Client{Jar: jar}
+	respB, err := clientB.Get(rig.proxy.URL + "/ajax?action=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(respB.Body)
+	_ = respB.Body.Close()
+	if respB.StatusCode != http.StatusBadGateway {
+		t.Fatalf("user B inherited user A's origin login: %d", respB.StatusCode)
+	}
+}
+
+func TestLogoutDropsOriginLogin(t *testing.T) {
+	rig := loginRig(t)
+	resp, err := rig.client.PostForm(rig.proxy.URL+"/login", url.Values{
+		"username": {"oakhand"}, "password": {"sawdust"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if _, r := rig.get(t, "/ajax?action=5"); r.StatusCode != 200 {
+		t.Fatal("login did not take")
+	}
+	rig.get(t, "/logout")
+	if _, r := rig.get(t, "/ajax?action=5"); r.StatusCode != http.StatusBadGateway {
+		t.Fatalf("logout did not clear origin cookies: %d", r.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	rig := newRig(t, nil)
+	rig.get(t, "/")
+	body, resp := rig.get(t, "/stats")
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("stats: %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	for _, key := range []string{`"requests"`, `"adaptations"`, `"snapshot_renders"`, `"sessions":1`} {
+		if !strings.Contains(body, key) {
+			t.Fatalf("stats body missing %s: %s", key, body)
+		}
+	}
+}
+
+func TestAssetCacheControl(t *testing.T) {
+	rig := newRig(t, nil)
+	body, _ := rig.get(t, "/")
+	_ = body
+	_, resp := rig.get(t, "/asset/snapshot.jpg")
+	if got := resp.Header.Get("Cache-Control"); !strings.Contains(got, "max-age=3600") {
+		t.Fatalf("snapshot cache-control = %q", got)
+	}
+	_, resp = rig.get(t, "/asset/forums.jpg")
+	if got := resp.Header.Get("Cache-Control"); !strings.Contains(got, "max-age=300") {
+		t.Fatalf("per-user asset cache-control = %q", got)
+	}
+}
+
+func TestSubpageAlternateFormats(t *testing.T) {
+	rig := newRig(t, nil)
+	rig.get(t, "/")
+
+	// Plain text engine.
+	body, resp := rig.get(t, "/subpage/login?format=text")
+	if resp.StatusCode != 200 || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("text format: %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "Log in") && !strings.Contains(body, "User Name") {
+		t.Fatalf("text body = %q", body)
+	}
+
+	// PDF engine.
+	body, resp = rig.get(t, "/subpage/login?format=pdf")
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "application/pdf" {
+		t.Fatalf("pdf format: %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(body, "%PDF-1.4") {
+		t.Fatal("not a PDF")
+	}
+
+	// Image engine at low fidelity.
+	body, resp = rig.get(t, "/subpage/login?format=image/low")
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "image/jpeg" {
+		t.Fatalf("image format: %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.HasPrefix(body, "\xff\xd8") {
+		t.Fatal("not a JPEG")
+	}
+
+	// Unknown engine is a client error.
+	_, resp = rig.get(t, "/subpage/login?format=flash")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format = %d", resp.StatusCode)
+	}
+
+	// Explicit html matches the default path.
+	_, resp = rig.get(t, "/subpage/login?format=html")
+	if resp.StatusCode != 200 {
+		t.Fatalf("html format = %d", resp.StatusCode)
+	}
+}
+
+func TestAdaptationSingleFlightPerSession(t *testing.T) {
+	rig := newRig(t, nil)
+	// Establish the session cookie first with a cheap session-creating
+	// request that does not adapt (/auth serves its form).
+	rig.get(t, "/auth")
+
+	const parallel = 8
+	var wg sync.WaitGroup
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := rig.client.Get(rig.proxy.URL + "/subpage/login")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			_, _ = io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("status = %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rig.p.Stats().Adaptations; got != 1 {
+		t.Fatalf("adaptations = %d, want 1 (single flight)", got)
+	}
+}
+
+func TestAssetETagConditional(t *testing.T) {
+	rig := newRig(t, nil)
+	rig.get(t, "/")
+	_, resp := rig.get(t, "/asset/snapshot.jpg")
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag")
+	}
+	req, err := http.NewRequest(http.MethodGet, rig.proxy.URL+"/asset/snapshot.jpg", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	u, _ := url.Parse(rig.proxy.URL)
+	for _, c := range rig.client.Jar.Cookies(u) {
+		req.AddCookie(c)
+	}
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	_ = resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional = %d", resp2.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Fatalf("304 carried %d bytes", len(body))
+	}
+}
+
+func TestFilterRuntimeFailure(t *testing.T) {
+	// A "replace" filter with an invalid pattern passes spec validation
+	// (only the type is checked) but must fail cleanly at adapt time.
+	rig := newRig(t, func(s *spec.Spec) {
+		s.Filters = []spec.Filter{{Type: "replace", Params: map[string]string{"pattern": "("}}}
+	})
+	_, resp := rig.get(t, "/")
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestAdaptedPageURLsAnchored(t *testing.T) {
+	rig := newRig(t, func(s *spec.Spec) { s.Snapshot.Enabled = false })
+	body, _ := rig.get(t, "/")
+	// Origin-relative links are absolutized against the origin (the
+	// who's-online member links stay on the adapted main page)...
+	if !strings.Contains(body, rig.origin.URL+"/member.php") {
+		t.Fatalf("member links not anchored to origin: %.300s", body)
+	}
+	// ...and nothing relative to the proxy host leaks through.
+	if strings.Contains(body, `href="/member.php`) {
+		t.Fatal("dangling relative link")
+	}
+	// Subpages get the same treatment.
+	sub, _ := rig.get(t, "/subpage/login")
+	if strings.Contains(sub, `action="/login.php"`) {
+		t.Fatal("subpage form action dangling")
+	}
+}
+
+func TestStatsSurfacesAdaptationNotes(t *testing.T) {
+	rig := newRig(t, func(s *spec.Spec) {
+		s.Objects = append(s.Objects, spec.Object{
+			Name: "ghost", Selector: "#no-such-element",
+			Attributes: []spec.Attribute{{Type: spec.AttrRemove}},
+		})
+	})
+	rig.get(t, "/")
+	body, _ := rig.get(t, "/stats")
+	if !strings.Contains(body, "matched nothing") || !strings.Contains(body, "ghost") {
+		t.Fatalf("notes missing from stats: %s", body)
+	}
+}
+
+func TestSessionGCUnderLoad(t *testing.T) {
+	rig := newRig(t, nil)
+	var clients sync.WaitGroup
+	var gcDone sync.WaitGroup
+	stop := make(chan struct{})
+	gcDone.Add(1)
+	go func() {
+		defer gcDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rig.p.cfg.Sessions.GC()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	for i := 0; i < 6; i++ {
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			jar, err := cookiejar.New(nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			client := &http.Client{Jar: jar}
+			for j := 0; j < 4; j++ {
+				resp, err := client.Get(rig.proxy.URL + "/subpage/login")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = io.ReadAll(resp.Body)
+				_ = resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("status = %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	clients.Wait()
+	close(stop)
+	gcDone.Wait()
+}
+
+// TestSnapshotPaintsRealImages wires an origin whose logo is a real PNG
+// and asserts the proxy's snapshot contains the logo's pixels, proving
+// the §3.2 "downloading any images to be rendered" path end-to-end.
+func TestSnapshotPaintsRealImages(t *testing.T) {
+	logo := image.NewRGBA(image.Rect(0, 0, 8, 8))
+	magenta := color.RGBA{220, 0, 220, 255}
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			logo.SetRGBA(x, y, magenta)
+		}
+	}
+	logoPNG, err := imaging.EncodePNG(logo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`<html><body>
+<img src="/logo.png" width="200" height="100">
+<p>text below the logo</p></body></html>`))
+	})
+	mux.HandleFunc("/logo.png", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "image/png")
+		_, _ = w.Write(logoPNG)
+	})
+	originSrv := httptest.NewServer(mux)
+	defer originSrv.Close()
+
+	sp := &spec.Spec{
+		Name: "img", Origin: originSrv.URL + "/",
+		Snapshot: spec.SnapshotSpec{Enabled: true, Fidelity: "high", Scale: 1},
+	}
+	sessions, err := session.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Spec: sp, Sessions: sessions, Cache: cache.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(p)
+	defer proxySrv.Close()
+
+	jar, _ := cookiejar.New(nil)
+	client := &http.Client{Jar: jar}
+	resp, err := client.Get(proxySrv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+
+	resp2, err := client.Get(proxySrv.URL + "/asset/snapshot.png")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp2.Body)
+	_ = resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("snapshot = %d", resp2.StatusCode)
+	}
+	snap, err := imaging.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b, _ := snap.At(100, 50).RGBA()
+	if uint8(r>>8) != 220 || uint8(g>>8) != 0 || uint8(b>>8) != 220 {
+		t.Fatalf("snapshot pixel = %d,%d,%d, want magenta logo", r>>8, g>>8, b>>8)
+	}
+}

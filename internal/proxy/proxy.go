@@ -1,0 +1,753 @@
+// Package proxy implements m.Site's multi-session content adaptation
+// proxy (§3.2): the generated shell code's runtime. It manages session
+// cookies and per-user protected directories, downloads origin pages on
+// demand with per-user cookie jars and HTTP auth interposition, runs the
+// source-level filter phase and the DOM-level attribute phase, writes
+// generated subpages and images into the user's session directory,
+// serves the cached snapshot entry page, and satisfies rewritten AJAX
+// calls — all without a heavyweight browser instance per client.
+package proxy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"image"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"msite/internal/ajax"
+	"msite/internal/attr"
+	"msite/internal/cache"
+	"msite/internal/fetch"
+	"msite/internal/filter"
+	"msite/internal/imaging"
+	"msite/internal/layout"
+	"msite/internal/raster"
+	"msite/internal/render"
+	"msite/internal/session"
+	"msite/internal/spec"
+)
+
+// Config wires a Proxy.
+type Config struct {
+	// Spec is the adaptation specification (required, validated).
+	Spec *spec.Spec
+	// Sessions manages per-client state (required).
+	Sessions *session.Manager
+	// Cache is the public cross-session render cache (required).
+	Cache *cache.Cache
+	// ViewportWidth overrides the spec's server-side render width.
+	ViewportWidth int
+	// FetchOptions are applied to every origin fetcher.
+	FetchOptions []fetch.Option
+	// PathPrefix mounts the proxy under a URL prefix (e.g. "/p/forum"),
+	// letting one server host the adaptation proxies for several pages
+	// of a site (see MultiProxy). Empty mounts at the root.
+	PathPrefix string
+}
+
+// Stats counts proxy work for the scalability experiments.
+type Stats struct {
+	// Requests is every proxied request.
+	Requests uint64
+	// Adaptations is full adaptation passes (fetch+filter+attr).
+	Adaptations uint64
+	// SnapshotRenders is server-side graphical renders (the expensive
+	// browser-path work).
+	SnapshotRenders uint64
+	// SnapshotHits is snapshots served from the shared cache.
+	SnapshotHits uint64
+}
+
+// Proxy is the m.Site content adaptation proxy for one origin page.
+type Proxy struct {
+	cfg        Config
+	dispatcher *ajax.Dispatcher
+	applier    *attr.Applier
+	engines    *render.EngineSet
+	width      int
+	prefix     string
+
+	mu       sync.Mutex
+	adapted  map[string]*adaptation // by session ID
+	inflight map[string]chan struct{}
+	stats    Stats
+}
+
+// adaptation is one session's generated content.
+type adaptation struct {
+	subpages map[string]*attr.Subpage
+	notes    []string
+	when     time.Time
+	// images are the decoded subresources downloaded on the client's
+	// behalf, reused for the snapshot render.
+	images map[string]image.Image
+}
+
+// New validates the config and builds the proxy.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Spec == nil {
+		return nil, errors.New("proxy: nil spec")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Sessions == nil {
+		return nil, errors.New("proxy: nil session manager")
+	}
+	if cfg.Cache == nil {
+		return nil, errors.New("proxy: nil cache")
+	}
+	width := cfg.ViewportWidth
+	if width == 0 {
+		width = cfg.Spec.ViewportWidth
+	}
+	if width == 0 {
+		width = layout.DefaultViewport.Width
+	}
+	dispatcher, err := ajax.NewDispatcher(cfg.Spec.Actions, cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	prefix := strings.TrimSuffix(cfg.PathPrefix, "/")
+	if prefix != "" && !strings.HasPrefix(prefix, "/") {
+		return nil, fmt.Errorf("proxy: path prefix %q must start with /", cfg.PathPrefix)
+	}
+	p := &Proxy{
+		cfg:        cfg,
+		dispatcher: dispatcher,
+		engines:    render.NewEngineSet(),
+		width:      width,
+		prefix:     prefix,
+		adapted:    make(map[string]*adaptation),
+		inflight:   make(map[string]chan struct{}),
+	}
+	p.applier = &attr.Applier{
+		ViewportWidth: width,
+		SubpageURL:    func(name string) string { return prefix + "/subpage/" + url.PathEscape(name) },
+		AssetURL:      func(name string) string { return prefix + "/asset/" + url.PathEscape(name) },
+		AJAXEndpoint:  prefix + "/ajax",
+	}
+	return p, nil
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	p.stats.Requests++
+	p.mu.Unlock()
+
+	path := r.URL.Path
+	if p.prefix != "" {
+		if !strings.HasPrefix(path, p.prefix) {
+			http.NotFound(w, r)
+			return
+		}
+		path = strings.TrimPrefix(path, p.prefix)
+		if path == "" {
+			path = "/"
+		}
+	}
+
+	switch {
+	case path == "/":
+		p.handleEntry(w, r)
+	case strings.HasPrefix(path, "/subpage/"):
+		p.handleSubpage(w, r, strings.TrimPrefix(path, "/subpage/"))
+	case strings.HasPrefix(path, "/asset/"):
+		p.handleAsset(w, r, strings.TrimPrefix(path, "/asset/"))
+	case path == "/ajax":
+		p.handleAJAX(w, r)
+	case path == "/auth":
+		p.handleAuth(w, r)
+	case path == "/login":
+		p.handleLogin(w, r)
+	case path == "/logout":
+		p.handleLogout(w, r)
+	case path == "/stats":
+		p.handleStats(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// handleLogin marshals the origin's form login through the proxy: the
+// mobile client submits the lightweight form, the proxy replays it
+// against the origin with the session's cookie jar, and the jar picks up
+// the origin's authentication cookies.
+func (p *Proxy) handleLogin(w http.ResponseWriter, r *http.Request) {
+	loginCfg := p.cfg.Spec.Login
+	if loginCfg.URL == "" {
+		http.NotFound(w, r)
+		return
+	}
+	sess, ok := p.ensureSession(w, r)
+	if !ok {
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<!DOCTYPE html><html><head><title>Log in</title>
+<meta name="viewport" content="width=device-width, initial-scale=1"></head>
+<body><h3>Log in</h3>
+<form method="post" action="%s/login">
+<p><input type="text" name="username" placeholder="User"></p>
+<p><input type="password" name="password" placeholder="Password"></p>
+<p><input type="submit" value="Log in"></p>
+</form></body></html>`, p.prefix)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, "bad form", http.StatusBadRequest)
+		return
+	}
+	userField := loginCfg.UserField
+	if userField == "" {
+		userField = "username"
+	}
+	passField := loginCfg.PassField
+	if passField == "" {
+		passField = "password"
+	}
+	f := fetch.New(sess, p.cfg.FetchOptions...)
+	_, err := f.PostForm(loginCfg.URL, url.Values{
+		userField: {r.FormValue("username")},
+		passField: {r.FormValue("password")},
+	})
+	if err != nil {
+		http.Error(w, "login failed: "+err.Error(), http.StatusForbidden)
+		return
+	}
+	// Re-adapt: the logged-in origin page may differ.
+	p.mu.Lock()
+	delete(p.adapted, sess.ID)
+	p.mu.Unlock()
+	http.Redirect(w, r, p.prefix+"/", http.StatusSeeOther)
+}
+
+// handleStats reports the proxy's work counters for operations and the
+// scalability experiments, plus any adaptation notes (objects whose
+// selectors matched nothing, failed relocations) the administrator
+// should see.
+func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
+	stats := p.Stats()
+	p.mu.Lock()
+	noteSet := make(map[string]bool)
+	for _, ad := range p.adapted {
+		for _, note := range ad.notes {
+			noteSet[note] = true
+		}
+	}
+	p.mu.Unlock()
+	notes := make([]string, 0, len(noteSet))
+	for note := range noteSet {
+		notes = append(notes, note)
+	}
+	sort.Strings(notes)
+	payload := map[string]any{
+		"requests":         stats.Requests,
+		"adaptations":      stats.Adaptations,
+		"snapshot_renders": stats.SnapshotRenders,
+		"snapshot_hits":    stats.SnapshotHits,
+		"sessions":         p.cfg.Sessions.Len(),
+		"notes":            notes,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(payload)
+}
+
+// ensureSession wraps session issuance with error reporting.
+func (p *Proxy) ensureSession(w http.ResponseWriter, r *http.Request) (*session.Session, bool) {
+	sess, err := p.cfg.Sessions.Ensure(w, r)
+	if err != nil {
+		http.Error(w, "session error: "+err.Error(), http.StatusInternalServerError)
+		return nil, false
+	}
+	return sess, true
+}
+
+// ensureAdaptation runs the full pipeline for a session once (or again
+// with ?refresh=1): fetch, filter phase, Tidy parse, attribute phase,
+// file generation.
+func (p *Proxy) ensureAdaptation(sess *session.Session, force bool) (*adaptation, error) {
+	// Single-flight per session: concurrent first requests (a mobile
+	// browser fetching the entry page and a subpage in parallel) must
+	// not run the fetch+adapt pipeline twice or race on the session
+	// directory.
+	for {
+		p.mu.Lock()
+		if ad, ok := p.adapted[sess.ID]; ok && !force {
+			p.mu.Unlock()
+			return ad, nil
+		}
+		if wait, busy := p.inflight[sess.ID]; busy {
+			p.mu.Unlock()
+			<-wait
+			force = false // the racing adaptation satisfies a refresh too
+			continue
+		}
+		done := make(chan struct{})
+		p.inflight[sess.ID] = done
+		p.mu.Unlock()
+
+		ad, err := p.adaptSession(sess)
+
+		p.mu.Lock()
+		delete(p.inflight, sess.ID)
+		if err == nil {
+			p.adapted[sess.ID] = ad
+			p.stats.Adaptations++
+		}
+		p.mu.Unlock()
+		close(done)
+		return ad, err
+	}
+}
+
+// adaptSession runs the fetch → filter → attribute → file-generation
+// pipeline for one session.
+func (p *Proxy) adaptSession(sess *session.Session) (*adaptation, error) {
+	f := fetch.New(sess, p.cfg.FetchOptions...)
+	page, err := f.Get(p.cfg.Spec.Origin)
+	if err != nil {
+		return nil, err
+	}
+
+	// Filter phase: cheap source-level transforms first (§3.2).
+	src, err := filter.Apply(string(page.Body), p.cfg.Spec.Filters)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: filter phase: %w", err)
+	}
+
+	// Inline the origin's linked stylesheets so the attribute phase and
+	// every render below see the site's real styling, then download the
+	// images a render would need (§3.2: the page fetch "includes
+	// downloading any images to be rendered"), then run the attribute
+	// phase over the tidied DOM.
+	doc := tidyDoc(src)
+	if _, err := f.InlineStylesheets(doc, page.URL); err != nil {
+		return nil, fmt.Errorf("proxy: inlining stylesheets: %w", err)
+	}
+	images := fetchImages(f, doc, page.URL)
+	applier := *p.applier // copy: Images are per-fetch
+	applier.Images = images
+	result, err := applier.Apply(p.cfg.Spec, doc)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: attribute phase: %w", err)
+	}
+
+	// Re-anchor origin-relative URLs: adapted pages are served from the
+	// proxy host, so links back into the origin must be absolute, while
+	// proxy-internal references (subpages, assets, rewritten AJAX calls)
+	// stay local.
+	skip := []string{
+		p.prefix + "/subpage/", p.prefix + "/asset/", p.prefix + "/ajax",
+		p.prefix + "/login", p.prefix + "/logout", p.prefix + "/auth",
+	}
+	attr.AbsolutizeURLs(result.Doc, page.URL, skip...)
+	for _, sub := range result.Subpages {
+		attr.AbsolutizeURLs(sub.Doc, page.URL, skip...)
+	}
+
+	// Write generated files into the user's protected directory (§3.2:
+	// "All of the files generated during a user's session are stored in
+	// the file system under a (protected) subdirectory").
+	pagesDir, err := sess.SubpageDir()
+	if err != nil {
+		return nil, err
+	}
+	imagesDir, err := sess.ImageDir()
+	if err != nil {
+		return nil, err
+	}
+	ad := &adaptation{
+		subpages: make(map[string]*attr.Subpage),
+		when:     time.Now(),
+		images:   images,
+	}
+	for _, sub := range result.Subpages {
+		ad.subpages[sub.Name] = sub
+		if err := os.WriteFile(
+			filepath.Join(pagesDir, attr.SubpageFileName(sub.Name)),
+			attr.SerializeSubpage(sub), 0o600); err != nil {
+			return nil, fmt.Errorf("proxy: writing subpage: %w", err)
+		}
+		if len(sub.ImageData) > 0 {
+			if err := os.WriteFile(
+				filepath.Join(imagesDir, attr.AssetFileName(sub)),
+				sub.ImageData, 0o600); err != nil {
+				return nil, fmt.Errorf("proxy: writing asset: %w", err)
+			}
+		}
+	}
+	for _, asset := range result.Assets {
+		if err := os.WriteFile(filepath.Join(imagesDir, asset.Name), asset.Data, 0o600); err != nil {
+			return nil, fmt.Errorf("proxy: writing thumbnail asset: %w", err)
+		}
+	}
+	ad.notes = result.Notes
+
+	// The adapted main document feeds the snapshot; serialize it for the
+	// snapshot render (it excludes split-off objects, matching what the
+	// overlay's regions index).
+	adaptedMain := pageHTML(result)
+	if err := os.WriteFile(filepath.Join(pagesDir, "main.html"), adaptedMain, 0o600); err != nil {
+		return nil, fmt.Errorf("proxy: writing main: %w", err)
+	}
+
+	return ad, nil
+}
+
+func (p *Proxy) handleEntry(w http.ResponseWriter, r *http.Request) {
+	sess, ok := p.ensureSession(w, r)
+	if !ok {
+		return
+	}
+	ad, err := p.ensureAdaptation(sess, r.URL.Query().Get("refresh") == "1")
+	if err != nil {
+		p.fetchError(w, r, err)
+		return
+	}
+
+	if !p.cfg.Spec.Snapshot.Enabled {
+		// No snapshot: serve the adapted main page directly.
+		data, err := os.ReadFile(p.sessionFile(sess, "pages", "main.html"))
+		if err != nil {
+			http.Error(w, "adaptation missing", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write(data)
+		return
+	}
+
+	snap, scale, width, height, err := p.snapshot(sess)
+	if err != nil {
+		p.fetchError(w, r, err)
+		return
+	}
+	_ = snap
+
+	var subs []*attr.Subpage
+	for _, sub := range ad.subpages {
+		subs = append(subs, sub)
+	}
+	overlay := p.applier.BuildOverlayHTML(attr.Overlay{
+		SnapshotURL: p.prefix + "/asset/snapshot" + snapshotFidelity(p.cfg.Spec).Ext(),
+		Width:       width,
+		Height:      height,
+		Scale:       scale,
+		Title:       p.cfg.Spec.Name,
+	}, subs)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(overlay)
+}
+
+func snapshotFidelity(s *spec.Spec) imaging.Fidelity {
+	switch s.Snapshot.Fidelity {
+	case "high":
+		return imaging.FidelityHigh
+	case "medium":
+		return imaging.FidelityMedium
+	case "thumb":
+		return imaging.FidelityThumb
+	default:
+		return imaging.FidelityLow
+	}
+}
+
+// snapshot renders (or fetches from the shared cache) the scaled entry
+// snapshot, returning its bytes and geometry.
+func (p *Proxy) snapshot(sess *session.Session) (data []byte, scale float64, w, h int, err error) {
+	fid := snapshotFidelity(p.cfg.Spec)
+	scale = p.cfg.Spec.Snapshot.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	ttl := time.Duration(p.cfg.Spec.Snapshot.CacheTTLSeconds) * time.Second
+
+	p.mu.Lock()
+	var snapImages map[string]image.Image
+	if ad, ok := p.adapted[sess.ID]; ok {
+		snapImages = ad.images
+	}
+	p.mu.Unlock()
+
+	fill := func() (cache.Entry, error) {
+		p.mu.Lock()
+		p.stats.SnapshotRenders++
+		p.mu.Unlock()
+		mainPath := p.sessionFile(sess, "pages", "main.html")
+		src, err := os.ReadFile(mainPath)
+		if err != nil {
+			return cache.Entry{}, fmt.Errorf("proxy: reading adapted main: %w", err)
+		}
+		doc := tidyDoc(string(src))
+		res := layoutForDoc(doc, p.width)
+		img := raster.Paint(res, raster.Options{Images: snapImages})
+		scaled := imaging.ScaleFactor(img, scale)
+		encoded, err := imaging.Encode(scaled, fid)
+		if err != nil {
+			return cache.Entry{}, err
+		}
+		meta := fmt.Sprintf("%d,%d", scaled.Bounds().Dx(), scaled.Bounds().Dy())
+		return cache.Entry{Data: encoded, MIME: fid.MIME() + ";" + meta}, nil
+	}
+
+	var entry cache.Entry
+	if p.cfg.Spec.Snapshot.Shared && ttl > 0 {
+		before := p.cfg.Cache.Stats()
+		entry, err = p.cfg.Cache.GetOrFill("snapshot:"+p.cfg.Spec.Name, ttl, fill)
+		if err == nil {
+			after := p.cfg.Cache.Stats()
+			if after.Hits > before.Hits {
+				p.mu.Lock()
+				p.stats.SnapshotHits++
+				p.mu.Unlock()
+			}
+		}
+	} else {
+		entry, err = fill()
+	}
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	// Geometry rides in the MIME suffix; parse it back out.
+	w, h = parseGeometry(entry.MIME)
+	// Persist into the session image dir so /asset can serve it.
+	imagesDir, derr := sess.ImageDir()
+	if derr != nil {
+		return nil, 0, 0, 0, derr
+	}
+	name := "snapshot" + fid.Ext()
+	if werr := os.WriteFile(filepath.Join(imagesDir, name), entry.Data, 0o600); werr != nil {
+		return nil, 0, 0, 0, fmt.Errorf("proxy: writing snapshot: %w", werr)
+	}
+	return entry.Data, scale, w, h, nil
+}
+
+func parseGeometry(mime string) (w, h int) {
+	i := strings.LastIndexByte(mime, ';')
+	if i < 0 {
+		return 0, 0
+	}
+	parts := strings.SplitN(mime[i+1:], ",", 2)
+	if len(parts) != 2 {
+		return 0, 0
+	}
+	w, _ = strconv.Atoi(parts[0])
+	h, _ = strconv.Atoi(parts[1])
+	return w, h
+}
+
+func (p *Proxy) handleSubpage(w http.ResponseWriter, r *http.Request, rawName string) {
+	sess, ok := p.ensureSession(w, r)
+	if !ok {
+		return
+	}
+	name, err := url.PathUnescape(rawName)
+	if err != nil || name == "" {
+		http.NotFound(w, r)
+		return
+	}
+	ad, err := p.ensureAdaptation(sess, false)
+	if err != nil {
+		p.fetchError(w, r, err)
+		return
+	}
+	if _, ok := ad.subpages[name]; !ok {
+		http.NotFound(w, r)
+		return
+	}
+	data, err := os.ReadFile(p.sessionFile(sess, "pages", attr.SubpageFileName(name)))
+	if err != nil {
+		http.Error(w, "subpage missing", http.StatusInternalServerError)
+		return
+	}
+	// The pluggable engine hook (§1: "multiple rendering engines to
+	// produce HTML, static images, PDF, plain text ... at any point in
+	// the rendering process"): ?format selects an alternate engine.
+	if format := r.URL.Query().Get("format"); format != "" && format != "html" {
+		engine, err := p.engines.Get(format)
+		if err != nil {
+			http.Error(w, "unknown format: "+format, http.StatusBadRequest)
+			return
+		}
+		out, err := engine.Render(tidyDoc(string(data)), layout.Viewport{Width: p.width})
+		if err != nil {
+			http.Error(w, "render failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", engine.MIME())
+		_, _ = w.Write(out)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(data)
+}
+
+func (p *Proxy) handleAsset(w http.ResponseWriter, r *http.Request, rawName string) {
+	sess, ok := p.ensureSession(w, r)
+	if !ok {
+		return
+	}
+	name, err := url.PathUnescape(rawName)
+	if err != nil || name == "" || strings.Contains(name, "/") || strings.Contains(name, "..") {
+		http.NotFound(w, r)
+		return
+	}
+	data, err := os.ReadFile(p.sessionFile(sess, "images", name))
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	switch {
+	case strings.HasSuffix(name, ".png"):
+		w.Header().Set("Content-Type", "image/png")
+	case strings.HasSuffix(name, ".jpg"):
+		w.Header().Set("Content-Type", "image/jpeg")
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	// Let the device cache images too: the shared snapshot for its
+	// configured TTL, per-user renders briefly.
+	if strings.HasPrefix(name, "snapshot") && p.cfg.Spec.Snapshot.CacheTTLSeconds > 0 {
+		w.Header().Set("Cache-Control",
+			"private, max-age="+strconv.Itoa(p.cfg.Spec.Snapshot.CacheTTLSeconds))
+	} else {
+		w.Header().Set("Cache-Control", "private, max-age=300")
+	}
+	// Conditional requests save the image bytes on revisits — the
+	// dominant cost on 3G links.
+	etag := fmt.Sprintf(`"%08x-%d"`, crc32.ChecksumIEEE(data), len(data))
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	_, _ = w.Write(data)
+}
+
+func (p *Proxy) handleAJAX(w http.ResponseWriter, r *http.Request) {
+	sess, ok := p.ensureSession(w, r)
+	if !ok {
+		return
+	}
+	id, err := strconv.Atoi(r.URL.Query().Get("action"))
+	if err != nil {
+		http.Error(w, "bad action", http.StatusBadRequest)
+		return
+	}
+	f := fetch.New(sess, p.cfg.FetchOptions...)
+	data, err := p.dispatcher.Dispatch(f, id, r.URL.Query().Get("p"))
+	if err != nil {
+		http.Error(w, "action failed: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(data)
+}
+
+// handleAuth is the lightweight HTTP authentication page (§3.3): a
+// minimal form whose credentials the proxy stores and replays on the
+// client's behalf.
+func (p *Proxy) handleAuth(w http.ResponseWriter, r *http.Request) {
+	sess, ok := p.ensureSession(w, r)
+	if !ok {
+		return
+	}
+	back := r.URL.Query().Get("back")
+	if back == "" || !strings.HasPrefix(back, "/") {
+		back = p.prefix + "/"
+	}
+	host := r.URL.Query().Get("host")
+	if r.Method == http.MethodPost {
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, "bad form", http.StatusBadRequest)
+			return
+		}
+		if host == "" {
+			host = originHost(p.cfg.Spec.Origin)
+		}
+		sess.SetAuth(host, session.Credentials{
+			User: r.FormValue("username"),
+			Pass: r.FormValue("password"),
+		})
+		http.Redirect(w, r, back, http.StatusSeeOther)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!DOCTYPE html><html><head><title>Authentication required</title>
+<meta name="viewport" content="width=device-width, initial-scale=1"></head>
+<body><h3>Authentication required</h3>
+<form method="post" action="%s/auth?back=%s&host=%s">
+<p><input type="text" name="username" placeholder="User"></p>
+<p><input type="password" name="password" placeholder="Password"></p>
+<p><input type="submit" value="Sign in"></p>
+</form></body></html>`, p.prefix, url.QueryEscape(back), url.QueryEscape(host))
+}
+
+// handleLogout implements the replaced logout button: clear the proxy's
+// cookie jar for this user.
+func (p *Proxy) handleLogout(w http.ResponseWriter, r *http.Request) {
+	sess, ok := p.ensureSession(w, r)
+	if !ok {
+		return
+	}
+	if err := sess.ClearCookies(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	p.mu.Lock()
+	delete(p.adapted, sess.ID) // next visit re-fetches logged-out content
+	p.mu.Unlock()
+	http.Redirect(w, r, p.prefix+"/", http.StatusSeeOther)
+}
+
+// fetchError maps origin failures: auth challenges redirect to the
+// lightweight auth page; everything else is a gateway error (§3.2 "any
+// error handling should the page be unavailable").
+func (p *Proxy) fetchError(w http.ResponseWriter, r *http.Request, err error) {
+	var authErr *fetch.AuthRequiredError
+	if errors.As(err, &authErr) {
+		u, _ := url.Parse(authErr.URL)
+		host := ""
+		if u != nil {
+			host = u.Host
+		}
+		http.Redirect(w, r,
+			p.prefix+"/auth?back="+url.QueryEscape(r.URL.RequestURI())+"&host="+url.QueryEscape(host),
+			http.StatusSeeOther)
+		return
+	}
+	http.Error(w, "origin unavailable: "+err.Error(), http.StatusBadGateway)
+}
+
+func (p *Proxy) sessionFile(sess *session.Session, sub, name string) string {
+	return filepath.Join(sess.Dir, sub, name)
+}
+
+func originHost(origin string) string {
+	u, err := url.Parse(origin)
+	if err != nil {
+		return ""
+	}
+	return u.Host
+}

@@ -1,0 +1,480 @@
+package proxy
+
+import (
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"msite/internal/cache"
+	"msite/internal/html"
+	"msite/internal/jq"
+	"msite/internal/origin"
+	"msite/internal/session"
+	"msite/internal/spec"
+)
+
+// forumSpec is the §4.3 deployment: cached low-fidelity snapshot entry
+// page, login subpage with dependencies, nav links restructured and
+// loaded via AJAX, banner replaced with a mobile ad.
+func forumSpec(originURL string) *spec.Spec {
+	return &spec.Spec{
+		Name:          "sawdust",
+		Origin:        originURL + "/",
+		ViewportWidth: 1024,
+		Snapshot: spec.SnapshotSpec{
+			Enabled: true, Fidelity: "low", Scale: 0.45,
+			CacheTTLSeconds: 3600, Shared: true,
+		},
+		Objects: []spec.Object{
+			{
+				Name:     "login",
+				Selector: "#loginform",
+				Attributes: []spec.Attribute{
+					{Type: spec.AttrSubpage, Params: map[string]string{"title": "Log in"}},
+				},
+			},
+			{
+				Name:     "logo",
+				Selector: "#logo",
+				Attributes: []spec.Attribute{
+					{Type: spec.AttrCopyTo, Params: map[string]string{
+						"subpage": "login", "position": "top",
+						"set-attr": "src", "set-value": "/m/logo.gif",
+					}},
+				},
+			},
+			{
+				Name:     "styles",
+				Selector: "head style",
+				Attributes: []spec.Attribute{
+					{Type: spec.AttrDependency, Params: map[string]string{"subpage": "login"}},
+				},
+			},
+			{
+				Name:     "nav",
+				Selector: "#navlinks",
+				Attributes: []spec.Attribute{
+					{Type: spec.AttrRewriteLinks, Params: map[string]string{"columns": "2"}},
+					{Type: spec.AttrSubpage, Params: map[string]string{"title": "Navigation", "ajax": "true"}},
+				},
+			},
+			{
+				Name:     "banner",
+				Selector: "#banner",
+				Attributes: []spec.Attribute{
+					{Type: spec.AttrReplace, Params: map[string]string{
+						"html": `<img src="/ads/mobile.gif" width="300" height="50" alt="ad">`}},
+				},
+			},
+			{
+				Name:     "forums",
+				Selector: "#forums",
+				Attributes: []spec.Attribute{
+					{Type: spec.AttrSubpage, Params: map[string]string{
+						"title": "Forums", "prerender": "true", "fidelity": "low"}},
+					{Type: spec.AttrCacheable, Params: map[string]string{"ttl_seconds": "3600"}},
+				},
+			},
+		},
+		Actions: []spec.Action{
+			{ID: 1, Match: `do=showpic&id=(\d+)`,
+				Target: originURL + "/site.php?do=showpic&id=$1", Extract: "#pic"},
+		},
+	}
+}
+
+// testRig wires origin + proxy with one browser-like client (cookie jar).
+type testRig struct {
+	origin *httptest.Server
+	proxy  *httptest.Server
+	p      *Proxy
+	client *http.Client
+}
+
+func newRig(t *testing.T, mutate func(*spec.Spec)) *testRig {
+	t.Helper()
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	t.Cleanup(originSrv.Close)
+
+	sp := forumSpec(originSrv.URL)
+	if mutate != nil {
+		mutate(sp)
+	}
+	sessions, err := session.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Spec: sp, Sessions: sessions, Cache: cache.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(p)
+	t.Cleanup(proxySrv.Close)
+
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{
+		origin: originSrv,
+		proxy:  proxySrv,
+		p:      p,
+		client: &http.Client{Jar: jar, Timeout: 30 * time.Second},
+	}
+}
+
+func (rig *testRig) get(t *testing.T, path string) (string, *http.Response) {
+	t.Helper()
+	resp, err := rig.client.Get(rig.proxy.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+func TestNewValidation(t *testing.T) {
+	sessions, _ := session.NewManager(t.TempDir())
+	if _, err := New(Config{Sessions: sessions, Cache: cache.New()}); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+	sp := &spec.Spec{Name: "x", Origin: "http://o/"}
+	if _, err := New(Config{Spec: sp, Cache: cache.New()}); err == nil {
+		t.Fatal("nil sessions accepted")
+	}
+	if _, err := New(Config{Spec: sp, Sessions: sessions}); err == nil {
+		t.Fatal("nil cache accepted")
+	}
+	if _, err := New(Config{Spec: &spec.Spec{}, Sessions: sessions, Cache: cache.New()}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestEntryPageOverlay(t *testing.T) {
+	rig := newRig(t, nil)
+	body, resp := rig.get(t, "/")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	doc := html.Tidy(body)
+	// Session cookie issued.
+	u, _ := url.Parse(rig.proxy.URL)
+	found := false
+	for _, c := range rig.client.Jar.Cookies(u) {
+		if c.Name == session.CookieName {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no session cookie issued")
+	}
+	// Snapshot image map with regions for subpages.
+	img := jq.Select(doc, "img[usemap]")
+	if img.Len() != 1 {
+		t.Fatalf("snapshot img = %d", img.Len())
+	}
+	src := img.AttrOr("src", "")
+	if !strings.HasPrefix(src, "/asset/snapshot") {
+		t.Fatalf("snapshot src = %q", src)
+	}
+	areas := jq.Select(doc, "map area")
+	if areas.Len() < 2 {
+		t.Fatalf("areas = %d", areas.Len())
+	}
+	// The nav subpage loads via AJAX into the pane.
+	if !strings.Contains(body, "msiteLoad('/subpage/nav')") {
+		t.Fatal("ajax area missing")
+	}
+	if doc.ElementByID("msite-pane") == nil {
+		t.Fatal("pane missing")
+	}
+}
+
+func TestSnapshotAssetServed(t *testing.T) {
+	rig := newRig(t, nil)
+	body, _ := rig.get(t, "/")
+	doc := html.Tidy(body)
+	src := jq.Select(doc, "img[usemap]").AttrOr("src", "")
+	data, resp := rig.get(t, src)
+	if resp.StatusCode != 200 {
+		t.Fatalf("asset status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Content-Type") != "image/jpeg" {
+		t.Fatalf("content type = %q", resp.Header.Get("Content-Type"))
+	}
+	if !strings.HasPrefix(data, "\xff\xd8") {
+		t.Fatal("not a JPEG")
+	}
+	// Low fidelity keeps it in the paper's 25-50 KB band (scaled down);
+	// generous upper bound.
+	if len(data) < 2_000 || len(data) > 120_000 {
+		t.Fatalf("snapshot = %d bytes", len(data))
+	}
+}
+
+func TestSnapshotSharedAcrossSessions(t *testing.T) {
+	rig := newRig(t, nil)
+	rig.get(t, "/")
+	renders := rig.p.Stats().SnapshotRenders
+
+	// Second, separate client (new jar) — the snapshot must come from
+	// the shared cache, amortizing the render (§3.3 Object caching).
+	jar, _ := cookiejar.New(nil)
+	client2 := &http.Client{Jar: jar}
+	resp, err := client2.Get(rig.proxy.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+
+	stats := rig.p.Stats()
+	if stats.SnapshotRenders != renders {
+		t.Fatalf("snapshot re-rendered: %d → %d", renders, stats.SnapshotRenders)
+	}
+	if stats.SnapshotHits == 0 {
+		t.Fatal("no snapshot cache hit recorded")
+	}
+}
+
+func TestLoginSubpage(t *testing.T) {
+	rig := newRig(t, nil)
+	rig.get(t, "/") // establish session + adaptation
+	body, resp := rig.get(t, "/subpage/login")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, `id="loginform"`) {
+		t.Fatal("login form missing")
+	}
+	if !strings.Contains(body, "/m/logo.gif") {
+		t.Fatal("mobile logo missing")
+	}
+	if !strings.Contains(body, ".tcat") && !strings.Contains(body, "style") {
+		t.Fatal("style dependency missing")
+	}
+}
+
+func TestSubpageWithoutPriorEntry(t *testing.T) {
+	// Hitting a subpage first still adapts on demand.
+	rig := newRig(t, nil)
+	body, resp := rig.get(t, "/subpage/login")
+	if resp.StatusCode != 200 || !strings.Contains(body, "loginform") {
+		t.Fatalf("direct subpage failed: %d", resp.StatusCode)
+	}
+}
+
+func TestUnknownSubpage404(t *testing.T) {
+	rig := newRig(t, nil)
+	_, resp := rig.get(t, "/subpage/ghost")
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestPreRenderedSubpageAsset(t *testing.T) {
+	rig := newRig(t, nil)
+	rig.get(t, "/")
+	body, _ := rig.get(t, "/subpage/forums")
+	if !strings.Contains(body, `src="/asset/forums.jpg"`) {
+		t.Fatalf("prerendered subpage should reference asset: %s", body)
+	}
+	data, resp := rig.get(t, "/asset/forums.jpg")
+	if resp.StatusCode != 200 || !strings.HasPrefix(data, "\xff\xd8") {
+		t.Fatal("asset not served")
+	}
+}
+
+func TestAssetTraversalBlocked(t *testing.T) {
+	rig := newRig(t, nil)
+	rig.get(t, "/")
+	for _, path := range []string{"/asset/..%2F..%2Fetc", "/asset/a%2Fb"} {
+		_, resp := rig.get(t, path)
+		if resp.StatusCode != 404 {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestAJAXDispatch(t *testing.T) {
+	rig := newRig(t, nil)
+	body, resp := rig.get(t, "/ajax?action=1&p=42")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "photo_42") {
+		t.Fatalf("fragment = %s", body)
+	}
+	if strings.Contains(body, "chrome") {
+		t.Fatal("extraction leaked surrounding chrome")
+	}
+	_, resp = rig.get(t, "/ajax?action=99&p=1")
+	if resp.StatusCode != 502 {
+		t.Fatalf("unknown action = %d", resp.StatusCode)
+	}
+	_, resp = rig.get(t, "/ajax?action=abc")
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad action = %d", resp.StatusCode)
+	}
+}
+
+func TestLogoutClearsCookies(t *testing.T) {
+	rig := newRig(t, nil)
+	rig.get(t, "/")
+	_, resp := rig.get(t, "/logout")
+	// Redirect followed back to entry.
+	if resp.Request.URL.Path != "/" {
+		t.Fatalf("final path = %s", resp.Request.URL.Path)
+	}
+}
+
+func TestSnapshotDisabledServesAdaptedMain(t *testing.T) {
+	rig := newRig(t, func(s *spec.Spec) { s.Snapshot.Enabled = false })
+	body, resp := rig.get(t, "/")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// The adapted main: banner replaced, login form split away.
+	if !strings.Contains(body, "/ads/mobile.gif") {
+		t.Fatal("banner not replaced")
+	}
+	if strings.Contains(body, `id="loginform"`) {
+		t.Fatal("split object still in main page")
+	}
+	if strings.Contains(body, "usemap") {
+		t.Fatal("unexpected overlay")
+	}
+}
+
+func TestFilterPhaseApplied(t *testing.T) {
+	rig := newRig(t, func(s *spec.Spec) {
+		s.Snapshot.Enabled = false
+		s.Filters = []spec.Filter{
+			{Type: "title", Params: map[string]string{"value": "m.Sawdust"}},
+			{Type: "strip-scripts"},
+		}
+	})
+	body, _ := rig.get(t, "/")
+	if !strings.Contains(body, "<title>m.Sawdust</title>") {
+		t.Fatal("title filter not applied")
+	}
+	if strings.Contains(body, "js_0.js") {
+		t.Fatal("scripts not stripped")
+	}
+}
+
+func TestOriginDownError(t *testing.T) {
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	sp := forumSpec(originSrv.URL)
+	originSrv.Close() // origin is down
+
+	sessions, _ := session.NewManager(t.TempDir())
+	p, err := New(Config{Spec: sp, Sessions: sessions, Cache: cache.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(p)
+	defer proxySrv.Close()
+
+	resp, err := http.Get(proxySrv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestAuthInterposition(t *testing.T) {
+	// An origin protected by HTTP basic auth: the proxy redirects to its
+	// lightweight auth page, stores credentials, and replays them.
+	protected := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		user, pass, ok := r.BasicAuth()
+		if !ok || user != "member" || pass != "pw" {
+			w.Header().Set("WWW-Authenticate", `Basic realm="forum"`)
+			w.WriteHeader(http.StatusUnauthorized)
+			return
+		}
+		_, _ = w.Write([]byte(`<html><body><div id="private">secret page</div></body></html>`))
+	}))
+	defer protected.Close()
+
+	sp := &spec.Spec{Name: "private", Origin: protected.URL + "/"}
+	sessions, _ := session.NewManager(t.TempDir())
+	p, err := New(Config{Spec: sp, Sessions: sessions, Cache: cache.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(p)
+	defer proxySrv.Close()
+
+	jar, _ := cookiejar.New(nil)
+	client := &http.Client{Jar: jar}
+
+	// First hit: redirected to /auth.
+	resp, err := client.Get(proxySrv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.Request.URL.Path != "/auth" {
+		t.Fatalf("not redirected to auth: %s", resp.Request.URL)
+	}
+	if !strings.Contains(string(body), "Authentication required") {
+		t.Fatal("auth page missing")
+	}
+
+	// Submit credentials; follow redirect back to the page.
+	resp2, err := client.PostForm(resp.Request.URL.String(), url.Values{
+		"username": {"member"}, "password": {"pw"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	_ = resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("post-auth status = %d", resp2.StatusCode)
+	}
+	if !strings.Contains(string(body2), "secret page") {
+		t.Fatalf("authed content not proxied: %s", body2)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	rig := newRig(t, nil)
+	rig.get(t, "/")
+	rig.get(t, "/subpage/login")
+	s := rig.p.Stats()
+	if s.Requests < 2 {
+		t.Fatalf("requests = %d", s.Requests)
+	}
+	if s.Adaptations != 1 {
+		t.Fatalf("adaptations = %d", s.Adaptations)
+	}
+	if s.SnapshotRenders != 1 {
+		t.Fatalf("renders = %d", s.SnapshotRenders)
+	}
+}
+
+func TestRefreshReAdapts(t *testing.T) {
+	rig := newRig(t, nil)
+	rig.get(t, "/")
+	rig.get(t, "/?refresh=1")
+	if got := rig.p.Stats().Adaptations; got != 2 {
+		t.Fatalf("adaptations = %d", got)
+	}
+}

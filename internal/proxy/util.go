@@ -1,0 +1,79 @@
+package proxy
+
+import (
+	"image"
+	"net/url"
+	"strings"
+
+	"msite/internal/attr"
+	"msite/internal/css"
+	"msite/internal/dom"
+	"msite/internal/fetch"
+	"msite/internal/html"
+	"msite/internal/imaging"
+	"msite/internal/layout"
+)
+
+// tidyDoc parses filtered source into a normalized document.
+func tidyDoc(src string) *dom.Node {
+	return html.Tidy(src)
+}
+
+// layoutForDoc lays out a document at the proxy's render width.
+func layoutForDoc(doc *dom.Node, width int) *layout.Result {
+	styler := css.StylerForDocument(doc)
+	return layout.Layout(doc, styler, layout.Viewport{Width: width})
+}
+
+// pageHTML serializes the adapted main document.
+func pageHTML(result *attr.Result) []byte {
+	return []byte(html.Render(result.Doc))
+}
+
+// maxRenderImages bounds per-page image downloads.
+const maxRenderImages = 48
+
+// fetchImages downloads and decodes the images a render of doc needs,
+// keyed by the src attribute value as written (the key the rasterizer
+// looks up). Undecodable or unfetchable images are skipped — the
+// renderer falls back to placeholders.
+func fetchImages(f *fetch.Fetcher, doc *dom.Node, base string) map[string]image.Image {
+	baseURL, err := url.Parse(base)
+	if err != nil {
+		return nil
+	}
+	images := make(map[string]image.Image)
+	count := 0
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Type != dom.ElementNode || n.Tag != "img" || count >= maxRenderImages {
+			return true
+		}
+		src := n.AttrOr("src", "")
+		if src == "" || strings.HasPrefix(src, "data:") {
+			return true
+		}
+		if _, done := images[src]; done {
+			return true
+		}
+		abs, err := baseURL.Parse(src)
+		if err != nil {
+			return true
+		}
+		count++
+		page, err := f.Get(abs.String())
+		if err != nil {
+			return true
+		}
+		decoded, err := imaging.Decode(page.Body)
+		if err != nil {
+			return true
+		}
+		// Key by the attribute as written and by its absolute form: the
+		// URL-anchoring pass rewrites srcs to absolute before the
+		// snapshot render looks them up.
+		images[src] = decoded
+		images[abs.String()] = decoded
+		return true
+	})
+	return images
+}

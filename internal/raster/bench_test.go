@@ -1,0 +1,50 @@
+package raster
+
+import (
+	"strings"
+	"testing"
+
+	"msite/internal/css"
+	"msite/internal/html"
+	"msite/internal/layout"
+)
+
+func benchLayout(b *testing.B) *layout.Result {
+	b.Helper()
+	var sb strings.Builder
+	sb.WriteString(`<html><body>`)
+	for i := 0; i < 40; i++ {
+		sb.WriteString(`<div style="background-color: #dde; border: 1px solid navy; padding: 4px">
+<b>Heading text</b> and a longer run of body copy that wraps across the container width.
+<img src="x.gif" width="60" height="40"></div>`)
+	}
+	sb.WriteString("</body></html>")
+	doc := html.Parse(sb.String())
+	return layout.Layout(doc, css.StylerForDocument(doc), layout.Viewport{Width: 1024})
+}
+
+func BenchmarkPaint(b *testing.B) {
+	res := benchLayout(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Paint(res, Options{}) == nil {
+			b.Fatal("nil image")
+		}
+	}
+}
+
+func BenchmarkPaintSkipText(b *testing.B) {
+	res := benchLayout(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Paint(res, Options{SkipText: true})
+	}
+}
+
+func BenchmarkPaintAntialias(b *testing.B) {
+	res := benchLayout(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Paint(res, Options{Antialias: true})
+	}
+}

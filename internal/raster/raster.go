@@ -1,0 +1,301 @@
+// Package raster paints a laid-out box tree into an image.RGBA. Together
+// with layout it forms the server-side rendering engine that replaces the
+// paper's embedded WebKit: backgrounds, borders, replaced-element
+// placeholders, and real bitmap text, all in pure Go.
+package raster
+
+import (
+	"image"
+	"image/color"
+	"image/draw"
+
+	"msite/internal/css"
+	"msite/internal/dom"
+	"msite/internal/imaging"
+	"msite/internal/layout"
+)
+
+// Options configures painting.
+type Options struct {
+	// Background is the page background; defaults to white.
+	Background color.RGBA
+	// MinHeight pads the canvas to at least this many pixels tall.
+	MinHeight int
+	// SkipText suppresses text runs, painting only boxes, borders, and
+	// placeholders. Partial CSS pre-rendering (§3.3) uses this to build
+	// the background image the device overlays text onto.
+	SkipText bool
+	// Antialias applies a deterministic sub-perceptual jitter after
+	// painting, modeling the pixel-level entropy of a real browser's
+	// antialiased rendering. Without it the synthetic flat-color output
+	// compresses unrealistically well in PNG, inverting the paper's
+	// image-fidelity relationship; the experiments enable it so encoded
+	// sizes behave like real screenshots.
+	Antialias bool
+	// Images maps <img src> attribute values (as written, or absolute) to
+	// decoded images. Replaced elements whose src resolves here paint the
+	// real pixels, scaled to the box; everything else gets the
+	// placeholder. The proxy fills this from the subresources it
+	// downloads on the client's behalf (§3.2).
+	Images map[string]image.Image
+}
+
+// Paint rasterizes a layout result into a new RGBA image.
+func Paint(res *layout.Result, opts Options) *image.RGBA {
+	bg := opts.Background
+	if bg.A == 0 {
+		bg = color.RGBA{255, 255, 255, 255}
+	}
+	// Respect an explicit body background if painted box has one.
+	if res.Root != nil {
+		if c, ok := css.ParseColor(res.Root.Style.Get("background-color", "")); ok && c.A > 0 {
+			bg = c
+		}
+	}
+	h := res.Height
+	if h < opts.MinHeight {
+		h = opts.MinHeight
+	}
+	if h < 1 {
+		h = 1
+	}
+	w := res.Width
+	if w < 1 {
+		w = 1
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	draw.Draw(img, img.Bounds(), &image.Uniform{C: bg}, image.Point{}, draw.Src)
+	if res.Root != nil {
+		paintBox(img, res.Root, opts)
+	}
+	if opts.Antialias {
+		applyAntialiasJitter(img)
+	}
+	return img
+}
+
+// applyAntialiasJitter perturbs a deterministic ~30% subset of pixels by
+// ±2 per channel — invisible to the eye, but it restores the entropy an
+// antialiased rendering carries so the PNG/JPEG fidelity ladder matches
+// real screenshot behaviour.
+func applyAntialiasJitter(img *image.RGBA) {
+	b := img.Bounds()
+	state := uint32(0x9e3779b9)
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		row := img.Pix[img.PixOffset(b.Min.X, y):img.PixOffset(b.Max.X, y)]
+		for i := 0; i+3 < len(row); i += 4 {
+			state = state*1664525 + 1013904223
+			if state>>24 > 33 { // ~13% of pixels
+				continue
+			}
+			for ch := 0; ch < 3; ch++ {
+				state = state*1664525 + 1013904223
+				delta := int(state>>30) - 1 // -1, 0, 1, 2
+				v := int(row[i+ch]) + delta
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				row[i+ch] = uint8(v)
+			}
+		}
+	}
+}
+
+func paintBox(img *image.RGBA, b *layout.Box, opts Options) {
+	paintBackground(img, b)
+	paintBorders(img, b)
+	if b.Node != nil && b.Node.Type == dom.ElementNode && isReplaced(b.Node.Tag) {
+		if !paintRealImage(img, b, opts) {
+			paintPlaceholder(img, b)
+		}
+	}
+	if !opts.SkipText {
+		for _, run := range b.Runs {
+			paintRun(img, run)
+		}
+	}
+	for _, c := range b.Children {
+		paintBox(img, c, opts)
+	}
+}
+
+// paintRealImage paints the decoded source image scaled into the box,
+// returning false when no decoded image is available.
+func paintRealImage(dst *image.RGBA, b *layout.Box, opts Options) bool {
+	if len(opts.Images) == 0 || b.Node == nil {
+		return false
+	}
+	src, ok := b.Node.Attr("src")
+	if !ok || src == "" {
+		return false
+	}
+	decoded, ok := opts.Images[src]
+	if !ok {
+		return false
+	}
+	w, h := int(b.W), int(b.H)
+	if w <= 0 || h <= 0 {
+		return false
+	}
+	scaled := imaging.Scale(decoded, w, h)
+	x0, y0 := int(b.X), int(b.Y)
+	bounds := dst.Bounds()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			px, py := x0+x, y0+y
+			if px < bounds.Min.X || px >= bounds.Max.X || py < bounds.Min.Y || py >= bounds.Max.Y {
+				continue
+			}
+			dst.SetRGBA(px, py, scaled.RGBAAt(x, y))
+		}
+	}
+	return true
+}
+
+func isReplaced(tag string) bool {
+	switch tag {
+	case "img", "iframe", "embed", "object", "video", "canvas":
+		return true
+	}
+	return false
+}
+
+func paintBackground(img *image.RGBA, b *layout.Box) {
+	c, ok := css.ParseColor(b.Style.Get("background-color", ""))
+	if !ok || c.A == 0 {
+		return
+	}
+	fillRect(img, int(b.X), int(b.Y), int(b.W), int(b.H), c)
+}
+
+func paintBorders(img *image.RGBA, b *layout.Box) {
+	side := func(name string) (int, color.RGBA, bool) {
+		style := b.Style.Get("border-"+name+"-style", "")
+		if style == "" || style == "none" || style == "hidden" {
+			return 0, color.RGBA{}, false
+		}
+		w, ok := css.ParseLength(b.Style.Get("border-"+name+"-width", "3"), 0)
+		if !ok || w <= 0 {
+			return 0, color.RGBA{}, false
+		}
+		c, ok := css.ParseColor(b.Style.Get("border-"+name+"-color", "black"))
+		if !ok {
+			c = color.RGBA{A: 255}
+		}
+		return int(w + 0.5), c, true
+	}
+	x, y, w, h := int(b.X), int(b.Y), int(b.W), int(b.H)
+	if bw, c, ok := side("top"); ok {
+		fillRect(img, x, y, w, bw, c)
+	}
+	if bw, c, ok := side("bottom"); ok {
+		fillRect(img, x, y+h-bw, w, bw, c)
+	}
+	if bw, c, ok := side("left"); ok {
+		fillRect(img, x, y, bw, h, c)
+	}
+	if bw, c, ok := side("right"); ok {
+		fillRect(img, x+w-bw, y, bw, h, c)
+	}
+}
+
+// paintPlaceholder draws the conventional replaced-element placeholder:
+// a light box with a border and a diagonal cross, standing in for image
+// bytes the renderer does not decode.
+func paintPlaceholder(img *image.RGBA, b *layout.Box) {
+	x, y, w, h := int(b.X), int(b.Y), int(b.W), int(b.H)
+	if w <= 0 || h <= 0 {
+		return
+	}
+	fill := color.RGBA{203, 213, 225, 255}
+	border := color.RGBA{100, 116, 139, 255}
+	fillRect(img, x, y, w, h, fill)
+	fillRect(img, x, y, w, 1, border)
+	fillRect(img, x, y+h-1, w, 1, border)
+	fillRect(img, x, y, 1, h, border)
+	fillRect(img, x+w-1, y, 1, h, border)
+	// Diagonals.
+	steps := w
+	if h > steps {
+		steps = h
+	}
+	for i := 0; i < steps; i++ {
+		px := x + i*w/steps
+		py := y + i*h/steps
+		setPx(img, px, py, border)
+		setPx(img, x+w-1-(px-x), py, border)
+	}
+}
+
+func paintRun(img *image.RGBA, run layout.TextRun) {
+	scale := layout.GlyphScale(run.FontSize)
+	x := run.X
+	col := run.Color
+	if col.A == 0 {
+		col = color.RGBA{A: 255}
+	}
+	for _, r := range run.Text {
+		glyph := glyphFor(r)
+		drawGlyph(img, glyph, x, run.Y, scale, col, run.Bold, run.Italic)
+		x += layout.CharWidth(run.FontSize)
+	}
+	if run.Underline {
+		thickness := int(scale)
+		if thickness < 1 {
+			thickness = 1
+		}
+		fillRect(img, int(run.X), int(run.Y+run.Height())+1,
+			int(run.Width()+0.5), thickness, col)
+	}
+}
+
+// drawGlyph paints one 5x7 glyph scaled to the font size. Bold widens
+// each column by one device pixel; italic shears columns rightward with
+// height.
+func drawGlyph(img *image.RGBA, glyph [5]byte, x, y, scale float64, c color.RGBA, bold, italic bool) {
+	for colIdx := 0; colIdx < layout.GlyphCols; colIdx++ {
+		bits := glyph[colIdx]
+		for rowIdx := 0; rowIdx < layout.GlyphRows; rowIdx++ {
+			if bits&(1<<uint(rowIdx)) == 0 {
+				continue
+			}
+			px0 := x + float64(colIdx)*scale
+			py0 := y + float64(rowIdx)*scale
+			if italic {
+				px0 += (float64(layout.GlyphRows-rowIdx) * scale) * 0.2
+			}
+			wpx := int(px0+scale) - int(px0)
+			hpx := int(py0+scale) - int(py0)
+			if wpx < 1 {
+				wpx = 1
+			}
+			if hpx < 1 {
+				hpx = 1
+			}
+			if bold {
+				wpx++
+			}
+			fillRect(img, int(px0), int(py0), wpx, hpx, c)
+		}
+	}
+}
+
+func fillRect(img *image.RGBA, x, y, w, h int, c color.RGBA) {
+	bounds := img.Bounds()
+	x0, y0 := max(x, bounds.Min.X), max(y, bounds.Min.Y)
+	x1, y1 := min(x+w, bounds.Max.X), min(y+h, bounds.Max.Y)
+	for py := y0; py < y1; py++ {
+		for px := x0; px < x1; px++ {
+			img.SetRGBA(px, py, c)
+		}
+	}
+}
+
+func setPx(img *image.RGBA, x, y int, c color.RGBA) {
+	if image.Pt(x, y).In(img.Bounds()) {
+		img.SetRGBA(x, y, c)
+	}
+}

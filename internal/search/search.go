@@ -1,0 +1,178 @@
+// Package search implements the searchable-snapshot attribute (§3.3
+// "Search"): a sorted word index built on the server from the rendered
+// page text, with the pixel location of each word, shipped to the device
+// as a JavaScript array plus a binary-search function. It is what lets a
+// pre-rendered image be searched.
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"msite/internal/layout"
+)
+
+// Hit is one indexed word occurrence with its rendered location.
+type Hit struct {
+	Word string
+	// X, Y, W, H locate the word in snapshot pixels.
+	X, Y, W, H int
+}
+
+// Index is a sorted word index over a rendered page.
+type Index struct {
+	hits []Hit // sorted by Word, then Y, then X
+}
+
+// Build constructs the index from a layout's text runs. Words are
+// lowercased and stripped of surrounding punctuation; words shorter than
+// two characters are skipped.
+func Build(res *layout.Result) *Index {
+	var hits []Hit
+	for _, run := range res.Runs() {
+		x := run.X
+		charW := layout.CharWidth(run.FontSize)
+		word := normalizeWord(run.Text)
+		if len(word) >= 2 {
+			hits = append(hits, Hit{
+				Word: word,
+				X:    int(x),
+				Y:    int(run.Y),
+				W:    int(run.Width() + 0.5),
+				H:    int(run.Height() + 0.5),
+			})
+		}
+		_ = charW
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Word != hits[j].Word {
+			return hits[i].Word < hits[j].Word
+		}
+		if hits[i].Y != hits[j].Y {
+			return hits[i].Y < hits[j].Y
+		}
+		return hits[i].X < hits[j].X
+	})
+	return &Index{hits: hits}
+}
+
+func normalizeWord(s string) string {
+	return strings.Trim(strings.ToLower(s), ".,;:!?\"'()[]{}<>")
+}
+
+// Len returns the number of indexed occurrences.
+func (idx *Index) Len() int { return len(idx.hits) }
+
+// Words returns the distinct indexed words, sorted.
+func (idx *Index) Words() []string {
+	var out []string
+	prev := ""
+	for _, h := range idx.hits {
+		if h.Word != prev {
+			out = append(out, h.Word)
+			prev = h.Word
+		}
+	}
+	return out
+}
+
+// Lookup binary-searches for a word and returns its occurrences — the
+// same algorithm the generated JavaScript runs on the device.
+func (idx *Index) Lookup(word string) []Hit {
+	word = normalizeWord(word)
+	lo := sort.Search(len(idx.hits), func(i int) bool {
+		return idx.hits[i].Word >= word
+	})
+	hi := lo
+	for hi < len(idx.hits) && idx.hits[hi].Word == word {
+		hi++
+	}
+	if lo == hi {
+		return nil
+	}
+	out := make([]Hit, hi-lo)
+	copy(out, idx.hits[lo:hi])
+	return out
+}
+
+// Scale returns a copy of the index with every coordinate multiplied by
+// factor, matching a scaled-down snapshot (the framework "implicitly
+// translates the coordinates", §4.3).
+func (idx *Index) Scale(factor float64) *Index {
+	scaled := make([]Hit, len(idx.hits))
+	for i, h := range idx.hits {
+		scaled[i] = Hit{
+			Word: h.Word,
+			X:    int(float64(h.X) * factor),
+			Y:    int(float64(h.Y) * factor),
+			W:    int(float64(h.W) * factor),
+			H:    int(float64(h.H) * factor),
+		}
+	}
+	return &Index{hits: scaled}
+}
+
+// JS emits the client payload: the ordered index array, a binary-search
+// function, and a trigger hookup for the element the site administrator
+// designated (§3.3: "the site administrator must define an HTML element
+// (button or link) to make the initial Javascript call").
+func (idx *Index) JS(triggerID string) string {
+	var b strings.Builder
+	b.WriteString("var msiteSearchIndex = [")
+	for i, h := range idx.hits {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "[%q,%d,%d,%d,%d]", h.Word, h.X, h.Y, h.W, h.H)
+	}
+	b.WriteString("];\n")
+	b.WriteString(searchRuntimeJS)
+	if triggerID != "" {
+		fmt.Fprintf(&b, "msiteBindSearch(%q);\n", triggerID)
+	}
+	return b.String()
+}
+
+// searchRuntimeJS is the device-side runtime: binary search over the
+// sorted array plus a highlight overlay positioned at the hit
+// coordinates.
+const searchRuntimeJS = `function msiteSearch(word) {
+  word = word.toLowerCase();
+  var lo = 0, hi = msiteSearchIndex.length;
+  while (lo < hi) {
+    var mid = (lo + hi) >> 1;
+    if (msiteSearchIndex[mid][0] < word) { lo = mid + 1; } else { hi = mid; }
+  }
+  var hits = [];
+  while (lo < msiteSearchIndex.length && msiteSearchIndex[lo][0] === word) {
+    hits.push(msiteSearchIndex[lo]); lo++;
+  }
+  return hits;
+}
+function msiteHighlight(hits) {
+  var old = document.getElementById('msite-hit');
+  if (old) { old.parentNode.removeChild(old); }
+  if (!hits.length) { return; }
+  var h = hits[0];
+  var box = document.createElement('div');
+  box.id = 'msite-hit';
+  box.style.position = 'absolute';
+  box.style.left = h[1] + 'px';
+  box.style.top = h[2] + 'px';
+  box.style.width = h[3] + 'px';
+  box.style.height = h[4] + 'px';
+  box.style.border = '2px solid red';
+  document.body.appendChild(box);
+  window.scrollTo(0, Math.max(0, h[2] - 40));
+}
+function msiteBindSearch(id) {
+  var el = document.getElementById(id);
+  if (!el) { return; }
+  el.onclick = function () {
+    var word = window.prompt('Search page:');
+    if (word) { msiteHighlight(msiteSearch(word)); }
+    return false;
+  };
+}
+`

@@ -1,0 +1,283 @@
+// Package session implements m.Site's multi-session state management
+// (§3.2): each mobile client is issued a session cookie; all files
+// generated during the session live under a protected per-user
+// subdirectory; the proxy keeps a per-user cookie jar so it can fetch
+// authenticated origin content on the client's behalf; and HTTP
+// credentials are stored and replayed per user. This is the piece that
+// lets a single lightweight proxy replace one browser instance per
+// client.
+package session
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// CookieName is the proxy session cookie.
+const CookieName = "msite_session"
+
+// DefaultTTL is how long an idle session survives before GC.
+const DefaultTTL = 2 * time.Hour
+
+// ErrNotFound is returned for unknown or expired session IDs.
+var ErrNotFound = errors.New("session: not found")
+
+// Credentials is one stored HTTP authentication credential.
+type Credentials struct {
+	User string
+	Pass string
+}
+
+// Session is one mobile client's server-side state.
+type Session struct {
+	// ID is the random session identifier carried in the cookie.
+	ID string
+	// Dir is the session's protected subdirectory; generated subpages
+	// and per-user images are written beneath it.
+	Dir string
+	// Jar holds the origin cookies the proxy presents on the client's
+	// behalf.
+	Jar http.CookieJar
+
+	mu       sync.Mutex
+	auth     map[string]Credentials // keyed by host
+	values   map[string]string
+	lastSeen time.Time
+}
+
+// SubpageDir returns the directory generated subpages are written to,
+// creating it if needed.
+func (s *Session) SubpageDir() (string, error) {
+	return s.ensureDir("pages")
+}
+
+// ImageDir returns the directory pre-rendered per-user images are written
+// to, creating it if needed.
+func (s *Session) ImageDir() (string, error) {
+	return s.ensureDir("images")
+}
+
+func (s *Session) ensureDir(sub string) (string, error) {
+	dir := filepath.Join(s.Dir, sub)
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return "", fmt.Errorf("session: creating %s dir: %w", sub, err)
+	}
+	return dir, nil
+}
+
+// SetAuth stores HTTP credentials for a host.
+func (s *Session) SetAuth(host string, c Credentials) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.auth[host] = c
+}
+
+// Auth returns the stored credentials for a host.
+func (s *Session) Auth(host string) (Credentials, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.auth[host]
+	return c, ok
+}
+
+// Set stores an arbitrary session value.
+func (s *Session) Set(key, val string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.values[key] = val
+}
+
+// Get returns an arbitrary session value.
+func (s *Session) Get(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.values[key]
+	return v, ok
+}
+
+// ClearCookies discards the session's origin cookie jar — the mechanism
+// behind the paper's "replacement of a logout button with a get
+// parameter, which allows cookies to be cleared on the proxy".
+func (s *Session) ClearCookies() error {
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return fmt.Errorf("session: resetting cookie jar: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Jar = jar
+	return nil
+}
+
+// Manager creates, finds, and expires sessions. Safe for concurrent use.
+type Manager struct {
+	root  string
+	ttl   time.Duration
+	clock func() time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// NewManager returns a Manager writing session directories under root.
+func NewManager(root string) (*Manager, error) {
+	return NewManagerWithClock(root, DefaultTTL, time.Now)
+}
+
+// NewManagerWithClock allows a custom TTL and clock.
+func NewManagerWithClock(root string, ttl time.Duration, clock func() time.Time) (*Manager, error) {
+	if root == "" {
+		return nil, errors.New("session: empty root directory")
+	}
+	if err := os.MkdirAll(root, 0o700); err != nil {
+		return nil, fmt.Errorf("session: creating root: %w", err)
+	}
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Manager{
+		root:     root,
+		ttl:      ttl,
+		clock:    clock,
+		sessions: make(map[string]*Session),
+	}, nil
+}
+
+// Create makes a fresh session with its own directory and cookie jar.
+func (m *Manager) Create() (*Session, error) {
+	id, err := newID()
+	if err != nil {
+		return nil, err
+	}
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return nil, fmt.Errorf("session: creating cookie jar: %w", err)
+	}
+	dir := filepath.Join(m.root, id)
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("session: creating session dir: %w", err)
+	}
+	s := &Session{
+		ID:       id,
+		Dir:      dir,
+		Jar:      jar,
+		auth:     make(map[string]Credentials),
+		values:   make(map[string]string),
+		lastSeen: m.clock(),
+	}
+	m.mu.Lock()
+	m.sessions[id] = s
+	m.mu.Unlock()
+	return s, nil
+}
+
+// Get returns the live session for id, refreshing its idle timer.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	s.mu.Lock()
+	expired := m.clock().Sub(s.lastSeen) > m.ttl
+	if !expired {
+		s.lastSeen = m.clock()
+	}
+	s.mu.Unlock()
+	if expired {
+		delete(m.sessions, id)
+		_ = os.RemoveAll(s.Dir)
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// Delete removes a session and its directory.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	if err := os.RemoveAll(s.Dir); err != nil {
+		return fmt.Errorf("session: removing dir: %w", err)
+	}
+	return nil
+}
+
+// GC removes idle sessions and their directories, returning the count.
+func (m *Manager) GC() int {
+	m.mu.Lock()
+	now := m.clock()
+	var stale []*Session
+	for id, s := range m.sessions {
+		s.mu.Lock()
+		idle := now.Sub(s.lastSeen) > m.ttl
+		s.mu.Unlock()
+		if idle {
+			stale = append(stale, s)
+			delete(m.sessions, id)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range stale {
+		_ = os.RemoveAll(s.Dir)
+	}
+	return len(stale)
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// FromRequest returns the session identified by the request's cookie.
+func (m *Manager) FromRequest(r *http.Request) (*Session, error) {
+	c, err := r.Cookie(CookieName)
+	if err != nil {
+		return nil, ErrNotFound
+	}
+	return m.Get(c.Value)
+}
+
+// Ensure returns the request's session, creating one (and setting the
+// cookie on w) when the client has none — "Upon starting a mobile session
+// for the first time, the mobile browser is issued a session cookie"
+// (§3.2).
+func (m *Manager) Ensure(w http.ResponseWriter, r *http.Request) (*Session, error) {
+	if s, err := m.FromRequest(r); err == nil {
+		return s, nil
+	}
+	s, err := m.Create()
+	if err != nil {
+		return nil, err
+	}
+	http.SetCookie(w, &http.Cookie{
+		Name:     CookieName,
+		Value:    s.ID,
+		Path:     "/",
+		HttpOnly: true,
+	})
+	return s, nil
+}
+
+func newID() (string, error) {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "", fmt.Errorf("session: generating id: %w", err)
+	}
+	return hex.EncodeToString(buf[:]), nil
+}

@@ -1,0 +1,275 @@
+// Package workload is the load harness behind Figure 7: closed-loop
+// clients issue repeated requests for a remote site while a seeded
+// U[0,1] draw marks each request as requiring (or not) the instantiation
+// of a full browser instance, exactly per the paper's methodology —
+// "A U[0,1] random number is assigned to each request; if the number
+// exceeds the percentage being tested, the request is marked as not
+// requiring a browser instance." No browser pool is used, matching the
+// paper's prototype.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msite/internal/browser"
+	"msite/internal/filter"
+	"msite/internal/imaging"
+	"msite/internal/spec"
+)
+
+// Config parameterizes one measurement window.
+type Config struct {
+	// OriginURL is the page under load.
+	OriginURL string
+	// BrowserPercent is the percentage of requests requiring a full
+	// browser instance (0–100).
+	BrowserPercent float64
+	// Window is the measurement window (the paper uses one minute).
+	Window time.Duration
+	// Concurrency is the number of closed-loop clients.
+	Concurrency int
+	// ViewportWidth sizes browser instances.
+	ViewportWidth int
+	// Seed makes the U[0,1] marking reproducible.
+	Seed int64
+	// UsePool reuses browser instances across requests — off in the
+	// paper ("Using a browser pool can potentially violate security
+	// assumptions if shared by multiple clients", §4.6); exposed for the
+	// ablation bench.
+	UsePool bool
+}
+
+// Result is one window's measurement.
+type Result struct {
+	// Satisfied is the number of completed requests in the window.
+	Satisfied int
+	// FullRenders is how many requests took the browser path.
+	FullRenders int
+	// Lightweight is how many took the filter-only proxy path.
+	Lightweight int
+	// Window echoes the configured window.
+	Window time.Duration
+}
+
+// Throughput returns satisfied requests per minute, the paper's y-axis.
+func (r Result) Throughput() float64 {
+	if r.Window <= 0 {
+		return 0
+	}
+	return float64(r.Satisfied) * float64(time.Minute) / float64(r.Window)
+}
+
+// lightweightFilters is the typical filter-phase work of the cheap path.
+var lightweightFilters = []spec.Filter{
+	{Type: "doctype", Params: map[string]string{"value": "html"}},
+	{Type: "title", Params: map[string]string{"value": "m.Site"}},
+	{Type: "strip-scripts"},
+	{Type: "rewrite-images", Params: map[string]string{"prefix": "/lowfi"}},
+}
+
+// Run executes one measurement window and reports the satisfied-request
+// count.
+func Run(cfg Config) (Result, error) {
+	if cfg.OriginURL == "" {
+		return Result{}, errors.New("workload: no origin URL")
+	}
+	if cfg.Window <= 0 {
+		return Result{}, errors.New("workload: window must be positive")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 2
+	}
+	if cfg.BrowserPercent < 0 || cfg.BrowserPercent > 100 {
+		return Result{}, fmt.Errorf("workload: browser percent %v out of range", cfg.BrowserPercent)
+	}
+
+	// Fetch the page once up front; the window then measures proxy-side
+	// adaptation work against a hot origin, as in the paper's LAN setup.
+	pageSrc, err := fetchOnce(cfg.OriginURL)
+	if err != nil {
+		return Result{}, err
+	}
+
+	marker := newMarker(cfg.Seed, cfg.BrowserPercent)
+	var (
+		satisfied   int64
+		fullRenders int64
+		lightweight int64
+	)
+	deadline := time.Now().Add(cfg.Window)
+
+	var pool *browser.Pool
+	if cfg.UsePool {
+		pool = browser.NewPool(cfg.ViewportWidth, cfg.Concurrency)
+		defer pool.Close()
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Concurrency)
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if marker.needsBrowser() {
+					if err := fullRender(pageSrc, cfg, pool); err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+					atomic.AddInt64(&fullRenders, 1)
+				} else {
+					if err := lightweightServe(pageSrc); err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+					atomic.AddInt64(&lightweight, 1)
+				}
+				atomic.AddInt64(&satisfied, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return Result{}, err
+	default:
+	}
+	return Result{
+		Satisfied:   int(satisfied),
+		FullRenders: int(fullRenders),
+		Lightweight: int(lightweight),
+		Window:      cfg.Window,
+	}, nil
+}
+
+// fullRender is the expensive path: launch a browser instance (no reuse
+// unless pooled), render the page, and encode the graphic.
+func fullRender(pageSrc string, cfg Config, pool *browser.Pool) error {
+	var inst *browser.Instance
+	var err error
+	if pool != nil {
+		inst, err = pool.Acquire()
+	} else {
+		inst, err = browser.Launch(cfg.ViewportWidth)
+	}
+	if err != nil {
+		return fmt.Errorf("workload: launching browser: %w", err)
+	}
+	_, err = inst.LoadAndEncode(pageSrc, imaging.FidelityLow)
+	if pool != nil {
+		pool.Release(inst)
+	} else {
+		inst.Close()
+	}
+	if err != nil {
+		return fmt.Errorf("workload: browser render: %w", err)
+	}
+	return nil
+}
+
+// lightweightServe is the cheap path: the source-level filter phase
+// only — the proxy work that avoids a DOM parse altogether (§3.2).
+func lightweightServe(pageSrc string) error {
+	out, err := filter.Apply(pageSrc, lightweightFilters)
+	if err != nil {
+		return fmt.Errorf("workload: filter phase: %w", err)
+	}
+	if len(out) == 0 {
+		return errors.New("workload: empty filtered page")
+	}
+	return nil
+}
+
+func fetchOnce(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", fmt.Errorf("workload: fetching origin: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("workload: reading origin: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("workload: origin status %d", resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// marker draws the per-request U[0,1] marking under a lock (clients
+// share one seeded stream so a sweep is reproducible regardless of
+// scheduling).
+type marker struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	percent float64
+}
+
+func newMarker(seed int64, percent float64) *marker {
+	return &marker{rng: rand.New(rand.NewSource(seed)), percent: percent}
+}
+
+// needsBrowser applies the paper's rule: the request needs a browser
+// unless the draw exceeds the percentage being tested.
+func (m *marker) needsBrowser() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	u := m.rng.Float64() * 100
+	return u < m.percent
+}
+
+// Point is one sweep measurement: a browser percentage and its runs.
+type Point struct {
+	BrowserPercent float64
+	// Runs holds each repetition's result (the paper runs 3 per point).
+	Runs []Result
+}
+
+// MeanThroughput averages the repetitions' throughput.
+func (p Point) MeanThroughput() float64 {
+	if len(p.Runs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range p.Runs {
+		sum += r.Throughput()
+	}
+	return sum / float64(len(p.Runs))
+}
+
+// Sweep runs reps windows at each percentage — the full Figure 7
+// procedure.
+func Sweep(cfg Config, percentages []float64, reps int) ([]Point, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	points := make([]Point, 0, len(percentages))
+	for i, pct := range percentages {
+		point := Point{BrowserPercent: pct}
+		for rep := 0; rep < reps; rep++ {
+			runCfg := cfg
+			runCfg.BrowserPercent = pct
+			runCfg.Seed = cfg.Seed + int64(i*1000+rep)
+			res, err := Run(runCfg)
+			if err != nil {
+				return nil, err
+			}
+			point.Runs = append(point.Runs, res)
+		}
+		points = append(points, point)
+	}
+	return points, nil
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msite/internal/origin"
+)
+
+func originServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	srv := httptest.NewServer(forum.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("missing origin accepted")
+	}
+	if _, err := Run(Config{OriginURL: "http://x/", Window: 0}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := Run(Config{OriginURL: "http://x/", Window: time.Second, BrowserPercent: 150}); err == nil {
+		t.Fatal("out-of-range percent accepted")
+	}
+}
+
+func TestRunLightweightOnly(t *testing.T) {
+	srv := originServer(t)
+	res, err := Run(Config{
+		OriginURL:      srv.URL + "/",
+		BrowserPercent: 0,
+		Window:         200 * time.Millisecond,
+		Concurrency:    2,
+		ViewportWidth:  800,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FullRenders != 0 {
+		t.Fatalf("full renders = %d at 0%%", res.FullRenders)
+	}
+	if res.Satisfied == 0 || res.Lightweight != res.Satisfied {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput zero")
+	}
+}
+
+func TestRunBrowserOnly(t *testing.T) {
+	srv := originServer(t)
+	res, err := Run(Config{
+		OriginURL:      srv.URL + "/",
+		BrowserPercent: 100,
+		Window:         300 * time.Millisecond,
+		Concurrency:    2,
+		ViewportWidth:  800,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lightweight != 0 {
+		t.Fatalf("lightweight = %d at 100%%", res.Lightweight)
+	}
+	if res.Satisfied == 0 {
+		t.Fatal("no requests satisfied — browser path broken")
+	}
+}
+
+// TestFigure7Shape is the scaled-down Figure 7 check: lightweight-only
+// throughput must exceed browser-only throughput by well over an order
+// of magnitude.
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	srv := originServer(t)
+	base := Config{
+		OriginURL:     srv.URL + "/",
+		Window:        400 * time.Millisecond,
+		Concurrency:   2,
+		ViewportWidth: 1024,
+		Seed:          42,
+	}
+	light := base
+	light.BrowserPercent = 0
+	lightRes, err := Run(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := base
+	heavy.BrowserPercent = 100
+	heavyRes, err := Run(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := lightRes.Throughput() / heavyRes.Throughput()
+	if ratio < 10 {
+		t.Fatalf("lightweight/browser ratio = %.1f, want ≫10 (light=%.0f, heavy=%.0f req/min)",
+			ratio, lightRes.Throughput(), heavyRes.Throughput())
+	}
+	t.Logf("Figure 7 endpoints: light=%.0f req/min, heavy=%.0f req/min, ratio=%.0fx",
+		lightRes.Throughput(), heavyRes.Throughput(), ratio)
+}
+
+func TestMarkerDeterministicAndProportional(t *testing.T) {
+	m1 := newMarker(7, 25)
+	m2 := newMarker(7, 25)
+	hits := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		a := m1.needsBrowser()
+		if a != m2.needsBrowser() {
+			t.Fatal("marker not deterministic")
+		}
+		if a {
+			hits++
+		}
+	}
+	frac := float64(hits) / n * 100
+	if frac < 23 || frac > 27 {
+		t.Fatalf("browser fraction = %.1f%%, want ≈25%%", frac)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	srv := originServer(t)
+	points, err := Sweep(Config{
+		OriginURL:     srv.URL + "/",
+		Window:        100 * time.Millisecond,
+		Concurrency:   2,
+		ViewportWidth: 640,
+		Seed:          1,
+	}, []float64{0, 100}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || len(points[0].Runs) != 2 {
+		t.Fatalf("points = %+v", points)
+	}
+	if points[0].MeanThroughput() <= points[1].MeanThroughput() {
+		t.Fatal("0% browser should beat 100%")
+	}
+}
+
+func TestPoolAblationFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	srv := originServer(t)
+	base := Config{
+		OriginURL:      srv.URL + "/",
+		BrowserPercent: 100,
+		Window:         300 * time.Millisecond,
+		Concurrency:    2,
+		ViewportWidth:  800,
+		Seed:           3,
+	}
+	unpooled, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled := base
+	pooled.UsePool = true
+	pooledRes, err := Run(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pooling skips Launch; it must not be slower (allow parity since
+	// Launch is cheap relative to Load on tiny windows).
+	if pooledRes.Satisfied < unpooled.Satisfied/2 {
+		t.Fatalf("pooled=%d unpooled=%d", pooledRes.Satisfied, unpooled.Satisfied)
+	}
+}
+
+func TestResultThroughputZeroWindow(t *testing.T) {
+	if (Result{Satisfied: 5}).Throughput() != 0 {
+		t.Fatal("zero window should yield 0")
+	}
+}

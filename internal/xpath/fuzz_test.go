@@ -1,0 +1,30 @@
+package xpath
+
+import (
+	"testing"
+
+	"msite/internal/html"
+)
+
+// FuzzCompile: expressions either fail to compile or evaluate without
+// panicking.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"/html/body/div[2]/p[1]", "//td[@class='x']", "//a[last()]",
+		"table/tr", "//*", "//p/text()", "", "//", "a[", "a[@]", "/x[99]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	doc := html.Parse(`<html><body><div><p>a</p><p>b</p></div><table><tr><td class="x">c</td></tr></table></body></html>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := Compile(src)
+		if err != nil {
+			return
+		}
+		_ = expr.Select(doc)
+		if expr.String() == "" {
+			t.Fatal("compiled expression with empty text")
+		}
+	})
+}

@@ -1,0 +1,334 @@
+// Package xpath implements the XPath 1.0 subset m.Site uses for object
+// identification (§3.2): absolute and relative location paths with child
+// and descendant axes, wildcards, positional predicates, and attribute
+// tests. It is the DOM-based identification mechanism shared with systems
+// like PageTailor that the paper cites, and it consumes the paths emitted
+// by dom.Node.Path.
+package xpath
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"msite/internal/dom"
+)
+
+// Expr is a compiled XPath expression.
+type Expr struct {
+	steps []step
+	raw   string
+	// absolute paths start from the document root regardless of the
+	// context node.
+	absolute bool
+}
+
+type axis int
+
+const (
+	axisChild axis = iota + 1
+	axisDescendant
+)
+
+type step struct {
+	axis axis
+	// tag is the node test: an element name, "*" for any element, or
+	// "text()" handled via isText.
+	tag    string
+	isText bool
+	preds  []predicate
+}
+
+type predicate struct {
+	kind predKind
+	// position for kindPosition; attribute key/val for attribute kinds.
+	pos int
+	key string
+	val string
+}
+
+type predKind int
+
+const (
+	kindPosition predKind = iota + 1
+	kindLast
+	kindHasAttr
+	kindAttrEquals
+)
+
+// String returns the original expression text.
+func (e *Expr) String() string { return e.raw }
+
+// Compile parses an XPath expression.
+func Compile(src string) (*Expr, error) {
+	raw := strings.TrimSpace(src)
+	if raw == "" {
+		return nil, errors.New("xpath: empty expression")
+	}
+	e := &Expr{raw: raw}
+	rest := raw
+	if strings.HasPrefix(rest, "//") {
+		e.absolute = true
+		rest = rest[2:]
+		st, remain, err := parseStep(rest, axisDescendant)
+		if err != nil {
+			return nil, fmt.Errorf("xpath: %q: %w", raw, err)
+		}
+		e.steps = append(e.steps, st)
+		rest = remain
+	} else if strings.HasPrefix(rest, "/") {
+		e.absolute = true
+		rest = rest[1:]
+		st, remain, err := parseStep(rest, axisChild)
+		if err != nil {
+			return nil, fmt.Errorf("xpath: %q: %w", raw, err)
+		}
+		e.steps = append(e.steps, st)
+		rest = remain
+	} else {
+		st, remain, err := parseStep(rest, axisChild)
+		if err != nil {
+			return nil, fmt.Errorf("xpath: %q: %w", raw, err)
+		}
+		e.steps = append(e.steps, st)
+		rest = remain
+	}
+	for rest != "" {
+		var ax axis
+		switch {
+		case strings.HasPrefix(rest, "//"):
+			ax = axisDescendant
+			rest = rest[2:]
+		case strings.HasPrefix(rest, "/"):
+			ax = axisChild
+			rest = rest[1:]
+		default:
+			return nil, fmt.Errorf("xpath: %q: trailing garbage %q", raw, rest)
+		}
+		st, remain, err := parseStep(rest, ax)
+		if err != nil {
+			return nil, fmt.Errorf("xpath: %q: %w", raw, err)
+		}
+		e.steps = append(e.steps, st)
+		rest = remain
+	}
+	return e, nil
+}
+
+// MustCompile is Compile for known-good expressions; it panics on error.
+func MustCompile(src string) *Expr {
+	e, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func parseStep(src string, ax axis) (step, string, error) {
+	st := step{axis: ax}
+	i := 0
+	for i < len(src) && src[i] != '/' && src[i] != '[' {
+		i++
+	}
+	name := strings.TrimSpace(src[:i])
+	if name == "" {
+		return st, "", errors.New("empty step")
+	}
+	if name == "text()" {
+		st.isText = true
+	} else {
+		if name != "*" && !isName(name) {
+			return st, "", fmt.Errorf("bad node test %q", name)
+		}
+		st.tag = strings.ToLower(name)
+	}
+	rest := src[i:]
+	for strings.HasPrefix(rest, "[") {
+		end := strings.IndexByte(rest, ']')
+		if end < 0 {
+			return st, "", errors.New("unterminated predicate")
+		}
+		pred, err := parsePredicate(strings.TrimSpace(rest[1:end]))
+		if err != nil {
+			return st, "", err
+		}
+		st.preds = append(st.preds, pred)
+		rest = rest[end+1:]
+	}
+	return st, rest, nil
+}
+
+// isName reports whether s is a plain element name (letters, digits,
+// hyphens, underscores, colons).
+func isName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '-', c == '_', c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parsePredicate(src string) (predicate, error) {
+	if src == "" {
+		return predicate{}, errors.New("empty predicate")
+	}
+	if src == "last()" {
+		return predicate{kind: kindLast}, nil
+	}
+	if n, err := strconv.Atoi(src); err == nil {
+		if n < 1 {
+			return predicate{}, fmt.Errorf("position %d out of range", n)
+		}
+		return predicate{kind: kindPosition, pos: n}, nil
+	}
+	if strings.HasPrefix(src, "@") {
+		body := src[1:]
+		if eq := strings.IndexByte(body, '='); eq >= 0 {
+			key := strings.ToLower(strings.TrimSpace(body[:eq]))
+			val := strings.TrimSpace(body[eq+1:])
+			val = strings.Trim(val, `"'`)
+			if key == "" {
+				return predicate{}, errors.New("empty attribute name")
+			}
+			return predicate{kind: kindAttrEquals, key: key, val: val}, nil
+		}
+		key := strings.ToLower(strings.TrimSpace(body))
+		if key == "" {
+			return predicate{}, errors.New("empty attribute name")
+		}
+		return predicate{kind: kindHasAttr, key: key}, nil
+	}
+	return predicate{}, fmt.Errorf("unsupported predicate %q", src)
+}
+
+// Select returns the nodes matched by the expression, evaluated with
+// context as the context node (the document root for absolute paths).
+func (e *Expr) Select(context *dom.Node) []*dom.Node {
+	start := context
+	if e.absolute {
+		start = context.Root()
+	}
+	current := []*dom.Node{start}
+	for _, st := range e.steps {
+		var next []*dom.Node
+		for _, n := range current {
+			next = append(next, applyStep(st, n)...)
+		}
+		current = dedupe(next)
+		if len(current) == 0 {
+			return nil
+		}
+	}
+	return current
+}
+
+// SelectFirst returns the first matched node, or nil.
+func (e *Expr) SelectFirst(context *dom.Node) *dom.Node {
+	nodes := e.Select(context)
+	if len(nodes) == 0 {
+		return nil
+	}
+	return nodes[0]
+}
+
+func applyStep(st step, ctx *dom.Node) []*dom.Node {
+	var candidates []*dom.Node
+	switch st.axis {
+	case axisChild:
+		for c := ctx.FirstChild; c != nil; c = c.NextSibling {
+			if nodeTest(st, c) {
+				candidates = append(candidates, c)
+			}
+		}
+	case axisDescendant:
+		ctx.Walk(func(n *dom.Node) bool {
+			if n != ctx && nodeTest(st, n) {
+				candidates = append(candidates, n)
+			}
+			return true
+		})
+	}
+	for _, pred := range st.preds {
+		candidates = filterPred(pred, candidates, st)
+	}
+	return candidates
+}
+
+func nodeTest(st step, n *dom.Node) bool {
+	if st.isText {
+		return n.Type == dom.TextNode
+	}
+	if n.Type != dom.ElementNode {
+		return false
+	}
+	return st.tag == "*" || n.Tag == st.tag
+}
+
+// filterPred applies one predicate. Positional predicates are evaluated
+// per the XPath child-axis convention: position counts siblings matching
+// the same node test under the same parent, which matches the paths
+// dom.Node.Path produces.
+func filterPred(pred predicate, nodes []*dom.Node, st step) []*dom.Node {
+	switch pred.kind {
+	case kindHasAttr:
+		var out []*dom.Node
+		for _, n := range nodes {
+			if n.HasAttr(pred.key) {
+				out = append(out, n)
+			}
+		}
+		return out
+	case kindAttrEquals:
+		var out []*dom.Node
+		for _, n := range nodes {
+			if v, ok := n.Attr(pred.key); ok && v == pred.val {
+				out = append(out, n)
+			}
+		}
+		return out
+	case kindPosition, kindLast:
+		// Group by parent, then index within each group.
+		groups := make(map[*dom.Node][]*dom.Node)
+		var parents []*dom.Node
+		for _, n := range nodes {
+			if _, seen := groups[n.Parent]; !seen {
+				parents = append(parents, n.Parent)
+			}
+			groups[n.Parent] = append(groups[n.Parent], n)
+		}
+		var out []*dom.Node
+		for _, p := range parents {
+			group := groups[p]
+			if pred.kind == kindLast {
+				out = append(out, group[len(group)-1])
+				continue
+			}
+			if pred.pos <= len(group) {
+				out = append(out, group[pred.pos-1])
+			}
+		}
+		return out
+	}
+	return nodes
+}
+
+func dedupe(nodes []*dom.Node) []*dom.Node {
+	seen := make(map[*dom.Node]bool, len(nodes))
+	out := nodes[:0]
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package xpath
+
+import (
+	"testing"
+
+	"msite/internal/dom"
+	"msite/internal/html"
+)
+
+const doc = `
+<html><body>
+  <div id="header"><img src="logo.png" alt="logo"></div>
+  <div id="content">
+    <table class="forums">
+      <tr><td>General</td><td>10</td></tr>
+      <tr><td>Projects</td><td>20</td></tr>
+      <tr><td>Classifieds</td><td>30</td></tr>
+    </table>
+    <p>para one</p>
+    <p class="hint">para two</p>
+  </div>
+  <div id="footer">foot</div>
+</body></html>`
+
+func root(t *testing.T) *dom.Node {
+	t.Helper()
+	return html.Parse(doc)
+}
+
+func count(t *testing.T, expr string) int {
+	t.Helper()
+	e, err := Compile(expr)
+	if err != nil {
+		t.Fatalf("compile %q: %v", expr, err)
+	}
+	return len(e.Select(root(t)))
+}
+
+func TestAbsoluteChildPath(t *testing.T) {
+	if got := count(t, "/html/body/div"); got != 3 {
+		t.Fatalf("div count = %d", got)
+	}
+	if got := count(t, "/html/body/div/table/tr"); got != 3 {
+		t.Fatalf("tr count = %d", got)
+	}
+	if got := count(t, "/html/head"); got != 0 {
+		t.Fatalf("head = %d", got)
+	}
+}
+
+func TestDescendantAxis(t *testing.T) {
+	if got := count(t, "//td"); got != 6 {
+		t.Fatalf("td = %d", got)
+	}
+	if got := count(t, "//table//td"); got != 6 {
+		t.Fatalf("table//td = %d", got)
+	}
+	if got := count(t, "//div//p"); got != 2 {
+		t.Fatalf("div//p = %d", got)
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	if got := count(t, "/html/body/*"); got != 3 {
+		t.Fatalf("* = %d", got)
+	}
+	if got := count(t, "//tr/*"); got != 6 {
+		t.Fatalf("tr/* = %d", got)
+	}
+}
+
+func TestPositionPredicate(t *testing.T) {
+	r := root(t)
+	e := MustCompile("//tr[2]/td[1]")
+	nodes := e.Select(r)
+	if len(nodes) != 1 || nodes[0].Text() != "Projects" {
+		t.Fatalf("tr[2]/td[1] = %v", nodes)
+	}
+	e = MustCompile("/html/body/div[3]")
+	nodes = e.Select(r)
+	if len(nodes) != 1 || nodes[0].ID() != "footer" {
+		t.Fatalf("div[3] = %v", nodes)
+	}
+	if got := count(t, "/html/body/div[9]"); got != 0 {
+		t.Fatalf("out of range = %d", got)
+	}
+}
+
+func TestLastPredicate(t *testing.T) {
+	r := root(t)
+	nodes := MustCompile("//tr[last()]").Select(r)
+	if len(nodes) != 1 || nodes[0].FirstChild.Text() != "Classifieds" {
+		t.Fatalf("last tr wrong")
+	}
+}
+
+func TestPositionGroupsByParent(t *testing.T) {
+	r := root(t)
+	// td[1] should yield the first cell of each row: 3 nodes.
+	nodes := MustCompile("//td[1]").Select(r)
+	if len(nodes) != 3 {
+		t.Fatalf("td[1] groups = %d, want 3", len(nodes))
+	}
+}
+
+func TestAttributePredicates(t *testing.T) {
+	if got := count(t, "//div[@id]"); got != 3 {
+		t.Fatalf("div[@id] = %d", got)
+	}
+	r := root(t)
+	nodes := MustCompile(`//div[@id="content"]`).Select(r)
+	if len(nodes) != 1 || nodes[0].ID() != "content" {
+		t.Fatal("attr equals wrong")
+	}
+	nodes = MustCompile(`//p[@class='hint']`).Select(r)
+	if len(nodes) != 1 || nodes[0].Text() != "para two" {
+		t.Fatal("quoted attr value wrong")
+	}
+	if got := count(t, `//div[@id="nope"]`); got != 0 {
+		t.Fatalf("no-match = %d", got)
+	}
+}
+
+func TestChainedPredicates(t *testing.T) {
+	r := root(t)
+	nodes := MustCompile(`//div[@id="content"]/p[2]`).Select(r)
+	if len(nodes) != 1 || !nodes[0].HasClass("hint") {
+		t.Fatal("chained predicate wrong")
+	}
+}
+
+func TestTextNodeTest(t *testing.T) {
+	r := root(t)
+	nodes := MustCompile(`//p/text()`).Select(r)
+	if len(nodes) != 2 {
+		t.Fatalf("text() = %d", len(nodes))
+	}
+	if nodes[0].Type != dom.TextNode {
+		t.Fatal("not a text node")
+	}
+}
+
+func TestRelativePath(t *testing.T) {
+	r := root(t)
+	content := r.ElementByID("content")
+	nodes := MustCompile("table/tr").Select(content)
+	if len(nodes) != 3 {
+		t.Fatalf("relative = %d", len(nodes))
+	}
+	// Absolute path ignores the context node.
+	nodes = MustCompile("/html/body/div[1]").Select(content)
+	if len(nodes) != 1 || nodes[0].ID() != "header" {
+		t.Fatal("absolute from context wrong")
+	}
+}
+
+func TestSelectFirst(t *testing.T) {
+	r := root(t)
+	n := MustCompile("//p").SelectFirst(r)
+	if n == nil || n.Text() != "para one" {
+		t.Fatal("SelectFirst wrong")
+	}
+	if MustCompile("//video").SelectFirst(r) != nil {
+		t.Fatal("no-match should be nil")
+	}
+}
+
+func TestRoundTripWithDomPath(t *testing.T) {
+	r := root(t)
+	want := r.ElementByID("content").Elements("p")[1]
+	path := want.Path()
+	e, err := Compile(path)
+	if err != nil {
+		t.Fatalf("compile emitted path %q: %v", path, err)
+	}
+	nodes := e.Select(r)
+	if len(nodes) != 1 || nodes[0] != want {
+		t.Fatalf("path %q did not round-trip: %v", path, nodes)
+	}
+}
+
+func TestRoundTripEveryElement(t *testing.T) {
+	r := root(t)
+	for _, el := range r.Elements("*") {
+		path := el.Path()
+		nodes := MustCompile(path).Select(r)
+		if len(nodes) != 1 || nodes[0] != el {
+			t.Fatalf("path %q matched %d nodes", path, len(nodes))
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{"", "  ", "/", "//", "a/", "a[", "a[]", "a[0]", "a[@]", "a[foo()]", "a b"}
+	for _, s := range bad {
+		if _, err := Compile(s); err == nil {
+			t.Errorf("Compile(%q) should fail", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	e := MustCompile(`//div[@id="x"]/p[1]`)
+	if e.String() != `//div[@id="x"]/p[1]` {
+		t.Fatalf("String = %q", e.String())
+	}
+}
