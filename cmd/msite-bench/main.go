@@ -9,7 +9,7 @@
 //	msite-bench all
 //	msite-bench table1
 //	msite-bench fig7 -window 10s
-//	msite-bench fidelity | speedup | pageweight | ablation
+//	msite-bench fidelity | speedup | pageweight | ablation | stages
 package main
 
 import (
@@ -104,6 +104,12 @@ func run() error {
 			fmt.Printf("Ablation: %s\nrender: %v, cache hit: %v (%.0fx)\n\n",
 				row.Name, row.Baseline, row.Variant,
 				float64(row.Baseline)/float64(row.Variant))
+		case "stages":
+			rep, err := experiments.StageBreakdown(url)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatStages(rep))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -111,7 +117,7 @@ func run() error {
 	}
 
 	if what == "all" {
-		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "fig7"} {
+		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "stages", "fig7"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -6,11 +6,14 @@
 //
 //	msite-proxy -spec spec.json -addr :8900 -sessions /tmp/msite
 //	msite-proxy -spec page1.json -spec page2.json   # multi-page hosting
+//	msite-proxy -spec spec.json -metrics=false -log-level debug
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"time"
 
@@ -42,12 +45,18 @@ func run() error {
 	sessions := flag.String("sessions", "./msite-sessions", "session directory root")
 	width := flag.Int("width", 0, "server-side render width override")
 	gcEvery := flag.Duration("gc", 10*time.Minute, "session GC interval")
+	metrics := flag.Bool("metrics", true, "mount /metrics and /debug/traces")
+	logLevel := flag.String("log-level", "info", "request log level: debug|info|warn|error|off")
 	flag.Parse()
 
 	if len(specPaths) == 0 {
 		return fmt.Errorf("-spec is required")
 	}
-	cfg := core.Config{SessionRoot: *sessions, ViewportWidth: *width}
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{SessionRoot: *sessions, ViewportWidth: *width, Logger: logger}
 
 	if len(specPaths) > 1 {
 		specs := make([]*spec.Spec, 0, len(specPaths))
@@ -68,7 +77,11 @@ func run() error {
 		}
 		go gcLoop(mf.Sessions(), *gcEvery)
 		fmt.Printf("m.Site multi-proxy hosting %v on %s\n", mf.Sites(), *addr)
-		return mf.ListenAndServe(*addr)
+		h := mf.HandlerWithMetrics()
+		if !*metrics {
+			h = mf.Handler()
+		}
+		return serve(*addr, h)
 	}
 
 	data, err := os.ReadFile(specPaths[0])
@@ -82,7 +95,43 @@ func run() error {
 
 	go gcLoop(fw.Sessions(), *gcEvery)
 	fmt.Printf("m.Site proxy %q for %s on %s\n", fw.Spec().Name, fw.Spec().Origin, *addr)
-	return fw.ListenAndServe(*addr)
+	h := fw.HandlerWithMetrics()
+	if !*metrics {
+		h = fw.Handler()
+	}
+	return serve(*addr, h)
+}
+
+// serve mirrors core's server settings for the handler chosen by the
+// -metrics flag.
+func serve(addr string, h http.Handler) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+// newLogger builds the request logger for -log-level; "off" disables
+// logging entirely.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	case "off":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
 // gcLoop collects idle sessions for the life of the process.

@@ -7,7 +7,10 @@ package cache
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"msite/internal/obs"
 )
 
 // Entry is one cached artifact.
@@ -21,11 +24,62 @@ type Entry struct {
 type Cache struct {
 	clock func() time.Time
 
+	// Counters are atomic so Stats() snapshots (and metric scrapes)
+	// never contend with the serving hot path.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	fills  atomic.Uint64
+
+	// obsHook is set once by SetObs before serving begins.
+	obsHook atomic.Pointer[cacheObs]
+
 	mu      sync.Mutex
 	entries map[string]*slot
-	hits    uint64
-	misses  uint64
-	fills   uint64
+}
+
+// cacheObs bundles the registry metrics the cache reports into.
+type cacheObs struct {
+	hits        *obs.Counter
+	misses      *obs.Counter
+	fills       *obs.Counter
+	fillSeconds *obs.Histogram
+}
+
+// SetObs registers the cache's counters and fill-latency histogram on
+// reg (msite_cache_hits_total, msite_cache_misses_total,
+// msite_cache_fills_total, msite_cache_fill_seconds) and starts
+// reporting into them. Safe to call while serving; typically wired once
+// by core.New.
+func (c *Cache) SetObs(reg *obs.Registry) {
+	c.obsHook.Store(&cacheObs{
+		hits:        reg.Counter("msite_cache_hits_total"),
+		misses:      reg.Counter("msite_cache_misses_total"),
+		fills:       reg.Counter("msite_cache_fills_total"),
+		fillSeconds: reg.Histogram("msite_cache_fill_seconds"),
+	})
+	reg.GaugeFunc("msite_cache_entries", func() float64 { return float64(c.Len()) })
+}
+
+func (c *Cache) markHit() {
+	c.hits.Add(1)
+	if o := c.obsHook.Load(); o != nil {
+		o.hits.Inc()
+	}
+}
+
+func (c *Cache) markMiss() {
+	c.misses.Add(1)
+	if o := c.obsHook.Load(); o != nil {
+		o.misses.Inc()
+	}
+}
+
+func (c *Cache) markFill(d time.Duration) {
+	c.fills.Add(1)
+	if o := c.obsHook.Load(); o != nil {
+		o.fills.Inc()
+		o.fillSeconds.ObserveDuration(d)
+	}
 }
 
 type slot struct {
@@ -55,10 +109,10 @@ func (c *Cache) Get(key string) (Entry, bool) {
 	defer c.mu.Unlock()
 	s, ok := c.entries[key]
 	if !ok || s.pending != nil || c.clock().After(s.expires) {
-		c.misses++
+		c.markMiss()
 		return Entry{}, false
 	}
-	c.hits++
+	c.markHit()
 	return s.entry, true
 }
 
@@ -82,7 +136,7 @@ func (c *Cache) GetOrFill(key string, ttl time.Duration, fill func() (Entry, err
 		c.mu.Lock()
 		s, ok := c.entries[key]
 		if ok && s.pending == nil && !c.clock().After(s.expires) {
-			c.hits++
+			c.markHit()
 			entry := s.entry
 			c.mu.Unlock()
 			return entry, nil
@@ -95,7 +149,7 @@ func (c *Cache) GetOrFill(key string, ttl time.Duration, fill func() (Entry, err
 			c.mu.Lock()
 			s2, ok2 := c.entries[key]
 			if ok2 && s2.pending == nil && !c.clock().After(s2.expires) {
-				c.hits++
+				c.markHit()
 				entry := s2.entry
 				c.mu.Unlock()
 				return entry, nil
@@ -112,15 +166,16 @@ func (c *Cache) GetOrFill(key string, ttl time.Duration, fill func() (Entry, err
 			continue
 		}
 		// We are the filler.
-		c.misses++
+		c.markMiss()
 		pend := &slot{pending: make(chan struct{})}
 		c.entries[key] = pend
 		c.mu.Unlock()
 
+		fillStart := time.Now()
 		entry, err := fill()
+		c.markFill(time.Since(fillStart))
 
 		c.mu.Lock()
-		c.fills++
 		if err != nil {
 			pend.fillErr = err
 			close(pend.pending)
@@ -186,9 +241,8 @@ type Stats struct {
 	Fills  uint64
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters without taking the cache
+// lock (the counters are atomic).
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Fills: c.fills}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Fills: c.fills.Load()}
 }

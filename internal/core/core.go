@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"msite/internal/cache"
 	"msite/internal/fetch"
 	"msite/internal/gen"
+	"msite/internal/obs"
 	"msite/internal/proxy"
 	"msite/internal/session"
 	"msite/internal/spec"
@@ -31,6 +33,12 @@ type Config struct {
 	SessionTTL time.Duration
 	// FetchTimeout bounds each origin request.
 	FetchTimeout time.Duration
+	// Obs is the metric/trace registry shared by the proxy, cache,
+	// fetcher, and session manager. Nil creates one (exposed via Obs()).
+	Obs *obs.Registry
+	// Logger enables structured per-request logging in the proxy; nil
+	// disables it.
+	Logger *slog.Logger
 }
 
 // Framework is a running m.Site instance for one adaptation spec.
@@ -39,6 +47,7 @@ type Framework struct {
 	sessions *session.Manager
 	cache    *cache.Cache
 	proxy    *proxy.Proxy
+	obs      *obs.Registry
 }
 
 // New builds a Framework from a validated spec.
@@ -60,22 +69,31 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	sharedCache := cache.New()
+	sharedCache.SetObs(reg)
+	sessions.InstrumentObs(reg)
 	var fetchOpts []fetch.Option
 	if cfg.FetchTimeout > 0 {
 		fetchOpts = append(fetchOpts, fetch.WithTimeout(cfg.FetchTimeout))
 	}
+	fetchOpts = append(fetchOpts, fetch.WithObs(reg))
 	p, err := proxy.New(proxy.Config{
 		Spec:          sp,
 		Sessions:      sessions,
 		Cache:         sharedCache,
 		ViewportWidth: cfg.ViewportWidth,
 		FetchOptions:  fetchOpts,
+		Obs:           reg,
+		Logger:        cfg.Logger,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Framework{sp: sp, sessions: sessions, cache: sharedCache, proxy: p}, nil
+	return &Framework{sp: sp, sessions: sessions, cache: sharedCache, proxy: p, obs: reg}, nil
 }
 
 // MultiFramework hosts the proxies for several adapted pages under one
@@ -84,6 +102,7 @@ type MultiFramework struct {
 	sessions *session.Manager
 	cache    *cache.Cache
 	multi    *proxy.MultiProxy
+	obs      *obs.Registry
 }
 
 // NewMulti wires several specs into one composite handler.
@@ -99,26 +118,51 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	sharedCache := cache.New()
+	sharedCache.SetObs(reg)
+	sessions.InstrumentObs(reg)
 	var fetchOpts []fetch.Option
 	if cfg.FetchTimeout > 0 {
 		fetchOpts = append(fetchOpts, fetch.WithTimeout(cfg.FetchTimeout))
 	}
+	fetchOpts = append(fetchOpts, fetch.WithObs(reg))
 	multi, err := proxy.NewMulti(proxy.MultiConfig{
 		Specs:         specs,
 		Sessions:      sessions,
 		Cache:         sharedCache,
 		ViewportWidth: cfg.ViewportWidth,
 		FetchOptions:  fetchOpts,
+		Obs:           reg,
+		Logger:        cfg.Logger,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &MultiFramework{sessions: sessions, cache: sharedCache, multi: multi}, nil
+	return &MultiFramework{sessions: sessions, cache: sharedCache, multi: multi, obs: reg}, nil
 }
 
 // Handler returns the composite handler.
 func (m *MultiFramework) Handler() http.Handler { return m.multi }
+
+// Obs exposes the shared metric/trace registry.
+func (m *MultiFramework) Obs() *obs.Registry { return m.obs }
+
+// MetricsHandler serves the registry at /metrics (Prometheus text or
+// JSON, content-negotiated).
+func (m *MultiFramework) MetricsHandler() http.Handler { return obs.Handler(m.obs) }
+
+// TracesHandler serves recent request traces at /debug/traces.
+func (m *MultiFramework) TracesHandler() http.Handler { return obs.TracesHandler(m.obs) }
+
+// HandlerWithMetrics mounts the composite proxy plus the observability
+// surface (/metrics, /debug/traces) on one handler.
+func (m *MultiFramework) HandlerWithMetrics() http.Handler {
+	return mountMetrics(m.multi, m.obs)
+}
 
 // Sessions exposes the shared session manager.
 func (m *MultiFramework) Sessions() *session.Manager { return m.sessions }
@@ -126,11 +170,12 @@ func (m *MultiFramework) Sessions() *session.Manager { return m.sessions }
 // Sites lists the mounted site names.
 func (m *MultiFramework) Sites() []string { return m.multi.Names() }
 
-// ListenAndServe serves the composite proxy.
+// ListenAndServe serves the composite proxy with the observability
+// surface mounted at /metrics and /debug/traces.
 func (m *MultiFramework) ListenAndServe(addr string) error {
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           m.multi,
+		Handler:           m.HandlerWithMetrics(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	if err := srv.ListenAndServe(); err != nil {
@@ -164,6 +209,32 @@ func (f *Framework) Cache() *cache.Cache { return f.cache }
 // ProxyStats returns the proxy's work counters.
 func (f *Framework) ProxyStats() proxy.Stats { return f.proxy.Stats() }
 
+// Obs exposes the shared metric/trace registry.
+func (f *Framework) Obs() *obs.Registry { return f.obs }
+
+// MetricsHandler serves the registry at /metrics (Prometheus text or
+// JSON, content-negotiated).
+func (f *Framework) MetricsHandler() http.Handler { return obs.Handler(f.obs) }
+
+// TracesHandler serves recent request traces at /debug/traces.
+func (f *Framework) TracesHandler() http.Handler { return obs.TracesHandler(f.obs) }
+
+// HandlerWithMetrics mounts the proxy plus the observability surface
+// (/metrics, /debug/traces) on one handler.
+func (f *Framework) HandlerWithMetrics() http.Handler {
+	return mountMetrics(f.proxy, f.obs)
+}
+
+// mountMetrics composes a serving handler with the observability
+// endpoints; the longer mux patterns win over the proxy's catch-all.
+func mountMetrics(h http.Handler, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(reg))
+	mux.Handle("/debug/traces", obs.TracesHandler(reg))
+	mux.Handle("/", h)
+	return mux
+}
+
 // CacheStats returns the shared cache counters.
 func (f *Framework) CacheStats() cache.Stats { return f.cache.Stats() }
 
@@ -173,11 +244,12 @@ func (f *Framework) GenerateCode(opts gen.Options) ([]byte, error) {
 	return gen.GenerateProxyMain(f.sp, opts)
 }
 
-// ListenAndServe serves the proxy until the listener fails.
+// ListenAndServe serves the proxy (with /metrics and /debug/traces
+// mounted) until the listener fails.
 func (f *Framework) ListenAndServe(addr string) error {
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           f.proxy,
+		Handler:           f.HandlerWithMetrics(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	if err := srv.ListenAndServe(); err != nil {
@@ -186,11 +258,12 @@ func (f *Framework) ListenAndServe(addr string) error {
 	return nil
 }
 
-// Serve serves the proxy on an existing listener (tests and examples
-// bind :0 and need the resolved address).
+// Serve serves the proxy (with /metrics and /debug/traces mounted) on
+// an existing listener (tests and examples bind :0 and need the
+// resolved address).
 func (f *Framework) Serve(l net.Listener) error {
 	srv := &http.Server{
-		Handler:           f.proxy,
+		Handler:           f.HandlerWithMetrics(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	if err := srv.Serve(l); err != nil {

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"msite/internal/core"
+	"msite/internal/obs"
+)
+
+// StageStat is one pipeline stage's latency summary from the
+// observability registry.
+type StageStat struct {
+	Stage string
+	Count uint64
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+}
+
+// StageReport is the per-stage latency breakdown of the adaptation
+// pipeline plus the registry's work and cache counters, gathered by
+// driving a live proxy through cold, warm, and forced-refresh loads.
+type StageReport struct {
+	Stages          []StageStat
+	Requests        uint64
+	Adaptations     uint64
+	SnapshotRenders uint64
+	SnapshotHits    uint64
+	CacheHits       uint64
+	CacheMisses     uint64
+	CacheFills      uint64
+	// HitRatio is shared-cache hits over lookups (0 when none).
+	HitRatio float64
+}
+
+// pipelineStages is the report order — the order stages run in.
+var pipelineStages = []string{
+	"fetch", "filter", "subres", "attr", "subpage_split",
+	"layout", "raster", "encode", "adapt_total",
+}
+
+// StageBreakdown stands up a full framework against the origin, drives
+// representative traffic (entry page, subpage, a second device sharing
+// the snapshot cache, and a forced refresh), and reads the per-stage
+// latency histograms back out of the /metrics registry.
+func StageBreakdown(originURL string) (*StageReport, error) {
+	sessionRoot, err := os.MkdirTemp("", "msite-stages-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(sessionRoot) }()
+
+	fw, err := core.New(SpecForForum(strings.TrimSuffix(originURL, "/")), core.Config{
+		SessionRoot: sessionRoot,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := httptest.NewServer(fw.HandlerWithMetrics())
+	defer srv.Close()
+
+	get := func(client *http.Client, path string) error {
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("experiments: GET %s: status %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+	newClient := func() (*http.Client, error) {
+		jar, err := cookiejar.New(nil)
+		if err != nil {
+			return nil, err
+		}
+		return &http.Client{Jar: jar}, nil
+	}
+
+	first, err := newClient()
+	if err != nil {
+		return nil, err
+	}
+	second, err := newClient()
+	if err != nil {
+		return nil, err
+	}
+	// Cold load (full pipeline + snapshot render), subpage views, a
+	// second device whose snapshot comes from the shared cache, and a
+	// forced re-adaptation.
+	for _, step := range []struct {
+		client *http.Client
+		path   string
+	}{
+		{first, "/"},
+		{first, "/subpage/login"},
+		{first, "/subpage/forums"},
+		{second, "/"},
+		{first, "/?refresh=1"},
+	} {
+		if err := get(step.client, step.path); err != nil {
+			return nil, err
+		}
+	}
+
+	snap := fw.Obs().Snapshot()
+	report := &StageReport{}
+	for _, stage := range pipelineStages {
+		h, ok := snap.Histogram(obs.StageHistogram, "stage", stage)
+		if !ok || h.Count == 0 {
+			continue
+		}
+		report.Stages = append(report.Stages, StageStat{
+			Stage: stage,
+			Count: h.Count,
+			P50:   secondsToDuration(h.P50),
+			P90:   secondsToDuration(h.P90),
+			P99:   secondsToDuration(h.P99),
+		})
+	}
+
+	ps := fw.ProxyStats()
+	report.Requests = ps.Requests
+	report.Adaptations = ps.Adaptations
+	report.SnapshotRenders = ps.SnapshotRenders
+	report.SnapshotHits = ps.SnapshotHits
+
+	cs := fw.CacheStats()
+	report.CacheHits = cs.Hits
+	report.CacheMisses = cs.Misses
+	report.CacheFills = cs.Fills
+	if lookups := cs.Hits + cs.Misses; lookups > 0 {
+		report.HitRatio = float64(cs.Hits) / float64(lookups)
+	}
+	return report, nil
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// FormatStages renders the breakdown as the msite-bench report block.
+func FormatStages(r *StageReport) string {
+	var b strings.Builder
+	b.WriteString("Pipeline stage latency breakdown (from /metrics registry)\n")
+	fmt.Fprintf(&b, "%-14s %6s %12s %12s %12s\n", "stage", "count", "p50", "p90", "p99")
+	for _, s := range r.Stages {
+		fmt.Fprintf(&b, "%-14s %6d %12s %12s %12s\n",
+			s.Stage, s.Count, roundStage(s.P50), roundStage(s.P90), roundStage(s.P99))
+	}
+	fmt.Fprintf(&b, "requests: %d, adaptations: %d\n", r.Requests, r.Adaptations)
+	fmt.Fprintf(&b, "snapshot renders: %d, snapshot cache hits: %d\n",
+		r.SnapshotRenders, r.SnapshotHits)
+	fmt.Fprintf(&b, "shared cache: %d hits / %d misses / %d fills (hit ratio %.0f%%)\n",
+		r.CacheHits, r.CacheMisses, r.CacheFills, 100*r.HitRatio)
+	return b.String()
+}
+
+func roundStage(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStageBreakdown(t *testing.T) {
+	srv := originServer(t)
+	rep, err := StageBreakdown(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]StageStat, len(rep.Stages))
+	for _, s := range rep.Stages {
+		got[s.Stage] = s
+	}
+	// The drive includes a cold entry load, so the whole pipeline ran.
+	for _, stage := range pipelineStages {
+		s, ok := got[stage]
+		if !ok || s.Count == 0 {
+			t.Fatalf("stage %q missing from report: %+v", stage, rep.Stages)
+		}
+		if s.P99 < s.P50 {
+			t.Fatalf("stage %q quantiles inverted: %+v", stage, s)
+		}
+	}
+	// Entry + subpage×2 + shared entry + refresh = 5 requests; the
+	// second device's snapshot must come from the shared cache.
+	if rep.Requests != 5 {
+		t.Fatalf("requests = %d, want 5", rep.Requests)
+	}
+	if rep.Adaptations < 2 {
+		t.Fatalf("adaptations = %d, want >= 2 (cold + refresh)", rep.Adaptations)
+	}
+	if rep.SnapshotRenders == 0 || rep.SnapshotHits == 0 {
+		t.Fatalf("snapshots renders=%d hits=%d, want both > 0",
+			rep.SnapshotRenders, rep.SnapshotHits)
+	}
+	if rep.CacheFills == 0 || rep.HitRatio <= 0 {
+		t.Fatalf("cache fills=%d ratio=%v, want both > 0", rep.CacheFills, rep.HitRatio)
+	}
+
+	out := FormatStages(rep)
+	for _, want := range []string{"stage", "p99", "raster", "adapt_total", "hit ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+}

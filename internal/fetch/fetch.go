@@ -11,11 +11,13 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
 	"msite/internal/dom"
 	"msite/internal/html"
+	"msite/internal/obs"
 	"msite/internal/session"
 )
 
@@ -67,6 +69,7 @@ type Fetcher struct {
 	client    *http.Client
 	sess      *session.Session
 	userAgent string
+	obs       *obs.Registry
 }
 
 // Option configures a Fetcher.
@@ -80,6 +83,32 @@ func WithUserAgent(ua string) Option {
 // WithTimeout bounds each request.
 func WithTimeout(d time.Duration) Option {
 	return func(f *Fetcher) { f.client.Timeout = d }
+}
+
+// WithObs records per-request fetch metrics on reg: the
+// msite_fetch_seconds latency histogram and msite_fetch_requests_total
+// counters labeled by outcome (ok, error, auth, or the HTTP status).
+func WithObs(reg *obs.Registry) Option {
+	return func(f *Fetcher) { f.obs = reg }
+}
+
+// record reports one origin request's outcome and latency.
+func (f *Fetcher) record(start time.Time, err error) {
+	if f.obs == nil {
+		return
+	}
+	outcome := "ok"
+	switch e := err.(type) {
+	case nil:
+	case *AuthRequiredError:
+		outcome = "auth"
+	case *StatusError:
+		outcome = "status_" + strconv.Itoa(e.Status)
+	default:
+		outcome = "error"
+	}
+	f.obs.Counter("msite_fetch_requests_total", "outcome", outcome).Inc()
+	f.obs.Histogram("msite_fetch_seconds").ObserveDuration(time.Since(start))
 }
 
 // New returns a Fetcher bound to a session's cookie jar. sess may be nil
@@ -102,6 +131,13 @@ func New(sess *session.Session, opts ...Option) *Fetcher {
 
 // Get fetches one resource.
 func (f *Fetcher) Get(rawURL string) (*Page, error) {
+	start := time.Now()
+	page, err := f.get(rawURL)
+	f.record(start, err)
+	return page, err
+}
+
+func (f *Fetcher) get(rawURL string) (*Page, error) {
 	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
 	if err != nil {
 		return nil, fmt.Errorf("fetch: building request for %s: %w", rawURL, err)
@@ -146,6 +182,13 @@ func (f *Fetcher) Get(rawURL string) (*Page, error) {
 // PostForm submits a form to the origin (used to marshal login
 // interactions through the proxy).
 func (f *Fetcher) PostForm(rawURL string, form url.Values) (*Page, error) {
+	start := time.Now()
+	page, err := f.postForm(rawURL, form)
+	f.record(start, err)
+	return page, err
+}
+
+func (f *Fetcher) postForm(rawURL string, form url.Values) (*Page, error) {
 	if f.sess != nil {
 		f.client.Jar = f.sess.Jar
 	}

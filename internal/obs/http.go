@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the registry as a /metrics endpoint. The format is
+// content-negotiated: Prometheus text exposition by default (what a
+// scraper's Accept header matches), JSON when the client asks for
+// application/json or ?format=json.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		snap := r.Snapshot()
+		if wantsJSON(req) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(RenderPrometheus(snap)))
+	})
+}
+
+// TracesHandler serves the ring buffer of recent request traces as JSON,
+// most recent first (?n= limits the count).
+func TracesHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		traces := r.RecentTraces()
+		if n, err := strconv.Atoi(req.URL.Query().Get("n")); err == nil && n >= 0 && n < len(traces) {
+			traces = traces[:n]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"traces": traces})
+	})
+}
+
+func wantsJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	accept := req.Header.Get("Accept")
+	// A scraper's "text/plain" (or */*) wins; an explicit JSON preference
+	// listed before any text/plain choice selects JSON.
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "application/json":
+			return true
+		case "text/plain", "*/*":
+			return false
+		}
+	}
+	return false
+}
+
+// RenderPrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric family, histograms
+// as cumulative _bucket/_sum/_count series.
+func RenderPrometheus(snap Snapshot) string {
+	var b strings.Builder
+	typed := make(map[string]bool)
+	writeType := func(name, kind string) {
+		if !typed[name] {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+			typed[name] = true
+		}
+	}
+
+	names := make(map[string][]int) // counter family -> indices, for grouping
+	for i, c := range snap.Counters {
+		names[c.Name] = append(names[c.Name], i)
+	}
+	for _, name := range sortedKeys(names) {
+		writeType(name, "counter")
+		for _, i := range names[name] {
+			c := snap.Counters[i]
+			fmt.Fprintf(&b, "%s %d\n", series(c.Name, c.Labels, ""), c.Value)
+		}
+	}
+
+	gnames := make(map[string][]int)
+	for i, g := range snap.Gauges {
+		gnames[g.Name] = append(gnames[g.Name], i)
+	}
+	for _, name := range sortedKeys(gnames) {
+		writeType(name, "gauge")
+		for _, i := range gnames[name] {
+			g := snap.Gauges[i]
+			fmt.Fprintf(&b, "%s %s\n", series(g.Name, g.Labels, ""), formatFloat(g.Value))
+		}
+	}
+
+	hnames := make(map[string][]int)
+	for i, h := range snap.Histograms {
+		hnames[h.Name] = append(hnames[h.Name], i)
+	}
+	for _, name := range sortedKeys(hnames) {
+		writeType(name, "histogram")
+		for _, i := range hnames[name] {
+			h := snap.Histograms[i]
+			for _, bk := range h.Buckets {
+				le := "+Inf"
+				if !math.IsInf(bk.UpperBound, 1) {
+					le = formatFloat(bk.UpperBound)
+				}
+				fmt.Fprintf(&b, "%s %d\n",
+					series(h.Name+"_bucket", h.Labels, `le="`+le+`"`), bk.Count)
+			}
+			fmt.Fprintf(&b, "%s %s\n", series(h.Name+"_sum", h.Labels, ""), formatFloat(h.Sum))
+			fmt.Fprintf(&b, "%s %d\n", series(h.Name+"_count", h.Labels, ""), h.Count)
+		}
+	}
+	return b.String()
+}
+
+// series renders name{labels,extra} with escaped label values.
+func series(name string, labels []Label, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys(m map[string][]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

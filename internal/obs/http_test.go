@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func seededRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("msite_proxy_requests_total", "handler", "entry", "site", "sawdust").Add(3)
+	r.Gauge("msite_sessions_live").Set(2)
+	h := r.HistogramBuckets("msite_stage_seconds", []float64{0.1, 1}, "stage", "fetch")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	return r
+}
+
+func TestMetricsPrometheusText(t *testing.T) {
+	srv := httptest.NewServer(Handler(seededRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE msite_proxy_requests_total counter",
+		`msite_proxy_requests_total{handler="entry",site="sawdust"} 3`,
+		"# TYPE msite_sessions_live gauge",
+		"msite_sessions_live 2",
+		"# TYPE msite_stage_seconds histogram",
+		`msite_stage_seconds_bucket{stage="fetch",le="0.1"} 1`,
+		`msite_stage_seconds_bucket{stage="fetch",le="1"} 2`,
+		`msite_stage_seconds_bucket{stage="fetch",le="+Inf"} 3`,
+		`msite_stage_seconds_sum{stage="fetch"} 5.55`,
+		`msite_stage_seconds_count{stage="fetch"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsJSONNegotiated(t *testing.T) {
+	srv := httptest.NewServer(Handler(seededRegistry()))
+	defer srv.Close()
+
+	for _, mode := range []string{"accept", "query"} {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if mode == "accept" {
+			req.Header.Set("Accept", "application/json")
+		} else {
+			req.URL.RawQuery = "format=json"
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s: content type = %q", mode, ct)
+		}
+		var snap Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatalf("%s: decoding: %v", mode, err)
+		}
+		_ = resp.Body.Close()
+		c, ok := snap.Counter("msite_proxy_requests_total", "handler", "entry")
+		if !ok || c.Value != 3 {
+			t.Fatalf("%s: counter = %+v ok=%v", mode, c, ok)
+		}
+		h, ok := snap.Histogram("msite_stage_seconds", "stage", "fetch")
+		if !ok || h.Count != 3 || len(h.Buckets) != 3 {
+			t.Fatalf("%s: histogram = %+v ok=%v", mode, h, ok)
+		}
+		if h.P50 <= 0 || h.P90 <= h.P50 {
+			t.Fatalf("%s: quantiles p50=%v p90=%v", mode, h.P50, h.P90)
+		}
+	}
+}
+
+func TestMetricsMethodNotAllowed(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	r := NewRegistry()
+	ctx, tr := r.StartTrace(context.Background(), "entry")
+	StartSpan(ctx, "fetch").End()
+	tr.Annotate("cache", "miss")
+	tr.End()
+
+	srv := httptest.NewServer(TracesHandler(r))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var payload struct {
+		Traces []TraceRecord `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Traces) != 1 {
+		t.Fatalf("traces = %d", len(payload.Traces))
+	}
+	got := payload.Traces[0]
+	if got.Name != "entry" || got.Attrs["cache"] != "miss" || len(got.Spans) != 1 {
+		t.Fatalf("trace = %+v", got)
+	}
+	if got.Spans[0].Name != "fetch" {
+		t.Fatalf("span = %+v", got.Spans[0])
+	}
+}
+
+func TestTracesLimit(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 5; i++ {
+		_, tr := r.StartTrace(context.Background(), "entry")
+		tr.End()
+	}
+	srv := httptest.NewServer(TracesHandler(r))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var payload struct {
+		Traces []TraceRecord `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(payload.Traces))
+	}
+}
+
+// TestConcurrentScrapeWhileServing exercises metric writes racing with
+// HTTP scrapes of both endpoints — the -race guard for the exposition
+// path.
+func TestConcurrentScrapeWhileServing(t *testing.T) {
+	r := NewRegistry()
+	metricsSrv := httptest.NewServer(Handler(r))
+	defer metricsSrv.Close()
+	tracesSrv := httptest.NewServer(TracesHandler(r))
+	defer tracesSrv.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, tr := r.StartTrace(context.Background(), "entry")
+				r.Counter("msite_proxy_requests_total", "handler", "entry").Inc()
+				sp := StartSpan(ctx, "fetch")
+				sp.End()
+				tr.End()
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		for _, u := range []string{metricsSrv.URL, metricsSrv.URL + "?format=json", tracesSrv.URL} {
+			resp, err := http.Get(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("scrape %s = %d", u, resp.StatusCode)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package proxy
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -10,6 +11,7 @@ import (
 
 	"msite/internal/cache"
 	"msite/internal/fetch"
+	"msite/internal/obs"
 	"msite/internal/session"
 	"msite/internal/spec"
 )
@@ -22,6 +24,7 @@ import (
 type MultiProxy struct {
 	sites map[string]*Proxy
 	names []string
+	obs   *obs.Registry
 }
 
 // MultiConfig wires a MultiProxy.
@@ -35,6 +38,11 @@ type MultiConfig struct {
 	// ViewportWidth and FetchOptions apply to every site.
 	ViewportWidth int
 	FetchOptions  []fetch.Option
+	// Obs is the metric registry shared by every site (the site label
+	// distinguishes them). Nil creates one.
+	Obs *obs.Registry
+	// Logger enables per-request structured logging on every site.
+	Logger *slog.Logger
 }
 
 // NewMulti builds the composite proxy.
@@ -42,7 +50,11 @@ func NewMulti(cfg MultiConfig) (*MultiProxy, error) {
 	if len(cfg.Specs) == 0 {
 		return nil, errors.New("proxy: no specs")
 	}
-	m := &MultiProxy{sites: make(map[string]*Proxy, len(cfg.Specs))}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &MultiProxy{sites: make(map[string]*Proxy, len(cfg.Specs)), obs: reg}
 	for _, sp := range cfg.Specs {
 		if sp == nil {
 			return nil, errors.New("proxy: nil spec")
@@ -61,6 +73,8 @@ func NewMulti(cfg MultiConfig) (*MultiProxy, error) {
 			ViewportWidth: cfg.ViewportWidth,
 			FetchOptions:  cfg.FetchOptions,
 			PathPrefix:    "/p/" + name,
+			Obs:           reg,
+			Logger:        cfg.Logger,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("proxy: site %q: %w", name, err)
@@ -71,6 +85,9 @@ func NewMulti(cfg MultiConfig) (*MultiProxy, error) {
 	sort.Strings(m.names)
 	return m, nil
 }
+
+// Obs exposes the registry shared by every mounted site.
+func (m *MultiProxy) Obs() *obs.Registry { return m.obs }
 
 // Site returns the proxy mounted for name.
 func (m *MultiProxy) Site(name string) (*Proxy, bool) {

@@ -9,11 +9,13 @@
 package proxy
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"image"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"os"
@@ -22,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"msite/internal/ajax"
@@ -31,6 +34,7 @@ import (
 	"msite/internal/filter"
 	"msite/internal/imaging"
 	"msite/internal/layout"
+	"msite/internal/obs"
 	"msite/internal/raster"
 	"msite/internal/render"
 	"msite/internal/session"
@@ -53,6 +57,13 @@ type Config struct {
 	// letting one server host the adaptation proxies for several pages
 	// of a site (see MultiProxy). Empty mounts at the root.
 	PathPrefix string
+	// Obs receives the proxy's metrics and request traces. Nil creates a
+	// private registry (core wires one shared registry across the stack).
+	Obs *obs.Registry
+	// Logger, when non-nil, emits one structured line per request with
+	// session id, handler kind, cache outcome, status, and duration.
+	// Nil disables request logging (the default, and what tests use).
+	Logger *slog.Logger
 }
 
 // Stats counts proxy work for the scalability experiments.
@@ -76,11 +87,19 @@ type Proxy struct {
 	engines    *render.EngineSet
 	width      int
 	prefix     string
+	obs        *obs.Registry
+	logger     *slog.Logger
+
+	// Work counters are atomic (not under mu) so Stats() snapshots and
+	// metric scrapes never contend with the adaptation hot path.
+	nRequests        atomic.Uint64
+	nAdaptations     atomic.Uint64
+	nSnapshotRenders atomic.Uint64
+	nSnapshotHits    atomic.Uint64
 
 	mu       sync.Mutex
 	adapted  map[string]*adaptation // by session ID
 	inflight map[string]chan struct{}
-	stats    Stats
 }
 
 // adaptation is one session's generated content.
@@ -122,12 +141,19 @@ func New(cfg Config) (*Proxy, error) {
 	if prefix != "" && !strings.HasPrefix(prefix, "/") {
 		return nil, fmt.Errorf("proxy: path prefix %q must start with /", cfg.PathPrefix)
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cfg.Sessions.InstrumentObs(reg)
 	p := &Proxy{
 		cfg:        cfg,
 		dispatcher: dispatcher,
 		engines:    render.NewEngineSet(),
 		width:      width,
 		prefix:     prefix,
+		obs:        reg,
+		logger:     cfg.Logger,
 		adapted:    make(map[string]*adaptation),
 		inflight:   make(map[string]chan struct{}),
 	}
@@ -140,18 +166,63 @@ func New(cfg Config) (*Proxy, error) {
 	return p, nil
 }
 
-// Stats returns a snapshot of the proxy counters.
+// Stats returns a snapshot of the proxy counters. It reads atomics —
+// never the proxy mutex — so it is safe to poll at any rate.
 func (p *Proxy) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Requests:        p.nRequests.Load(),
+		Adaptations:     p.nAdaptations.Load(),
+		SnapshotRenders: p.nSnapshotRenders.Load(),
+		SnapshotHits:    p.nSnapshotHits.Load(),
+	}
 }
 
-// ServeHTTP implements http.Handler.
+// Obs exposes the proxy's metric registry (shared with core when wired
+// through it).
+func (p *Proxy) Obs() *obs.Registry { return p.obs }
+
+// handlerKind classifies a proxy-relative path for metrics, traces, and
+// logs.
+func handlerKind(path string) string {
+	switch {
+	case path == "/":
+		return "entry"
+	case strings.HasPrefix(path, "/subpage/"):
+		return "subpage"
+	case strings.HasPrefix(path, "/asset/"):
+		return "asset"
+	case path == "/ajax":
+		return "ajax"
+	case path == "/auth":
+		return "auth"
+	case path == "/login":
+		return "login"
+	case path == "/logout":
+		return "logout"
+	case path == "/stats":
+		return "stats"
+	default:
+		return "notfound"
+	}
+}
+
+// statusRecorder captures the response status for metrics and logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler. Every request is counted, traced
+// (the trace lands in the obs ring buffer for /debug/traces), timed into
+// a per-handler latency histogram, and optionally logged.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	p.mu.Lock()
-	p.stats.Requests++
-	p.mu.Unlock()
+	p.nRequests.Add(1)
 
 	path := r.URL.Path
 	if p.prefix != "" {
@@ -165,26 +236,68 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	switch {
-	case path == "/":
-		p.handleEntry(w, r)
-	case strings.HasPrefix(path, "/subpage/"):
-		p.handleSubpage(w, r, strings.TrimPrefix(path, "/subpage/"))
-	case strings.HasPrefix(path, "/asset/"):
-		p.handleAsset(w, r, strings.TrimPrefix(path, "/asset/"))
-	case path == "/ajax":
-		p.handleAJAX(w, r)
-	case path == "/auth":
-		p.handleAuth(w, r)
-	case path == "/login":
-		p.handleLogin(w, r)
-	case path == "/logout":
-		p.handleLogout(w, r)
-	case path == "/stats":
-		p.handleStats(w, r)
+	kind := handlerKind(path)
+	site := p.cfg.Spec.Name
+	p.obs.Counter("msite_proxy_requests_total", "handler", kind, "site", site).Inc()
+	ctx, tr := p.obs.StartTrace(r.Context(), kind)
+	r = r.WithContext(ctx)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+
+	switch kind {
+	case "entry":
+		p.handleEntry(rec, r)
+	case "subpage":
+		p.handleSubpage(rec, r, strings.TrimPrefix(path, "/subpage/"))
+	case "asset":
+		p.handleAsset(rec, r, strings.TrimPrefix(path, "/asset/"))
+	case "ajax":
+		p.handleAJAX(rec, r)
+	case "auth":
+		p.handleAuth(rec, r)
+	case "login":
+		p.handleLogin(rec, r)
+	case "logout":
+		p.handleLogout(rec, r)
+	case "stats":
+		p.handleStats(rec, r)
 	default:
-		http.NotFound(w, r)
+		http.NotFound(rec, r)
 	}
+
+	d := tr.End()
+	p.obs.Histogram("msite_http_request_seconds", "handler", kind).ObserveDuration(d)
+	if rec.status >= 500 {
+		p.obs.Counter("msite_proxy_errors_total", "handler", kind, "site", site).Inc()
+	}
+	p.logRequest(r, tr, kind, rec.status, d)
+}
+
+// logRequest emits the per-request structured log line.
+func (p *Proxy) logRequest(r *http.Request, tr *obs.Trace, kind string, status int, d time.Duration) {
+	if p.logger == nil {
+		return
+	}
+	level := slog.LevelInfo
+	if status >= 500 {
+		level = slog.LevelError
+	}
+	attrs := []slog.Attr{
+		slog.String("site", p.cfg.Spec.Name),
+		slog.String("handler", kind),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Duration("duration", d),
+	}
+	noted := tr.Attrs()
+	keys := make([]string, 0, len(noted))
+	for k := range noted {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		attrs = append(attrs, slog.String(k, noted[k]))
+	}
+	p.logger.LogAttrs(r.Context(), level, "request", attrs...)
 }
 
 // handleLogin marshals the origin's form login through the proxy: the
@@ -244,7 +357,9 @@ func (p *Proxy) handleLogin(w http.ResponseWriter, r *http.Request) {
 // handleStats reports the proxy's work counters for operations and the
 // scalability experiments, plus any adaptation notes (objects whose
 // selectors matched nothing, failed relocations) the administrator
-// should see.
+// should see. The counters come from the same atomics the obs registry
+// reads; /metrics is the richer surface (histograms, per-handler
+// series), this endpoint stays for backward compatibility.
 func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
 	stats := p.Stats()
 	p.mu.Lock()
@@ -280,13 +395,14 @@ func (p *Proxy) ensureSession(w http.ResponseWriter, r *http.Request) (*session.
 		http.Error(w, "session error: "+err.Error(), http.StatusInternalServerError)
 		return nil, false
 	}
+	obs.TraceFrom(r.Context()).Annotate("session", sess.ID)
 	return sess, true
 }
 
 // ensureAdaptation runs the full pipeline for a session once (or again
 // with ?refresh=1): fetch, filter phase, Tidy parse, attribute phase,
 // file generation.
-func (p *Proxy) ensureAdaptation(sess *session.Session, force bool) (*adaptation, error) {
+func (p *Proxy) ensureAdaptation(ctx context.Context, sess *session.Session, force bool) (*adaptation, error) {
 	// Single-flight per session: concurrent first requests (a mobile
 	// browser fetching the entry page and a subpage in parallel) must
 	// not run the fetch+adapt pipeline twice or race on the session
@@ -307,31 +423,43 @@ func (p *Proxy) ensureAdaptation(sess *session.Session, force bool) (*adaptation
 		p.inflight[sess.ID] = done
 		p.mu.Unlock()
 
-		ad, err := p.adaptSession(sess)
+		ad, err := p.adaptSession(ctx, sess)
 
 		p.mu.Lock()
 		delete(p.inflight, sess.ID)
 		if err == nil {
 			p.adapted[sess.ID] = ad
-			p.stats.Adaptations++
 		}
 		p.mu.Unlock()
+		if err == nil {
+			p.nAdaptations.Add(1)
+			p.obs.Counter("msite_proxy_adaptations_total", "site", p.cfg.Spec.Name).Inc()
+		}
 		close(done)
 		return ad, err
 	}
 }
 
 // adaptSession runs the fetch → filter → attribute → file-generation
-// pipeline for one session.
-func (p *Proxy) adaptSession(sess *session.Session) (*adaptation, error) {
+// pipeline for one session, recording one span per stage (plus an
+// adapt_total envelope) into the request trace and the per-stage latency
+// histograms.
+func (p *Proxy) adaptSession(ctx context.Context, sess *session.Session) (*adaptation, error) {
+	total := obs.StartSpan(ctx, "adapt_total")
+	defer total.End()
+
 	f := fetch.New(sess, p.cfg.FetchOptions...)
+	sp := obs.StartSpan(ctx, "fetch")
 	page, err := f.Get(p.cfg.Spec.Origin)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Filter phase: cheap source-level transforms first (§3.2).
+	sp = obs.StartSpan(ctx, "filter")
 	src, err := filter.Apply(string(page.Body), p.cfg.Spec.Filters)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("proxy: filter phase: %w", err)
 	}
@@ -341,15 +469,20 @@ func (p *Proxy) adaptSession(sess *session.Session) (*adaptation, error) {
 	// images a render would need (§3.2: the page fetch "includes
 	// downloading any images to be rendered"), then run the attribute
 	// phase over the tidied DOM.
+	sp = obs.StartSpan(ctx, "subres")
 	doc := tidyDoc(src)
 	if _, err := f.InlineStylesheets(doc, page.URL); err != nil {
+		sp.End()
 		return nil, fmt.Errorf("proxy: inlining stylesheets: %w", err)
 	}
 	images := fetchImages(f, doc, page.URL)
+	sp.End()
 	applier := *p.applier // copy: Images are per-fetch
 	applier.Images = images
+	sp = obs.StartSpan(ctx, "attr")
 	result, err := applier.Apply(p.cfg.Spec, doc)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("proxy: attribute phase: %w", err)
 	}
 
@@ -365,10 +498,13 @@ func (p *Proxy) adaptSession(sess *session.Session) (*adaptation, error) {
 	for _, sub := range result.Subpages {
 		attr.AbsolutizeURLs(sub.Doc, page.URL, skip...)
 	}
+	sp.End()
 
 	// Write generated files into the user's protected directory (§3.2:
 	// "All of the files generated during a user's session are stored in
 	// the file system under a (protected) subdirectory").
+	sp = obs.StartSpan(ctx, "subpage_split")
+	defer sp.End()
 	pagesDir, err := sess.SubpageDir()
 	if err != nil {
 		return nil, err
@@ -420,7 +556,7 @@ func (p *Proxy) handleEntry(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ad, err := p.ensureAdaptation(sess, r.URL.Query().Get("refresh") == "1")
+	ad, err := p.ensureAdaptation(r.Context(), sess, r.URL.Query().Get("refresh") == "1")
 	if err != nil {
 		p.fetchError(w, r, err)
 		return
@@ -438,7 +574,7 @@ func (p *Proxy) handleEntry(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	snap, scale, width, height, err := p.snapshot(sess)
+	snap, scale, width, height, err := p.snapshot(r.Context(), sess)
 	if err != nil {
 		p.fetchError(w, r, err)
 		return
@@ -474,8 +610,10 @@ func snapshotFidelity(s *spec.Spec) imaging.Fidelity {
 }
 
 // snapshot renders (or fetches from the shared cache) the scaled entry
-// snapshot, returning its bytes and geometry.
-func (p *Proxy) snapshot(sess *session.Session) (data []byte, scale float64, w, h int, err error) {
+// snapshot, returning its bytes and geometry. The layout, raster, and
+// encode stages of a cold render are recorded as spans; whether the
+// snapshot came from the shared cache is annotated on the request trace.
+func (p *Proxy) snapshot(ctx context.Context, sess *session.Session) (data []byte, scale float64, w, h int, err error) {
 	fid := snapshotFidelity(p.cfg.Spec)
 	scale = p.cfg.Spec.Snapshot.Scale
 	if scale <= 0 {
@@ -490,20 +628,27 @@ func (p *Proxy) snapshot(sess *session.Session) (data []byte, scale float64, w, 
 	}
 	p.mu.Unlock()
 
+	filled := false
 	fill := func() (cache.Entry, error) {
-		p.mu.Lock()
-		p.stats.SnapshotRenders++
-		p.mu.Unlock()
+		filled = true
+		p.nSnapshotRenders.Add(1)
+		p.obs.Counter("msite_proxy_snapshot_renders_total", "site", p.cfg.Spec.Name).Inc()
 		mainPath := p.sessionFile(sess, "pages", "main.html")
 		src, err := os.ReadFile(mainPath)
 		if err != nil {
 			return cache.Entry{}, fmt.Errorf("proxy: reading adapted main: %w", err)
 		}
+		sp := obs.StartSpan(ctx, "layout")
 		doc := tidyDoc(string(src))
 		res := layoutForDoc(doc, p.width)
+		sp.End()
+		sp = obs.StartSpan(ctx, "raster")
 		img := raster.Paint(res, raster.Options{Images: snapImages})
+		sp.End()
+		sp = obs.StartSpan(ctx, "encode")
 		scaled := imaging.ScaleFactor(img, scale)
 		encoded, err := imaging.Encode(scaled, fid)
+		sp.End()
 		if err != nil {
 			return cache.Entry{}, err
 		}
@@ -513,18 +658,20 @@ func (p *Proxy) snapshot(sess *session.Session) (data []byte, scale float64, w, 
 
 	var entry cache.Entry
 	if p.cfg.Spec.Snapshot.Shared && ttl > 0 {
-		before := p.cfg.Cache.Stats()
 		entry, err = p.cfg.Cache.GetOrFill("snapshot:"+p.cfg.Spec.Name, ttl, fill)
-		if err == nil {
-			after := p.cfg.Cache.Stats()
-			if after.Hits > before.Hits {
-				p.mu.Lock()
-				p.stats.SnapshotHits++
-				p.mu.Unlock()
-			}
+		if err == nil && !filled {
+			// Served from the shared cache (either directly or by another
+			// goroutine's single-flight fill) — the amortization §3.3 is
+			// about.
+			p.nSnapshotHits.Add(1)
+			p.obs.Counter("msite_proxy_snapshot_hits_total", "site", p.cfg.Spec.Name).Inc()
+			obs.TraceFrom(ctx).Annotate("cache", "hit")
+		} else {
+			obs.TraceFrom(ctx).Annotate("cache", "miss")
 		}
 	} else {
 		entry, err = fill()
+		obs.TraceFrom(ctx).Annotate("cache", "bypass")
 	}
 	if err != nil {
 		return nil, 0, 0, 0, err
@@ -567,7 +714,7 @@ func (p *Proxy) handleSubpage(w http.ResponseWriter, r *http.Request, rawName st
 		http.NotFound(w, r)
 		return
 	}
-	ad, err := p.ensureAdaptation(sess, false)
+	ad, err := p.ensureAdaptation(r.Context(), sess, false)
 	if err != nil {
 		p.fetchError(w, r, err)
 		return

@@ -13,12 +13,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"msite/internal/css"
 	"msite/internal/dom"
 	"msite/internal/html"
 	"msite/internal/imaging"
 	"msite/internal/layout"
+	"msite/internal/obs"
 	"msite/internal/raster"
 )
 
@@ -39,6 +41,9 @@ func (s *Snapshot) Region(n *dom.Node) (x, y, w, h int, ok bool) {
 type Renderer struct {
 	// Viewport is the layout width; zero uses layout.DefaultViewport.
 	Viewport layout.Viewport
+	// Obs, when non-nil, records layout and raster stage latencies into
+	// the msite_stage_seconds histogram family.
+	Obs *obs.Registry
 }
 
 // New returns a Renderer for the given viewport width.
@@ -59,9 +64,20 @@ func (r *Renderer) RenderDoc(doc *dom.Node) (*Snapshot, error) {
 		return nil, errors.New("render: nil document")
 	}
 	styler := css.StylerForDocument(doc)
+	start := time.Now()
 	res := layout.Layout(doc, styler, r.Viewport)
+	r.observeStage("layout", time.Since(start))
+	start = time.Now()
 	img := raster.Paint(res, raster.Options{})
+	r.observeStage("raster", time.Since(start))
 	return &Snapshot{Doc: doc, Layout: res, Image: img}, nil
+}
+
+func (r *Renderer) observeStage(stage string, d time.Duration) {
+	if r.Obs == nil {
+		return
+	}
+	r.Obs.Histogram(obs.StageHistogram, "stage", stage).ObserveDuration(d)
 }
 
 // Engine converts a document to one output representation.

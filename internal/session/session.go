@@ -19,6 +19,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"msite/internal/obs"
 )
 
 // CookieName is the proxy session cookie.
@@ -149,6 +151,13 @@ func NewManagerWithClock(root string, ttl time.Duration, clock func() time.Time)
 		clock:    clock,
 		sessions: make(map[string]*Session),
 	}, nil
+}
+
+// InstrumentObs registers the manager's live-session gauge
+// (msite_sessions_live) on reg. Idempotent; safe to call for managers
+// shared across several proxies.
+func (m *Manager) InstrumentObs(reg *obs.Registry) {
+	reg.GaugeFunc("msite_sessions_live", func() float64 { return float64(m.Len()) })
 }
 
 // Create makes a fresh session with its own directory and cookie jar.
