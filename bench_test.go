@@ -361,6 +361,111 @@ func BenchmarkAblationBrowserPool(b *testing.B) {
 	}
 }
 
+// latencyForumOrigin serves the forum behind an injected per-request
+// delay, so the serial-vs-parallel fetch ablations measure a WAN-shaped
+// origin rather than loopback.
+func latencyForumOrigin(b *testing.B, d time.Duration) string {
+	b.Helper()
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	srv := httptest.NewServer(experiments.LatencyHandler(forum.Handler(), d))
+	b.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// benchAblationFetch times one batch download of the entry page's
+// subresources at the given worker count.
+func benchAblationFetch(b *testing.B, workers int) {
+	url := latencyForumOrigin(b, 10*time.Millisecond)
+	f := fetch.New(nil)
+	page, err := f.Get(url + "/")
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs := fetch.Subresources(page.Doc(), page.URL)
+	if len(refs) == 0 {
+		b.Fatal("entry page has no subresources")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range f.FetchAll(refs, workers) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationFetchSerial(b *testing.B)   { benchAblationFetch(b, 1) }
+func BenchmarkAblationFetchParallel(b *testing.B) { benchAblationFetch(b, fetch.DefaultWorkers) }
+
+// benchAblationPaint times one full-page raster at the given band count
+// (1 = serial baseline, 0 = GOMAXPROCS bands).
+func benchAblationPaint(b *testing.B, workers int) {
+	_, url := forumOrigin(b)
+	src := entrySource(b, url)
+	doc := html.Tidy(src)
+	styler := css.StylerForDocument(doc)
+	res := layout.Layout(doc, styler, layout.Viewport{Width: 1024})
+	raster.Paint(res, raster.Options{Workers: workers}) // warm-up
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raster.Paint(res, raster.Options{Workers: workers})
+	}
+}
+
+func BenchmarkAblationPaintSerial(b *testing.B)   { benchAblationPaint(b, 1) }
+func BenchmarkAblationPaintParallel(b *testing.B) { benchAblationPaint(b, 0) }
+
+// benchAblationColdAdapt times a fresh client's first request through
+// the whole proxy pipeline against a latency-injected origin — each
+// iteration is a true cold start (fresh session root, fresh cache).
+func benchAblationColdAdapt(b *testing.B, pcfg proxy.Config) {
+	url := latencyForumOrigin(b, 10*time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sessions, err := session.NewManager(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := pcfg
+		cfg.Spec = experiments.SpecForForum(url)
+		cfg.Sessions = sessions
+		cfg.Cache = cache.New()
+		p, err := proxy.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(p)
+		jar, err := cookiejar.New(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		client := &http.Client{Jar: jar}
+		b.StartTimer()
+		resp, err := client.Get(srv.URL + "/")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		b.StopTimer()
+		srv.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkAblationColdAdaptSerial(b *testing.B) {
+	benchAblationColdAdapt(b, proxy.Config{FetchWorkers: 1, RasterWorkers: 1, WriteWorkers: 1})
+}
+
+func BenchmarkAblationColdAdaptParallel(b *testing.B) {
+	benchAblationColdAdapt(b, proxy.Config{})
+}
+
 // BenchmarkWorkloadMixed10 is the Figure 7 mid-curve point: 10% browser
 // renders, matching the knee region of the paper's plot.
 func BenchmarkWorkloadMixed10(b *testing.B) {

@@ -10,9 +10,11 @@
 //	msite-bench table1
 //	msite-bench fig7 -window 10s
 //	msite-bench fidelity | speedup | pageweight | ablation | stages
+//	msite-bench parallel   # serial-vs-parallel pipeline ablation → BENCH_PR2.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http/httptest"
@@ -35,6 +37,8 @@ func run() error {
 	window := flag.Duration("window", 3*time.Second, "Figure 7 measurement window per run")
 	reps := flag.Int("reps", 3, "Figure 7 repetitions per point")
 	csv := flag.Bool("csv", false, "emit Figure 7 data as CSV for plotting")
+	parallelOut := flag.String("parallel-out", "BENCH_PR2.json", "where the parallel ablation writes its JSON record (empty = don't write)")
+	parallelLatency := flag.Duration("parallel-latency", 15*time.Millisecond, "injected origin latency for the parallel ablation")
 	flag.Parse()
 
 	what := "all"
@@ -110,6 +114,27 @@ func run() error {
 				return err
 			}
 			fmt.Println(experiments.FormatStages(rep))
+		case "parallel":
+			// Runs against its own latency-injected internal origin (the
+			// -origin flag does not apply): the serial-vs-parallel contrast
+			// needs per-request origin delay a loopback server doesn't have.
+			rep, err := experiments.ParallelAblation(experiments.ParallelConfig{
+				Latency: *parallelLatency,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatParallel(rep))
+			if *parallelOut != "" {
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*parallelOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n\n", *parallelOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -117,7 +142,7 @@ func run() error {
 	}
 
 	if what == "all" {
-		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "stages", "fig7"} {
+		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "stages", "fig7"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

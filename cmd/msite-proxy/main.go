@@ -47,6 +47,9 @@ func run() error {
 	gcEvery := flag.Duration("gc", 10*time.Minute, "session GC interval")
 	metrics := flag.Bool("metrics", true, "mount /metrics and /debug/traces")
 	logLevel := flag.String("log-level", "info", "request log level: debug|info|warn|error|off")
+	fetchWorkers := flag.Int("fetch-workers", 0, "concurrent subresource downloads per adaptation (0 = default, 1 = serial)")
+	rasterWorkers := flag.Int("raster-workers", 0, "snapshot rasterization bands (0 = GOMAXPROCS, 1 = serial)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "render cache byte budget, LRU-evicted past it (0 = unbounded)")
 	flag.Parse()
 
 	if len(specPaths) == 0 {
@@ -56,7 +59,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{SessionRoot: *sessions, ViewportWidth: *width, Logger: logger}
+	cfg := core.Config{
+		SessionRoot:        *sessions,
+		ViewportWidth:      *width,
+		Logger:             logger,
+		FetchWorkers:       *fetchWorkers,
+		RasterWorkers:      *rasterWorkers,
+		CacheMaxBytes:      *cacheMaxBytes,
+		CacheSweepInterval: time.Minute,
+	}
 
 	if len(specPaths) > 1 {
 		specs := make([]*spec.Spec, 0, len(specPaths))

@@ -3,6 +3,13 @@
 // one pre-render is amortized over thousands of clients, with
 // single-flight filling so concurrent requests for a cold key trigger
 // exactly one render.
+//
+// The cache is sharded: keys hash (FNV-1a) onto 32 independent shards,
+// each with its own lock, entry map, single-flight table, and LRU list,
+// so concurrent sessions on a multi-core proxy never funnel through one
+// mutex. An optional byte budget (MaxBytes) evicts least-recently-used
+// entries, and an optional background sweeper collects expired entries
+// between requests; Close stops it.
 package cache
 
 import (
@@ -13,28 +20,90 @@ import (
 	"msite/internal/obs"
 )
 
+// numShards is the shard count. A power of two keeps the index a mask;
+// 32 is far above any realistic core count, so two hot keys rarely
+// share a lock.
+const numShards = 32
+
+// slotOverhead approximates the per-entry bookkeeping bytes charged
+// against MaxBytes on top of the payload itself.
+const slotOverhead = 128
+
 // Entry is one cached artifact.
 type Entry struct {
 	Data []byte
 	MIME string
 }
 
-// Cache is a TTL key-value cache, safe for concurrent use. The zero
-// value is not usable; call New.
+func (e Entry) size() int64 {
+	return int64(len(e.Data)) + int64(len(e.MIME)) + slotOverhead
+}
+
+// Options configures a cache beyond the defaults.
+type Options struct {
+	// Clock is the time source (tests inject a fake one). Nil uses
+	// time.Now.
+	Clock func() time.Time
+	// MaxBytes bounds the resident payload bytes (the -cache-max-bytes
+	// knob). When the budget is exceeded the least-recently-used
+	// entries are evicted. 0 means unbounded (TTL-only), matching the
+	// pre-LRU behaviour.
+	MaxBytes int64
+	// SweepInterval, when positive, starts a background goroutine that
+	// sweeps expired entries on that period. Stop it with Close.
+	SweepInterval time.Duration
+}
+
+// Cache is a sharded TTL+LRU key-value cache, safe for concurrent use.
+// The zero value is not usable; call New, NewWithClock, or
+// NewWithOptions.
 type Cache struct {
-	clock func() time.Time
+	clock    func() time.Time
+	maxBytes int64 // per-shard budget is maxBytes/numShards
 
 	// Counters are atomic so Stats() snapshots (and metric scrapes)
 	// never contend with the serving hot path.
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	fills  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	fills     atomic.Uint64
+	evictions atomic.Uint64
+	bytes     atomic.Int64
 
 	// obsHook is set once by SetObs before serving begins.
 	obsHook atomic.Pointer[cacheObs]
 
+	shards [numShards]shard
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	closeOnce sync.Once
+}
+
+// shard is one independently locked slice of the key space.
+type shard struct {
 	mu      sync.Mutex
 	entries map[string]*slot
+	// lruHead/lruTail form the intrusive recency list of resident
+	// (filled, unexpired-or-not-yet-swept) slots; head is most recent.
+	lruHead *slot
+	lruTail *slot
+	bytes   int64
+}
+
+// slot is one cache slot: either resident (entry valid, on the LRU
+// list) or pending (a single-flight fill in progress; waiters block on
+// the channel). After the pending channel closes, entry/fillErr are
+// immutable and readable without the shard lock.
+type slot struct {
+	key     string
+	entry   Entry
+	expires time.Time
+	size    int64
+
+	pending chan struct{}
+	fillErr error
+
+	prev, next *slot // LRU links, only while resident
 }
 
 // cacheObs bundles the registry metrics the cache reports into.
@@ -42,22 +111,83 @@ type cacheObs struct {
 	hits        *obs.Counter
 	misses      *obs.Counter
 	fills       *obs.Counter
+	evictLRU    *obs.Counter
+	evictExpire *obs.Counter
 	fillSeconds *obs.Histogram
 }
 
-// SetObs registers the cache's counters and fill-latency histogram on
-// reg (msite_cache_hits_total, msite_cache_misses_total,
-// msite_cache_fills_total, msite_cache_fill_seconds) and starts
-// reporting into them. Safe to call while serving; typically wired once
-// by core.New.
+// New returns an empty unbounded cache using the real clock.
+func New() *Cache {
+	return NewWithOptions(Options{})
+}
+
+// NewWithClock returns an unbounded cache with an injectable clock, for
+// tests and deterministic simulation.
+func NewWithClock(clock func() time.Time) *Cache {
+	return NewWithOptions(Options{Clock: clock})
+}
+
+// NewWithOptions returns a cache configured by o. When o.SweepInterval
+// is positive the caller owns the sweeper and must Close the cache.
+func NewWithOptions(o Options) *Cache {
+	clock := o.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	c := &Cache{clock: clock, maxBytes: o.MaxBytes}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*slot)
+	}
+	if o.SweepInterval > 0 {
+		c.sweepStop = make(chan struct{})
+		c.sweepDone = make(chan struct{})
+		go c.sweepLoop(o.SweepInterval)
+	}
+	return c
+}
+
+// Close stops the background sweeper, if one was started. Idempotent;
+// the cache remains usable afterwards (just unswept).
+func (c *Cache) Close() {
+	c.closeOnce.Do(func() {
+		if c.sweepStop != nil {
+			close(c.sweepStop)
+			<-c.sweepDone
+		}
+	})
+}
+
+func (c *Cache) sweepLoop(every time.Duration) {
+	defer close(c.sweepDone)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.sweepStop:
+			return
+		case <-ticker.C:
+			c.Sweep()
+		}
+	}
+}
+
+// SetObs registers the cache's counters, gauges, and fill-latency
+// histogram on reg (msite_cache_hits_total, msite_cache_misses_total,
+// msite_cache_fills_total, msite_cache_evictions_total{reason},
+// msite_cache_entries, msite_cache_bytes, msite_cache_fill_seconds) and
+// starts reporting into them. Safe to call while serving; typically
+// wired once by core.New.
 func (c *Cache) SetObs(reg *obs.Registry) {
 	c.obsHook.Store(&cacheObs{
 		hits:        reg.Counter("msite_cache_hits_total"),
 		misses:      reg.Counter("msite_cache_misses_total"),
 		fills:       reg.Counter("msite_cache_fills_total"),
+		evictLRU:    reg.Counter("msite_cache_evictions_total", "reason", "lru"),
+		evictExpire: reg.Counter("msite_cache_evictions_total", "reason", "expired"),
 		fillSeconds: reg.Histogram("msite_cache_fill_seconds"),
 	})
 	reg.GaugeFunc("msite_cache_entries", func() float64 { return float64(c.Len()) })
+	reg.GaugeFunc("msite_cache_bytes", func() float64 { return float64(c.bytes.Load()) })
 }
 
 func (c *Cache) markHit() {
@@ -82,36 +212,117 @@ func (c *Cache) markFill(d time.Duration) {
 	}
 }
 
-type slot struct {
-	entry   Entry
-	expires time.Time
-
-	// pending coordinates single-flight fills: non-nil while a fill is in
-	// progress; waiters block on the channel.
-	pending chan struct{}
-	fillErr error
+func (c *Cache) markEvict(expired bool) {
+	c.evictions.Add(1)
+	if o := c.obsHook.Load(); o != nil {
+		if expired {
+			o.evictExpire.Inc()
+		} else {
+			o.evictLRU.Inc()
+		}
+	}
 }
 
-// New returns an empty cache using the real clock.
-func New() *Cache {
-	return NewWithClock(time.Now)
+// shardFor hashes key (FNV-1a, 32-bit) onto its shard.
+func (c *Cache) shardFor(key string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &c.shards[h&(numShards-1)]
 }
 
-// NewWithClock returns a cache with an injectable clock, for tests and
-// deterministic simulation.
-func NewWithClock(clock func() time.Time) *Cache {
-	return &Cache{clock: clock, entries: make(map[string]*slot)}
+// --- intrusive LRU list (caller holds sh.mu) ---
+
+func (sh *shard) lruPushFront(s *slot) {
+	s.prev = nil
+	s.next = sh.lruHead
+	if sh.lruHead != nil {
+		sh.lruHead.prev = s
+	}
+	sh.lruHead = s
+	if sh.lruTail == nil {
+		sh.lruTail = s
+	}
+}
+
+func (sh *shard) lruRemove(s *slot) {
+	if s.prev != nil {
+		s.prev.next = s.next
+	} else if sh.lruHead == s {
+		sh.lruHead = s.next
+	}
+	if s.next != nil {
+		s.next.prev = s.prev
+	} else if sh.lruTail == s {
+		sh.lruTail = s.prev
+	}
+	s.prev, s.next = nil, nil
+}
+
+func (sh *shard) lruTouch(s *slot) {
+	if sh.lruHead == s {
+		return
+	}
+	sh.lruRemove(s)
+	sh.lruPushFront(s)
+}
+
+// insertResident makes s the resident slot for its key, accounting
+// bytes and evicting over-budget LRU entries. Caller holds sh.mu.
+func (c *Cache) insertResident(sh *shard, s *slot) {
+	if old, ok := sh.entries[s.key]; ok && old.pending == nil {
+		sh.removeResident(c, old)
+	}
+	sh.entries[s.key] = s
+	sh.lruPushFront(s)
+	sh.bytes += s.size
+	c.bytes.Add(s.size)
+	c.evictOverBudget(sh)
+}
+
+// removeResident drops a resident slot from the map, the LRU list, and
+// the byte accounting. Caller holds sh.mu.
+func (sh *shard) removeResident(c *Cache, s *slot) {
+	delete(sh.entries, s.key)
+	sh.lruRemove(s)
+	sh.bytes -= s.size
+	c.bytes.Add(-s.size)
+}
+
+// evictOverBudget evicts least-recently-used resident entries until the
+// shard is within its slice of MaxBytes. Caller holds sh.mu.
+func (c *Cache) evictOverBudget(sh *shard) {
+	if c.maxBytes <= 0 {
+		return
+	}
+	budget := c.maxBytes / numShards
+	if budget < 1 {
+		budget = 1
+	}
+	for sh.bytes > budget && sh.lruTail != nil {
+		victim := sh.lruTail
+		sh.removeResident(c, victim)
+		c.markEvict(false)
+	}
 }
 
 // Get returns the entry for key if present and unexpired.
 func (c *Cache) Get(key string) (Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s, ok := c.entries[key]
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.entries[key]
 	if !ok || s.pending != nil || c.clock().After(s.expires) {
 		c.markMiss()
 		return Entry{}, false
 	}
+	sh.lruTouch(s)
 	c.markHit()
 	return s.entry, true
 }
@@ -122,106 +333,143 @@ func (c *Cache) Put(key string, e Entry, ttl time.Duration) {
 	if ttl <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries[key] = &slot{entry: e, expires: c.clock().Add(ttl)}
+	sh := c.shardFor(key)
+	s := &slot{key: key, entry: e, expires: c.clock().Add(ttl), size: e.size()}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.entries[key]; ok && old.pending != nil {
+		// A fill is in flight for this key; let it finish (its waiters
+		// hold its slot pointer) and overwrite the map entry directly.
+		delete(sh.entries, key)
+	}
+	c.insertResident(sh, s)
 }
 
 // GetOrFill returns the cached entry, or runs fill exactly once across
 // concurrent callers and caches its result for ttl. A fill error is
-// returned to every waiter and nothing is cached. With ttl <= 0 the fill
-// result is returned but not stored.
+// returned to every waiter and the slot is released eagerly — a failed
+// fill leaves nothing behind. With ttl <= 0 the fill result is returned
+// but not stored.
 func (c *Cache) GetOrFill(key string, ttl time.Duration, fill func() (Entry, error)) (Entry, error) {
-	for {
-		c.mu.Lock()
-		s, ok := c.entries[key]
-		if ok && s.pending == nil && !c.clock().After(s.expires) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if s, ok := sh.entries[key]; ok {
+		if s.pending == nil && !c.clock().After(s.expires) {
+			sh.lruTouch(s)
 			c.markHit()
 			entry := s.entry
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return entry, nil
 		}
-		if ok && s.pending != nil {
-			// Another goroutine is filling: wait and re-check.
-			waitCh := s.pending
-			c.mu.Unlock()
-			<-waitCh
-			c.mu.Lock()
-			s2, ok2 := c.entries[key]
-			if ok2 && s2.pending == nil && !c.clock().After(s2.expires) {
-				c.markHit()
-				entry := s2.entry
-				c.mu.Unlock()
-				return entry, nil
+		if s.pending != nil {
+			// Another goroutine is filling: wait on its slot. The
+			// filler publishes entry/fillErr before closing the
+			// channel, so no re-lookup (and no re-fill loop) is needed.
+			wait := s.pending
+			sh.mu.Unlock()
+			<-wait
+			if s.fillErr != nil {
+				return Entry{}, s.fillErr
 			}
-			// Fill failed or entry already expired: retry from scratch,
-			// propagating a failure if one was recorded.
-			if ok2 && s2.fillErr != nil {
-				err := s2.fillErr
-				delete(c.entries, key)
-				c.mu.Unlock()
-				return Entry{}, err
-			}
-			c.mu.Unlock()
-			continue
+			c.markHit()
+			return s.entry, nil
 		}
-		// We are the filler.
-		c.markMiss()
-		pend := &slot{pending: make(chan struct{})}
-		c.entries[key] = pend
-		c.mu.Unlock()
-
-		fillStart := time.Now()
-		entry, err := fill()
-		c.markFill(time.Since(fillStart))
-
-		c.mu.Lock()
-		if err != nil {
-			pend.fillErr = err
-			close(pend.pending)
-			// Leave the errored slot momentarily so current waiters see
-			// the error; it is deleted by the first waiter or replaced by
-			// the next fill.
-			pend.pending = nil
-			c.mu.Unlock()
-			return Entry{}, err
-		}
-		if ttl > 0 {
-			c.entries[key] = &slot{entry: entry, expires: c.clock().Add(ttl)}
-		} else {
-			delete(c.entries, key)
-		}
-		close(pend.pending)
-		c.mu.Unlock()
-		return entry, nil
+		// Expired resident entry: drop it and refill below.
+		sh.removeResident(c, s)
+		c.markEvict(true)
 	}
+	// We are the filler.
+	c.markMiss()
+	pend := &slot{key: key, pending: make(chan struct{})}
+	sh.entries[key] = pend
+	sh.mu.Unlock()
+
+	fillStart := time.Now()
+	entry, err := fill()
+	c.markFill(time.Since(fillStart))
+
+	done := pend.pending
+	sh.mu.Lock()
+	if err != nil {
+		pend.fillErr = err
+		// Eagerly release the errored slot: waiters carry the slot
+		// pointer, so nothing dead lingers in the map (previously a
+		// failed fill with no waiters leaked its slot until the next
+		// touch of the key).
+		if sh.entries[key] == pend {
+			delete(sh.entries, key)
+		}
+		sh.mu.Unlock()
+		close(done)
+		return Entry{}, err
+	}
+	pend.entry = entry
+	pend.size = entry.size()
+	if ttl > 0 && sh.entries[key] == pend {
+		// Transition pending -> resident (unless Delete/Purge removed
+		// the key mid-fill, in which case the result is returned but
+		// not cached).
+		pend.expires = c.clock().Add(ttl)
+		pend.pending = nil
+		delete(sh.entries, key)
+		c.insertResident(sh, pend)
+	} else if sh.entries[key] == pend {
+		delete(sh.entries, key)
+	}
+	sh.mu.Unlock()
+	close(done)
+	return entry, nil
 }
 
 // Delete removes a key.
 func (c *Cache) Delete(key string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.entries, key)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.entries[key]
+	if !ok {
+		return
+	}
+	if s.pending != nil {
+		delete(sh.entries, key)
+		return
+	}
+	sh.removeResident(c, s)
 }
 
 // Purge removes every entry.
 func (c *Cache) Purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*slot)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.entries {
+			if s.pending == nil {
+				c.bytes.Add(-s.size)
+			}
+		}
+		sh.entries = make(map[string]*slot)
+		sh.lruHead, sh.lruTail = nil, nil
+		sh.bytes = 0
+		sh.mu.Unlock()
+	}
 }
 
-// Sweep removes expired entries and returns how many were evicted.
+// Sweep removes expired entries and returns how many were evicted. The
+// background sweeper (Options.SweepInterval) calls this on its tick.
 func (c *Cache) Sweep() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	now := c.clock()
 	n := 0
-	for k, s := range c.entries {
-		if s.pending == nil && now.After(s.expires) {
-			delete(c.entries, k)
-			n++
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		now := c.clock()
+		for _, s := range sh.entries {
+			if s.pending == nil && now.After(s.expires) {
+				sh.removeResident(c, s)
+				c.markEvict(true)
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -229,20 +477,37 @@ func (c *Cache) Sweep() int {
 // Len returns the number of stored entries (including expired ones not
 // yet swept).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
+
+// Bytes returns the resident payload bytes currently accounted against
+// MaxBytes.
+func (c *Cache) Bytes() int64 { return c.bytes.Load() }
 
 // Stats reports cache effectiveness counters.
 type Stats struct {
-	Hits   uint64
-	Misses uint64
-	Fills  uint64
+	Hits      uint64
+	Misses    uint64
+	Fills     uint64
+	Evictions uint64
+	Bytes     int64
 }
 
-// Stats returns a snapshot of the counters without taking the cache
+// Stats returns a snapshot of the counters without taking any shard
 // lock (the counters are atomic).
 func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Fills: c.fills.Load()}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Fills:     c.fills.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     c.bytes.Load(),
+	}
 }

@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// sameShardKeys returns n distinct keys that all hash onto one shard,
+// so LRU ordering is deterministic under the per-shard budget.
+func sameShardKeys(t *testing.T, n int) []string {
+	t.Helper()
+	c := New()
+	want := c.shardFor("seed")
+	keys := make([]string, 0, n)
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.shardFor(k) == want {
+			keys = append(keys, k)
+		}
+		if i > 1_000_000 {
+			t.Fatal("could not find enough same-shard keys")
+		}
+	}
+	return keys
+}
+
+func TestLRUEvictsOverByteBudget(t *testing.T) {
+	entry := Entry{Data: make([]byte, 1000)}
+	// Budget admits ~3 same-shard entries (per-shard budget is
+	// MaxBytes/numShards).
+	c := NewWithOptions(Options{MaxBytes: int64(numShards) * 3500})
+	keys := sameShardKeys(t, 4)
+	for _, k := range keys[:3] {
+		c.Put(k, entry, time.Hour)
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("budget not exceeded yet; nothing should be evicted")
+	}
+	c.Put(keys[3], entry, time.Hour)
+	// keys[0] was touched most recently via Get, so keys[1] is LRU.
+	if _, ok := c.Get(keys[1]); ok {
+		t.Error("least-recently-used entry should have been evicted")
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Error("recently touched entry should survive eviction")
+	}
+	if _, ok := c.Get(keys[3]); !ok {
+		t.Error("newest entry should survive eviction")
+	}
+	if got := c.Stats().Evictions; got == 0 {
+		t.Error("evictions counter should have advanced")
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	c := NewWithOptions(Options{MaxBytes: 1 << 20})
+	c.Put("a", Entry{Data: make([]byte, 100)}, time.Hour)
+	c.Put("b", Entry{Data: make([]byte, 200), MIME: "image/png"}, time.Hour)
+	want := int64(100+slotOverhead) + int64(200+len("image/png")+slotOverhead)
+	if got := c.Bytes(); got != want {
+		t.Fatalf("Bytes() = %d, want %d", got, want)
+	}
+	c.Delete("a")
+	want -= int64(100 + slotOverhead)
+	if got := c.Bytes(); got != want {
+		t.Fatalf("after delete Bytes() = %d, want %d", got, want)
+	}
+	// Overwriting must not double-count.
+	c.Put("b", Entry{Data: make([]byte, 50)}, time.Hour)
+	want = int64(50 + slotOverhead)
+	if got := c.Bytes(); got != want {
+		t.Fatalf("after overwrite Bytes() = %d, want %d", got, want)
+	}
+	c.Purge()
+	if got := c.Bytes(); got != 0 {
+		t.Fatalf("after purge Bytes() = %d, want 0", got)
+	}
+}
+
+// TestErroredFillLeavesNoSlot is the regression test for the
+// errored-slot leak: a failed GetOrFill with no waiters must not leave
+// a dead slot behind (it used to linger in the map, inflating Len and
+// the msite_cache_entries gauge, until the key was touched again).
+func TestErroredFillLeavesNoSlot(t *testing.T) {
+	c := New()
+	boom := errors.New("render failed")
+	if _, err := c.GetOrFill("k", time.Hour, func() (Entry, error) {
+		return Entry{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("Len() = %d after failed fill, want 0 (errored slot leaked)", got)
+	}
+	if got := c.Bytes(); got != 0 {
+		t.Fatalf("Bytes() = %d after failed fill, want 0", got)
+	}
+}
+
+func TestGetOrFillRespectsBudget(t *testing.T) {
+	c := NewWithOptions(Options{MaxBytes: int64(numShards) * 2500})
+	keys := sameShardKeys(t, 3)
+	for _, k := range keys {
+		if _, err := c.GetOrFill(k, time.Hour, func() (Entry, error) {
+			return Entry{Data: make([]byte, 1000)}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Budget fits 2 entries; the first-filled key is LRU and must go.
+	if _, ok := c.Get(keys[0]); ok {
+		t.Error("oldest filled entry should have been evicted")
+	}
+	if _, ok := c.Get(keys[2]); !ok {
+		t.Error("newest filled entry should be resident")
+	}
+}
+
+func TestBackgroundSweeperAndClose(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1_000_000, 0)}
+	c := NewWithOptions(Options{Clock: clk.Now, SweepInterval: 5 * time.Millisecond})
+	defer c.Close()
+	c.Put("short", Entry{Data: []byte("x")}, time.Minute)
+	c.Put("long", Entry{Data: []byte("y")}, time.Hour)
+	clk.Advance(10 * time.Minute)
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Len() != 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("sweeper left Len() = %d, want 1", got)
+	}
+	if _, ok := c.Get("long"); !ok {
+		t.Fatal("unexpired entry swept")
+	}
+	c.Close()
+	c.Close() // idempotent
+}
+
+func TestShardDistribution(t *testing.T) {
+	c := New()
+	seen := make(map[*shard]int)
+	for i := 0; i < 10_000; i++ {
+		seen[c.shardFor(fmt.Sprintf("key-%d", i))]++
+	}
+	if len(seen) != numShards {
+		t.Fatalf("keys landed on %d shards, want %d", len(seen), numShards)
+	}
+	for sh, n := range seen {
+		if n < 100 {
+			t.Errorf("shard %p badly underloaded: %d keys", sh, n)
+		}
+	}
+}

@@ -39,6 +39,29 @@ type Config struct {
 	// Logger enables structured per-request logging in the proxy; nil
 	// disables it.
 	Logger *slog.Logger
+	// FetchWorkers bounds concurrent subresource downloads per
+	// adaptation (the -fetch-workers knob). 0 uses the fetcher default;
+	// 1 forces serial fetching.
+	FetchWorkers int
+	// RasterWorkers is the band parallelism of snapshot rasterization
+	// (the -raster-workers knob). 0 uses GOMAXPROCS; 1 is serial.
+	RasterWorkers int
+	// CacheMaxBytes bounds the shared render cache; least-recently-used
+	// entries are evicted past it (the -cache-max-bytes knob). 0 means
+	// unbounded (TTL-only).
+	CacheMaxBytes int64
+	// CacheSweepInterval starts the cache's background expiry sweeper
+	// on that period; stop it with Close. 0 disables the sweeper
+	// (expired entries are then only dropped on access).
+	CacheSweepInterval time.Duration
+}
+
+// cacheOptions maps the Config knobs onto the cache.
+func (cfg Config) cacheOptions() cache.Options {
+	return cache.Options{
+		MaxBytes:      cfg.CacheMaxBytes,
+		SweepInterval: cfg.CacheSweepInterval,
+	}
 }
 
 // Framework is a running m.Site instance for one adaptation spec.
@@ -73,7 +96,7 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	sharedCache := cache.New()
+	sharedCache := cache.NewWithOptions(cfg.cacheOptions())
 	sharedCache.SetObs(reg)
 	sessions.InstrumentObs(reg)
 	var fetchOpts []fetch.Option
@@ -89,8 +112,11 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 		FetchOptions:  fetchOpts,
 		Obs:           reg,
 		Logger:        cfg.Logger,
+		FetchWorkers:  cfg.FetchWorkers,
+		RasterWorkers: cfg.RasterWorkers,
 	})
 	if err != nil {
+		sharedCache.Close()
 		return nil, err
 	}
 	return &Framework{sp: sp, sessions: sessions, cache: sharedCache, proxy: p, obs: reg}, nil
@@ -122,7 +148,7 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	sharedCache := cache.New()
+	sharedCache := cache.NewWithOptions(cfg.cacheOptions())
 	sharedCache.SetObs(reg)
 	sessions.InstrumentObs(reg)
 	var fetchOpts []fetch.Option
@@ -138,8 +164,11 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 		FetchOptions:  fetchOpts,
 		Obs:           reg,
 		Logger:        cfg.Logger,
+		FetchWorkers:  cfg.FetchWorkers,
+		RasterWorkers: cfg.RasterWorkers,
 	})
 	if err != nil {
+		sharedCache.Close()
 		return nil, err
 	}
 	return &MultiFramework{sessions: sessions, cache: sharedCache, multi: multi, obs: reg}, nil
@@ -237,6 +266,14 @@ func mountMetrics(h http.Handler, reg *obs.Registry) http.Handler {
 
 // CacheStats returns the shared cache counters.
 func (f *Framework) CacheStats() cache.Stats { return f.cache.Stats() }
+
+// Close releases background resources (the cache's expiry sweeper).
+// Safe to call more than once.
+func (f *Framework) Close() { f.cache.Close() }
+
+// Close releases background resources (the shared cache's expiry
+// sweeper). Safe to call more than once.
+func (m *MultiFramework) Close() { m.cache.Close() }
 
 // GenerateCode emits the standalone Go proxy source for this framework's
 // spec — the m.Site "shell code" artifact.

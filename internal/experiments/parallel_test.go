@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestLatencyHandler(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	h := LatencyHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}), delay)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("request returned in %v, want >= %v", elapsed, delay)
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestParallelAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full cold adaptations")
+	}
+	rep, err := ParallelAblation(ParallelConfig{Latency: 2 * time.Millisecond, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOMAXPROCS != runtime.GOMAXPROCS(0) || rep.NumCPU != runtime.NumCPU() {
+		t.Fatalf("host shape not recorded: %+v", rep)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.SerialMS <= 0 || r.ParallelMS <= 0 || r.Speedup <= 0 {
+			t.Fatalf("row %q has non-positive measurement: %+v", r.Name, r)
+		}
+	}
+	// The JSON record must round-trip (it is committed as BENCH_PR2.json).
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ParallelReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows[0].Name != rep.Rows[0].Name {
+		t.Fatal("JSON round-trip lost row names")
+	}
+	if FormatParallel(rep) == "" {
+		t.Fatal("empty report")
+	}
+}

@@ -64,12 +64,30 @@ func (p *Page) Doc() *dom.Node {
 	return html.Tidy(string(p.Body))
 }
 
-// Fetcher downloads origin resources for one session.
+// Fetcher downloads origin resources for one session. All methods are
+// safe for concurrent use; FetchAll runs many downloads at once over
+// one Fetcher.
 type Fetcher struct {
 	client    *http.Client
 	sess      *session.Session
 	userAgent string
 	obs       *obs.Registry
+	workers   int
+}
+
+// sessionJar presents the session's *current* cookie jar to the HTTP
+// client: ClearCookies swaps the jar mid-session, and concurrent
+// FetchAll workers must observe the swap without racing on client.Jar.
+type sessionJar struct{ sess *session.Session }
+
+// SetCookies implements http.CookieJar.
+func (j sessionJar) SetCookies(u *url.URL, cookies []*http.Cookie) {
+	j.sess.CookieJar().SetCookies(u, cookies)
+}
+
+// Cookies implements http.CookieJar.
+func (j sessionJar) Cookies(u *url.URL) []*http.Cookie {
+	return j.sess.CookieJar().Cookies(u)
 }
 
 // Option configures a Fetcher.
@@ -86,10 +104,21 @@ func WithTimeout(d time.Duration) Option {
 }
 
 // WithObs records per-request fetch metrics on reg: the
-// msite_fetch_seconds latency histogram and msite_fetch_requests_total
-// counters labeled by outcome (ok, error, auth, or the HTTP status).
+// msite_fetch_seconds latency histogram, msite_fetch_requests_total
+// counters labeled by outcome (ok, error, auth, or the HTTP status),
+// and the msite_fetch_concurrent in-flight gauge FetchAll maintains.
 func WithObs(reg *obs.Registry) Option {
 	return func(f *Fetcher) { f.obs = reg }
+}
+
+// WithWorkers sets the default FetchAll parallelism (the -fetch-workers
+// knob). n <= 0 keeps DefaultWorkers; n == 1 makes batch fetches serial.
+func WithWorkers(n int) Option {
+	return func(f *Fetcher) {
+		if n > 0 {
+			f.workers = n
+		}
+	}
 }
 
 // record reports one origin request's outcome and latency.
@@ -116,12 +145,13 @@ func (f *Fetcher) record(start time.Time, err error) {
 func New(sess *session.Session, opts ...Option) *Fetcher {
 	client := &http.Client{Timeout: 30 * time.Second}
 	if sess != nil {
-		client.Jar = sess.Jar
+		client.Jar = sessionJar{sess}
 	}
 	f := &Fetcher{
 		client:    client,
 		sess:      sess,
 		userAgent: "m.Site-proxy/1.0",
+		workers:   DefaultWorkers,
 	}
 	for _, opt := range opts {
 		opt(f)
@@ -147,11 +177,6 @@ func (f *Fetcher) get(rawURL string) (*Page, error) {
 		if creds, ok := f.sess.Auth(req.URL.Host); ok {
 			req.SetBasicAuth(creds.User, creds.Pass)
 		}
-	}
-	// The session jar is carried by the client; re-point it in case
-	// ClearCookies swapped the jar.
-	if f.sess != nil {
-		f.client.Jar = f.sess.Jar
 	}
 	resp, err := f.client.Do(req)
 	if err != nil {
@@ -189,9 +214,6 @@ func (f *Fetcher) PostForm(rawURL string, form url.Values) (*Page, error) {
 }
 
 func (f *Fetcher) postForm(rawURL string, form url.Values) (*Page, error) {
-	if f.sess != nil {
-		f.client.Jar = f.sess.Jar
-	}
 	req, err := http.NewRequest(http.MethodPost, rawURL, strings.NewReader(form.Encode()))
 	if err != nil {
 		return nil, fmt.Errorf("fetch: building POST for %s: %w", rawURL, err)
@@ -311,15 +333,14 @@ func (f *Fetcher) GetWithResources(rawURL string) (*PageLoad, error) {
 		TotalBytes: len(page.Body),
 		Requests:   1 + len(refs),
 	}
-	for _, ref := range refs {
-		sub, err := f.Get(ref)
-		if err != nil {
+	for _, res := range f.FetchAll(refs, 0) {
+		if res.Err != nil {
 			load.Failures++
-			load.Resources[ref] = nil
+			load.Resources[res.URL] = nil
 			continue
 		}
-		load.Resources[ref] = sub.Body
-		load.TotalBytes += len(sub.Body)
+		load.Resources[res.URL] = res.Page.Body
+		load.TotalBytes += len(res.Page.Body)
 	}
 	return load, nil
 }
@@ -334,7 +355,11 @@ func (f *Fetcher) InlineStylesheets(doc *dom.Node, base string) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("fetch: bad base URL %q: %w", base, err)
 	}
-	inlined := 0
+	// Discover every sheet first, download them concurrently, then
+	// mutate the DOM serially (dom.Node is not safe for concurrent
+	// modification).
+	var links []*dom.Node
+	var sheetURLs []string
 	for _, link := range doc.Elements("link") {
 		rel := strings.ToLower(link.AttrOr("rel", ""))
 		if !strings.Contains(rel, "stylesheet") {
@@ -348,10 +373,16 @@ func (f *Fetcher) InlineStylesheets(doc *dom.Node, base string) (int, error) {
 		if err != nil {
 			continue
 		}
-		page, err := f.Get(abs.String())
-		if err != nil {
+		links = append(links, link)
+		sheetURLs = append(sheetURLs, abs.String())
+	}
+	inlined := 0
+	for i, res := range f.FetchAll(sheetURLs, 0) {
+		link := links[i]
+		if res.Err != nil {
 			continue // degrade: keep the link
 		}
+		page := res.Page
 		style := dom.NewElement("style")
 		style.SetAttr("type", "text/css")
 		style.SetAttr("data-msite", "inlined-css")

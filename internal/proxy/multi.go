@@ -43,6 +43,11 @@ type MultiConfig struct {
 	Obs *obs.Registry
 	// Logger enables per-request structured logging on every site.
 	Logger *slog.Logger
+	// FetchWorkers, RasterWorkers, and WriteWorkers are the adaptation
+	// parallelism knobs, applied to every site (see Config).
+	FetchWorkers  int
+	RasterWorkers int
+	WriteWorkers  int
 }
 
 // NewMulti builds the composite proxy.
@@ -75,6 +80,9 @@ func NewMulti(cfg MultiConfig) (*MultiProxy, error) {
 			PathPrefix:    "/p/" + name,
 			Obs:           reg,
 			Logger:        cfg.Logger,
+			FetchWorkers:  cfg.FetchWorkers,
+			RasterWorkers: cfg.RasterWorkers,
+			WriteWorkers:  cfg.WriteWorkers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("proxy: site %q: %w", name, err)

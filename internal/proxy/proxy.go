@@ -64,6 +64,16 @@ type Config struct {
 	// session id, handler kind, cache outcome, status, and duration.
 	// Nil disables request logging (the default, and what tests use).
 	Logger *slog.Logger
+	// FetchWorkers bounds the parallelism of subresource downloads
+	// (stylesheets, render images) during adaptation. 0 uses the
+	// fetcher's default; 1 forces serial fetching.
+	FetchWorkers int
+	// RasterWorkers is the band parallelism of snapshot rasterization.
+	// 0 uses GOMAXPROCS; 1 forces the serial painter.
+	RasterWorkers int
+	// WriteWorkers bounds the concurrent subpage/asset file writes per
+	// adaptation. 0 defaults to 4; 1 forces serial writes.
+	WriteWorkers int
 }
 
 // Stats counts proxy work for the scalability experiments.
@@ -89,6 +99,8 @@ type Proxy struct {
 	prefix     string
 	obs        *obs.Registry
 	logger     *slog.Logger
+	rasterWork int
+	writeWork  int
 
 	// Work counters are atomic (not under mu) so Stats() snapshots and
 	// metric scrapes never contend with the adaptation hot path.
@@ -146,6 +158,13 @@ func New(cfg Config) (*Proxy, error) {
 		reg = obs.NewRegistry()
 	}
 	cfg.Sessions.InstrumentObs(reg)
+	if cfg.FetchWorkers > 0 {
+		cfg.FetchOptions = append(cfg.FetchOptions, fetch.WithWorkers(cfg.FetchWorkers))
+	}
+	writeWork := cfg.WriteWorkers
+	if writeWork <= 0 {
+		writeWork = 4
+	}
 	p := &Proxy{
 		cfg:        cfg,
 		dispatcher: dispatcher,
@@ -154,9 +173,19 @@ func New(cfg Config) (*Proxy, error) {
 		prefix:     prefix,
 		obs:        reg,
 		logger:     cfg.Logger,
+		rasterWork: cfg.RasterWorkers,
+		writeWork:  writeWork,
 		adapted:    make(map[string]*adaptation),
 		inflight:   make(map[string]chan struct{}),
 	}
+	// Release per-session adaptation state when the session manager
+	// expires, deletes, or GCs the session — without this the adapted
+	// map grows for the life of the proxy.
+	cfg.Sessions.OnExpire(func(id string) {
+		p.mu.Lock()
+		delete(p.adapted, id)
+		p.mu.Unlock()
+	})
 	p.applier = &attr.Applier{
 		ViewportWidth: width,
 		SubpageURL:    func(name string) string { return prefix + "/subpage/" + url.PathEscape(name) },
@@ -518,37 +547,106 @@ func (p *Proxy) adaptSession(ctx context.Context, sess *session.Session) (*adapt
 		when:     time.Now(),
 		images:   images,
 	}
+	// Serialization (DOM walks) stays on this goroutine; the resulting
+	// byte slices are written concurrently by a bounded worker set —
+	// subpage counts are small but each write is an independent fsync
+	// path, so overlapping them trims the tail of a cold adaptation.
+	var jobs []writeJob
 	for _, sub := range result.Subpages {
 		ad.subpages[sub.Name] = sub
-		if err := os.WriteFile(
-			filepath.Join(pagesDir, attr.SubpageFileName(sub.Name)),
-			attr.SerializeSubpage(sub), 0o600); err != nil {
-			return nil, fmt.Errorf("proxy: writing subpage: %w", err)
-		}
+		jobs = append(jobs, writeJob{
+			path: filepath.Join(pagesDir, attr.SubpageFileName(sub.Name)),
+			data: attr.SerializeSubpage(sub),
+			kind: "subpage",
+		})
 		if len(sub.ImageData) > 0 {
-			if err := os.WriteFile(
-				filepath.Join(imagesDir, attr.AssetFileName(sub)),
-				sub.ImageData, 0o600); err != nil {
-				return nil, fmt.Errorf("proxy: writing asset: %w", err)
-			}
+			jobs = append(jobs, writeJob{
+				path: filepath.Join(imagesDir, attr.AssetFileName(sub)),
+				data: sub.ImageData,
+				kind: "asset",
+			})
 		}
 	}
 	for _, asset := range result.Assets {
-		if err := os.WriteFile(filepath.Join(imagesDir, asset.Name), asset.Data, 0o600); err != nil {
-			return nil, fmt.Errorf("proxy: writing thumbnail asset: %w", err)
-		}
+		jobs = append(jobs, writeJob{
+			path: filepath.Join(imagesDir, asset.Name),
+			data: asset.Data,
+			kind: "thumbnail asset",
+		})
 	}
-	ad.notes = result.Notes
-
 	// The adapted main document feeds the snapshot; serialize it for the
 	// snapshot render (it excludes split-off objects, matching what the
 	// overlay's regions index).
-	adaptedMain := pageHTML(result)
-	if err := os.WriteFile(filepath.Join(pagesDir, "main.html"), adaptedMain, 0o600); err != nil {
-		return nil, fmt.Errorf("proxy: writing main: %w", err)
+	jobs = append(jobs, writeJob{
+		path: filepath.Join(pagesDir, "main.html"),
+		data: pageHTML(result),
+		kind: "main",
+	})
+	if err := writeFiles(jobs, p.writeWork); err != nil {
+		return nil, err
 	}
+	ad.notes = result.Notes
 
 	return ad, nil
+}
+
+// writeJob is one generated file of an adaptation.
+type writeJob struct {
+	path string
+	data []byte
+	kind string
+}
+
+// writeFiles writes every job with a bounded worker set (errgroup
+// style): all writes are attempted concurrently up to the worker limit,
+// workers drain early once a failure is recorded, and the first error
+// is returned.
+func writeFiles(jobs []writeJob, workers int) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, job := range jobs {
+			if err := os.WriteFile(job.path, job.data, 0o600); err != nil {
+				return fmt.Errorf("proxy: writing %s: %w", job.kind, err)
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		first  error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || failed.Load() {
+					return
+				}
+				job := jobs[i]
+				if err := os.WriteFile(job.path, job.data, 0o600); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = fmt.Errorf("proxy: writing %s: %w", job.kind, err)
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
 }
 
 func (p *Proxy) handleEntry(w http.ResponseWriter, r *http.Request) {
@@ -643,7 +741,7 @@ func (p *Proxy) snapshot(ctx context.Context, sess *session.Session) (data []byt
 		res := layoutForDoc(doc, p.width)
 		sp.End()
 		sp = obs.StartSpan(ctx, "raster")
-		img := raster.Paint(res, raster.Options{Images: snapImages})
+		img := raster.Paint(res, raster.Options{Images: snapImages, Workers: p.rasterWork})
 		sp.End()
 		sp = obs.StartSpan(ctx, "encode")
 		scaled := imaging.ScaleFactor(img, scale)

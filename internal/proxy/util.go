@@ -35,45 +35,48 @@ const maxRenderImages = 48
 
 // fetchImages downloads and decodes the images a render of doc needs,
 // keyed by the src attribute value as written (the key the rasterizer
-// looks up). Undecodable or unfetchable images are skipped — the
+// looks up). Discovery walks the DOM once, the downloads run through
+// the fetcher's bounded worker pool, and decoding (plus the map build)
+// stays serial. Undecodable or unfetchable images are skipped — the
 // renderer falls back to placeholders.
 func fetchImages(f *fetch.Fetcher, doc *dom.Node, base string) map[string]image.Image {
 	baseURL, err := url.Parse(base)
 	if err != nil {
 		return nil
 	}
-	images := make(map[string]image.Image)
-	count := 0
+	var srcs, absURLs []string
+	seen := make(map[string]bool)
 	doc.Walk(func(n *dom.Node) bool {
-		if n.Type != dom.ElementNode || n.Tag != "img" || count >= maxRenderImages {
+		if n.Type != dom.ElementNode || n.Tag != "img" || len(srcs) >= maxRenderImages {
 			return true
 		}
 		src := n.AttrOr("src", "")
-		if src == "" || strings.HasPrefix(src, "data:") {
-			return true
-		}
-		if _, done := images[src]; done {
+		if src == "" || strings.HasPrefix(src, "data:") || seen[src] {
 			return true
 		}
 		abs, err := baseURL.Parse(src)
 		if err != nil {
 			return true
 		}
-		count++
-		page, err := f.Get(abs.String())
-		if err != nil {
-			return true
+		seen[src] = true
+		srcs = append(srcs, src)
+		absURLs = append(absURLs, abs.String())
+		return true
+	})
+	images := make(map[string]image.Image)
+	for i, res := range f.FetchAll(absURLs, 0) {
+		if res.Err != nil {
+			continue
 		}
-		decoded, err := imaging.Decode(page.Body)
+		decoded, err := imaging.Decode(res.Page.Body)
 		if err != nil {
-			return true
+			continue
 		}
 		// Key by the attribute as written and by its absolute form: the
 		// URL-anchoring pass rewrites srcs to absolute before the
 		// snapshot render looks them up.
-		images[src] = decoded
-		images[abs.String()] = decoded
-		return true
-	})
+		images[srcs[i]] = decoded
+		images[absURLs[i]] = decoded
+	}
 	return images
 }

@@ -8,6 +8,8 @@ import (
 	"image"
 	"image/color"
 	"image/draw"
+	"runtime"
+	"sync"
 
 	"msite/internal/css"
 	"msite/internal/dom"
@@ -38,6 +40,12 @@ type Options struct {
 	// placeholder. The proxy fills this from the subresources it
 	// downloads on the client's behalf (§3.2).
 	Images map[string]image.Image
+	// Workers is the number of goroutines painting horizontal bands of
+	// the framebuffer (the -raster-workers knob). 0 uses GOMAXPROCS;
+	// 1 forces the serial path. Output is byte-identical for every
+	// worker count: each band paints exactly the primitives that
+	// intersect it, clipped to its rows.
+	Workers int
 }
 
 // Paint rasterizes a layout result into a new RGBA image.
@@ -65,23 +73,64 @@ func Paint(res *layout.Result, opts Options) *image.RGBA {
 	}
 	img := image.NewRGBA(image.Rect(0, 0, w, h))
 	draw.Draw(img, img.Bounds(), &image.Uniform{C: bg}, image.Point{}, draw.Src)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if res.Root != nil {
-		paintBox(img, res.Root, opts)
+		// Replaced-element images are scaled once up front: a box
+		// spanning several bands must not re-run the (expensive) scale
+		// per band, and the shared read-only map keeps bands
+		// independent.
+		scaled := prescaleImages(res.Root, opts, nil)
+		forEachBand(img, workers, func(view *image.RGBA) {
+			paintBox(view, res.Root, opts, scaled)
+		})
 	}
 	if opts.Antialias {
-		applyAntialiasJitter(img)
+		forEachBand(img, workers, applyAntialiasJitter)
 	}
 	return img
 }
 
-// applyAntialiasJitter perturbs a deterministic ~30% subset of pixels by
-// ±2 per channel — invisible to the eye, but it restores the entropy an
-// antialiased rendering carries so the PNG/JPEG fidelity ladder matches
-// real screenshot behaviour.
+// forEachBand partitions img into up to workers horizontal strips and
+// runs paint on a clipped view of each, concurrently. One band (or a
+// one-row image) degenerates to a direct serial call.
+func forEachBand(img *image.RGBA, workers int, paint func(view *image.RGBA)) {
+	b := img.Bounds()
+	h := b.Dy()
+	if workers > h {
+		workers = h
+	}
+	if workers <= 1 {
+		paint(img)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		// Split rows evenly; the first h%workers bands get one extra.
+		y0 := b.Min.Y + i*h/workers
+		y1 := b.Min.Y + (i+1)*h/workers
+		view := img.SubImage(image.Rect(b.Min.X, y0, b.Max.X, y1)).(*image.RGBA)
+		go func(view *image.RGBA) {
+			defer wg.Done()
+			paint(view)
+		}(view)
+	}
+	wg.Wait()
+}
+
+// applyAntialiasJitter perturbs a deterministic ~13% subset of pixels by
+// a couple of counts per channel — invisible to the eye, but it restores
+// the entropy an antialiased rendering carries so the PNG/JPEG fidelity
+// ladder matches real screenshot behaviour. The generator is seeded per
+// row, so any horizontal banding produces identical bytes.
 func applyAntialiasJitter(img *image.RGBA) {
 	b := img.Bounds()
-	state := uint32(0x9e3779b9)
 	for y := b.Min.Y; y < b.Max.Y; y++ {
+		state := uint32(0x9e3779b9) ^ (uint32(y)*2654435761 + 1)
 		row := img.Pix[img.PixOffset(b.Min.X, y):img.PixOffset(b.Max.X, y)]
 		for i := 0; i+3 < len(row); i += 4 {
 			state = state*1664525 + 1013904223
@@ -104,52 +153,103 @@ func applyAntialiasJitter(img *image.RGBA) {
 	}
 }
 
-func paintBox(img *image.RGBA, b *layout.Box, opts Options) {
-	paintBackground(img, b)
-	paintBorders(img, b)
+// prescaleImages walks the box tree scaling every replaced element's
+// decoded image to its box size, keyed by box. The returned map is
+// read-only during painting, shared by every band worker.
+func prescaleImages(b *layout.Box, opts Options, out map[*layout.Box]*image.RGBA) map[*layout.Box]*image.RGBA {
+	if len(opts.Images) == 0 {
+		return nil
+	}
 	if b.Node != nil && b.Node.Type == dom.ElementNode && isReplaced(b.Node.Tag) {
-		if !paintRealImage(img, b, opts) {
-			paintPlaceholder(img, b)
+		if src, ok := b.Node.Attr("src"); ok && src != "" {
+			if decoded, ok := opts.Images[src]; ok {
+				w, h := int(b.W), int(b.H)
+				if w > 0 && h > 0 {
+					if out == nil {
+						out = make(map[*layout.Box]*image.RGBA)
+					}
+					out[b] = imaging.Scale(decoded, w, h)
+				}
+			}
+		}
+	}
+	for _, c := range b.Children {
+		out = prescaleImages(c, opts, out)
+	}
+	return out
+}
+
+// boxIntersects reports whether the box's own painted rectangle (the
+// exact pixels paintBackground/paintBorders/paintPlaceholder touch)
+// overlaps clip. Children are NOT covered: they may overflow the parent
+// and are tested on their own during the walk.
+func boxIntersects(b *layout.Box, clip image.Rectangle) bool {
+	x, y, w, h := int(b.X), int(b.Y), int(b.W), int(b.H)
+	return x < clip.Max.X && x+w > clip.Min.X && y < clip.Max.Y && y+h > clip.Min.Y
+}
+
+// runIntersects is a conservative clip test for one text run: the
+// bounding rectangle is inflated past the glyph cell to cover the
+// italic shear, the bold widening, and the underline rule, so a band
+// never skips a run that would touch it.
+func runIntersects(run layout.TextRun, clip image.Rectangle) bool {
+	pad := int(layout.GlyphHeight(run.FontSize)) + 4
+	x0 := int(run.X) - pad
+	y0 := int(run.Y) - pad
+	x1 := int(run.X+run.Width()) + pad
+	y1 := int(run.Y+run.Height()) + pad
+	return x0 < clip.Max.X && x1 > clip.Min.X && y0 < clip.Max.Y && y1 > clip.Min.Y
+}
+
+func paintBox(img *image.RGBA, b *layout.Box, opts Options, scaled map[*layout.Box]*image.RGBA) {
+	clip := img.Bounds()
+	if boxIntersects(b, clip) {
+		paintBackground(img, b)
+		paintBorders(img, b)
+		if b.Node != nil && b.Node.Type == dom.ElementNode && isReplaced(b.Node.Tag) {
+			if !paintRealImage(img, b, scaled) {
+				paintPlaceholder(img, b)
+			}
 		}
 	}
 	if !opts.SkipText {
 		for _, run := range b.Runs {
-			paintRun(img, run)
+			if runIntersects(run, clip) {
+				paintRun(img, run)
+			}
 		}
 	}
 	for _, c := range b.Children {
-		paintBox(img, c, opts)
+		paintBox(img, c, opts, scaled)
 	}
 }
 
-// paintRealImage paints the decoded source image scaled into the box,
+// paintRealImage blits the pre-scaled source image into the box,
 // returning false when no decoded image is available.
-func paintRealImage(dst *image.RGBA, b *layout.Box, opts Options) bool {
-	if len(opts.Images) == 0 || b.Node == nil {
-		return false
-	}
-	src, ok := b.Node.Attr("src")
-	if !ok || src == "" {
-		return false
-	}
-	decoded, ok := opts.Images[src]
+func paintRealImage(dst *image.RGBA, b *layout.Box, scaled map[*layout.Box]*image.RGBA) bool {
+	src, ok := scaled[b]
 	if !ok {
 		return false
 	}
 	w, h := int(b.W), int(b.H)
-	if w <= 0 || h <= 0 {
-		return false
-	}
-	scaled := imaging.Scale(decoded, w, h)
 	x0, y0 := int(b.X), int(b.Y)
 	bounds := dst.Bounds()
-	for y := 0; y < h; y++ {
+	// Only walk the rows this view can accept — under banding that is
+	// the strip, so total blit work stays ~constant across workers.
+	yStart, yEnd := 0, h
+	if y0 < bounds.Min.Y {
+		yStart = bounds.Min.Y - y0
+	}
+	if y0+yEnd > bounds.Max.Y {
+		yEnd = bounds.Max.Y - y0
+	}
+	for y := yStart; y < yEnd; y++ {
 		for x := 0; x < w; x++ {
 			px, py := x0+x, y0+y
 			if px < bounds.Min.X || px >= bounds.Max.X || py < bounds.Min.Y || py >= bounds.Max.Y {
 				continue
 			}
-			dst.SetRGBA(px, py, scaled.RGBAAt(x, y))
+			dst.SetRGBA(px, py, src.RGBAAt(x, y))
 		}
 	}
 	return true

@@ -105,6 +105,15 @@ func (s *Session) Get(key string) (string, bool) {
 	return v, ok
 }
 
+// CookieJar returns the session's current origin cookie jar under the
+// session lock, so concurrent fetch workers never race a ClearCookies
+// jar swap.
+func (s *Session) CookieJar() http.CookieJar {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Jar
+}
+
 // ClearCookies discards the session's origin cookie jar — the mechanism
 // behind the paper's "replacement of a logout button with a get
 // parameter, which allows cookies to be cleared on the proxy".
@@ -127,6 +136,35 @@ type Manager struct {
 
 	mu       sync.Mutex
 	sessions map[string]*Session
+
+	// onExpire callbacks run (outside the manager lock) whenever a
+	// session leaves the manager — idle expiry in Get, explicit Delete,
+	// or a GC pass. The proxy uses this to release per-session
+	// adaptation state so long-running deployments don't leak it.
+	expireMu sync.Mutex
+	onExpire []func(id string)
+}
+
+// OnExpire registers fn to run with the session ID whenever a session is
+// expired, deleted, or garbage-collected. Callbacks run outside the
+// manager lock; they must not block for long.
+func (m *Manager) OnExpire(fn func(id string)) {
+	m.expireMu.Lock()
+	defer m.expireMu.Unlock()
+	m.onExpire = append(m.onExpire, fn)
+}
+
+// notifyExpired invokes every OnExpire callback for each removed id.
+func (m *Manager) notifyExpired(ids ...string) {
+	m.expireMu.Lock()
+	fns := make([]func(string), len(m.onExpire))
+	copy(fns, m.onExpire)
+	m.expireMu.Unlock()
+	for _, id := range ids {
+		for _, fn := range fns {
+			fn(id)
+		}
+	}
 }
 
 // NewManager returns a Manager writing session directories under root.
@@ -204,7 +242,10 @@ func (m *Manager) Get(id string) (*Session, error) {
 	s.mu.Unlock()
 	if expired {
 		delete(m.sessions, id)
+		m.mu.Unlock()
 		_ = os.RemoveAll(s.Dir)
+		m.notifyExpired(id)
+		m.mu.Lock() // re-acquire for the deferred unlock
 		return nil, ErrNotFound
 	}
 	return s, nil
@@ -219,6 +260,7 @@ func (m *Manager) Delete(id string) error {
 	if !ok {
 		return ErrNotFound
 	}
+	m.notifyExpired(id)
 	if err := os.RemoveAll(s.Dir); err != nil {
 		return fmt.Errorf("session: removing dir: %w", err)
 	}
@@ -242,6 +284,7 @@ func (m *Manager) GC() int {
 	m.mu.Unlock()
 	for _, s := range stale {
 		_ = os.RemoveAll(s.Dir)
+		m.notifyExpired(s.ID)
 	}
 	return len(stale)
 }
