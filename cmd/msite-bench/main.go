@@ -10,7 +10,8 @@
 //	msite-bench table1
 //	msite-bench fig7 -window 10s
 //	msite-bench fidelity | speedup | pageweight | ablation | stages
-//	msite-bench parallel   # serial-vs-parallel pipeline ablation → BENCH_PR2.json
+//	msite-bench parallel     # serial-vs-parallel pipeline ablation → BENCH_PR2.json
+//	msite-bench resilience   # availability under injected origin faults → BENCH_PR3.json
 package main
 
 import (
@@ -39,6 +40,9 @@ func run() error {
 	csv := flag.Bool("csv", false, "emit Figure 7 data as CSV for plotting")
 	parallelOut := flag.String("parallel-out", "BENCH_PR2.json", "where the parallel ablation writes its JSON record (empty = don't write)")
 	parallelLatency := flag.Duration("parallel-latency", 15*time.Millisecond, "injected origin latency for the parallel ablation")
+	resilienceOut := flag.String("resilience-out", "BENCH_PR3.json", "where the resilience bench writes its JSON record (empty = don't write)")
+	resilienceReqs := flag.Int("resilience-requests", 40, "chaos-phase request count for the resilience bench")
+	resilienceBlackout := flag.Int("resilience-blackout", 10, "forced-outage request count for the resilience bench")
 	flag.Parse()
 
 	what := "all"
@@ -135,6 +139,31 @@ func run() error {
 				}
 				fmt.Printf("wrote %s\n\n", *parallelOut)
 			}
+		case "resilience":
+			// Runs against its own fault-injected internal origin (the
+			// -origin flag does not apply): the chaos sequence needs the
+			// injector in front of the origin handler.
+			rep, err := experiments.Resilience(experiments.ResilienceConfig{
+				Requests: *resilienceReqs,
+				Blackout: *resilienceBlackout,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatResilience(rep))
+			if rep.Errors5xx > 0 {
+				return fmt.Errorf("resilience: %d requests answered 5xx under fault", rep.Errors5xx)
+			}
+			if *resilienceOut != "" {
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*resilienceOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n\n", *resilienceOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -142,7 +171,7 @@ func run() error {
 	}
 
 	if what == "all" {
-		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "stages", "fig7"} {
+		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "stages", "fig7"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

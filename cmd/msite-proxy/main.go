@@ -50,6 +50,12 @@ func run() error {
 	fetchWorkers := flag.Int("fetch-workers", 0, "concurrent subresource downloads per adaptation (0 = default, 1 = serial)")
 	rasterWorkers := flag.Int("raster-workers", 0, "snapshot rasterization bands (0 = GOMAXPROCS, 1 = serial)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "render cache byte budget, LRU-evicted past it (0 = unbounded)")
+	fetchTimeout := flag.Duration("fetch-timeout", 30*time.Second, "per-request origin deadline")
+	fetchRetries := flag.Int("fetch-retries", 2, "retries per idempotent origin GET after transient failures (0 = none)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive origin failures that trip a circuit breaker (0 = default 5, negative = breakers off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long a tripped breaker rejects before re-probing (0 = default 5s)")
+	serveStale := flag.Bool("serve-stale", true, "serve previous adaptations and expired snapshots when the origin is unreachable")
+	staleFor := flag.Duration("stale-for", 0, "how long past expiry a shared snapshot stays servable under -serve-stale (0 = default 5m)")
 	flag.Parse()
 
 	if len(specPaths) == 0 {
@@ -67,6 +73,12 @@ func run() error {
 		RasterWorkers:      *rasterWorkers,
 		CacheMaxBytes:      *cacheMaxBytes,
 		CacheSweepInterval: time.Minute,
+		FetchTimeout:       *fetchTimeout,
+		FetchRetries:       *fetchRetries,
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
+		ServeStale:         *serveStale,
+		StaleFor:           *staleFor,
 	}
 
 	if len(specPaths) > 1 {

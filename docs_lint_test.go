@@ -1,0 +1,93 @@
+// Docs lint: the operator-facing documentation must keep up with the
+// code. Every flag msite-proxy registers has to appear in the README's
+// operator-runbook flag table, and the docs the README links to have to
+// exist. CI runs this with the rest of the suite.
+package msite_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// proxyFlagNames extracts the flag names registered by cmd/msite-proxy
+// from its source, so the lint cannot drift from the binary.
+func proxyFlagNames(t *testing.T) []string {
+	t.Helper()
+	src, err := os.ReadFile("cmd/msite-proxy/main.go")
+	if err != nil {
+		t.Fatalf("read msite-proxy source: %v", err)
+	}
+	// flag.String("addr", ...) / flag.Var(&specPaths, "spec", ...)
+	decl := regexp.MustCompile(`flag\.[A-Za-z0-9]+\((?:&[A-Za-z0-9]+, )?"([a-z-]+)"`)
+	var names []string
+	for _, m := range decl.FindAllStringSubmatch(string(src), -1) {
+		names = append(names, m[1])
+	}
+	if len(names) < 10 {
+		t.Fatalf("flag extraction found only %d flags (%v) — regexp out of date?", len(names), names)
+	}
+	return names
+}
+
+func TestReadmeDocumentsEveryProxyFlag(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README: %v", err)
+	}
+	// The runbook table lists each flag as a `| `-name` |` row.
+	for _, name := range proxyFlagNames(t) {
+		row := "| `-" + name + "`"
+		if !strings.Contains(string(readme), row) {
+			t.Errorf("README.md operator runbook is missing a row for msite-proxy flag -%s", name)
+		}
+	}
+}
+
+func TestResilienceDocCoversEveryKnob(t *testing.T) {
+	doc, err := os.ReadFile("docs/RESILIENCE.md")
+	if err != nil {
+		t.Fatalf("read docs/RESILIENCE.md: %v", err)
+	}
+	for _, flag := range []string{
+		"-fetch-timeout", "-fetch-retries", "-breaker-threshold",
+		"-breaker-cooldown", "-serve-stale", "-stale-for",
+	} {
+		if !strings.Contains(string(doc), "`"+flag+"`") {
+			t.Errorf("docs/RESILIENCE.md does not document %s", flag)
+		}
+	}
+	for _, metric := range []string{
+		"msite_fetch_retries_total", "msite_breaker_state",
+		"msite_breaker_transitions_total", "msite_proxy_stale_served_total",
+		"msite_proxy_degraded_total", "msite_cache_stale_serves_total",
+		"msite_cache_refresh_errors_total",
+	} {
+		if !strings.Contains(string(doc), metric) {
+			t.Errorf("docs/RESILIENCE.md does not document metric %s", metric)
+		}
+	}
+}
+
+func TestReadmeLinksResolve(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README: %v", err)
+	}
+	link := regexp.MustCompile(`\]\(((?:docs/)?[A-Za-z0-9_.-]+\.(?:md|json))\)`)
+	seen := map[string]bool{}
+	for _, m := range link.FindAllStringSubmatch(string(readme), -1) {
+		path := m[1]
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("README.md links to %s, which does not exist", path)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("found no relative doc links in README.md — link regexp out of date?")
+	}
+}

@@ -1,0 +1,213 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// swrClock is a mutable fake clock safe for concurrent reads.
+type swrClock struct{ now atomic.Int64 }
+
+func newSWRClock() *swrClock {
+	c := &swrClock{}
+	c.now.Store(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano())
+	return c
+}
+
+func (c *swrClock) Now() time.Time          { return time.Unix(0, c.now.Load()) }
+func (c *swrClock) Advance(d time.Duration) { c.now.Add(int64(d)) }
+
+func fillWith(v string, calls *atomic.Int32) func() (Entry, error) {
+	return func() (Entry, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		return Entry{Data: []byte(v), MIME: "text/plain"}, nil
+	}
+}
+
+func TestGetOrFillStaleFreshHit(t *testing.T) {
+	clock := newSWRClock()
+	c := NewWithClock(clock.Now)
+	defer c.Close()
+	var calls atomic.Int32
+	e, stale, err := c.GetOrFillStale("k", time.Minute, time.Hour, fillWith("v1", &calls))
+	if err != nil || stale || string(e.Data) != "v1" {
+		t.Fatalf("first = %q stale=%v err=%v", e.Data, stale, err)
+	}
+	e, stale, err = c.GetOrFillStale("k", time.Minute, time.Hour, fillWith("v2", &calls))
+	if err != nil || stale || string(e.Data) != "v1" {
+		t.Fatalf("hit = %q stale=%v err=%v", e.Data, stale, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("fills = %d", calls.Load())
+	}
+}
+
+func TestGetOrFillStaleServesExpiredAndRevalidates(t *testing.T) {
+	clock := newSWRClock()
+	c := NewWithClock(clock.Now)
+	defer c.Close()
+	var calls atomic.Int32
+	if _, _, err := c.GetOrFillStale("k", time.Minute, time.Hour, fillWith("v1", &calls)); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Minute) // expired, inside the stale window
+
+	refreshed := make(chan struct{})
+	e, stale, err := c.GetOrFillStale("k", time.Minute, time.Hour, func() (Entry, error) {
+		defer close(refreshed)
+		calls.Add(1)
+		return Entry{Data: []byte("v2")}, nil
+	})
+	if err != nil || !stale || string(e.Data) != "v1" {
+		t.Fatalf("stale serve = %q stale=%v err=%v", e.Data, stale, err)
+	}
+	select {
+	case <-refreshed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("background refresh never ran")
+	}
+	c.Close() // drain the refresh goroutine's insert
+	e, stale, err = c.GetOrFillStale("k", time.Minute, time.Hour, fillWith("v3", &calls))
+	if err != nil || stale || string(e.Data) != "v2" {
+		t.Fatalf("after refresh = %q stale=%v err=%v", e.Data, stale, err)
+	}
+	if got := c.Stats().StaleServes; got != 1 {
+		t.Fatalf("stale serves = %d", got)
+	}
+}
+
+func TestGetOrFillStaleRefreshFailureKeepsStale(t *testing.T) {
+	clock := newSWRClock()
+	c := NewWithClock(clock.Now)
+	var calls atomic.Int32
+	if _, _, err := c.GetOrFillStale("k", time.Minute, time.Hour, fillWith("v1", &calls)); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Minute)
+	e, stale, err := c.GetOrFillStale("k", time.Minute, time.Hour, func() (Entry, error) {
+		return Entry{}, errors.New("origin down")
+	})
+	if err != nil || !stale || string(e.Data) != "v1" {
+		t.Fatalf("stale serve = %q stale=%v err=%v", e.Data, stale, err)
+	}
+	c.Close() // wait for the failed refresh to finish
+	// Still servable stale: the failed refresh must not evict, and the
+	// cleared refreshing flag must allow another revalidation attempt.
+	e, stale, err = c.GetOrFillStale("k", time.Minute, time.Hour, fillWith("v2", &calls))
+	if err != nil || !stale || string(e.Data) != "v1" {
+		t.Fatalf("second stale serve = %q stale=%v err=%v", e.Data, stale, err)
+	}
+}
+
+func TestGetOrFillStaleBeyondWindowBlocks(t *testing.T) {
+	clock := newSWRClock()
+	c := NewWithClock(clock.Now)
+	defer c.Close()
+	var calls atomic.Int32
+	if _, _, err := c.GetOrFillStale("k", time.Minute, time.Minute, fillWith("v1", &calls)); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(10 * time.Minute) // beyond expires+staleFor
+	e, stale, err := c.GetOrFillStale("k", time.Minute, time.Minute, fillWith("v2", &calls))
+	if err != nil || stale || string(e.Data) != "v2" {
+		t.Fatalf("beyond window = %q stale=%v err=%v", e.Data, stale, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("fills = %d", calls.Load())
+	}
+}
+
+func TestGetOrFillStaleZeroWindowIsGetOrFill(t *testing.T) {
+	clock := newSWRClock()
+	c := NewWithClock(clock.Now)
+	defer c.Close()
+	var calls atomic.Int32
+	if _, stale, err := c.GetOrFillStale("k", time.Minute, 0, fillWith("v1", &calls)); err != nil || stale {
+		t.Fatalf("stale=%v err=%v", stale, err)
+	}
+	clock.Advance(2 * time.Minute)
+	e, stale, err := c.GetOrFillStale("k", time.Minute, 0, fillWith("v2", &calls))
+	if err != nil || stale || string(e.Data) != "v2" {
+		t.Fatalf("expired with no window = %q stale=%v err=%v", e.Data, stale, err)
+	}
+}
+
+func TestSweepKeepsStaleWindow(t *testing.T) {
+	clock := newSWRClock()
+	c := NewWithClock(clock.Now)
+	defer c.Close()
+	if _, _, err := c.GetOrFillStale("k", time.Minute, time.Hour, fillWith("v1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(10 * time.Minute) // expired, stale window open
+	if n := c.Sweep(); n != 0 {
+		t.Fatalf("sweep evicted %d entries inside the stale window", n)
+	}
+	clock.Advance(2 * time.Hour) // window closed
+	if n := c.Sweep(); n != 1 {
+		t.Fatalf("sweep evicted %d, want 1", n)
+	}
+}
+
+// TestGetOrFillStaleConcurrent is the -race stress test: many goroutines
+// hammer an expiring key while the clock advances; every read must get
+// a value, the background refresh must stay single-flight per window,
+// and nothing may deadlock.
+func TestGetOrFillStaleConcurrent(t *testing.T) {
+	clock := newSWRClock()
+	c := NewWithClock(clock.Now)
+	var fills atomic.Int32
+	fill := func() (Entry, error) {
+		n := fills.Add(1)
+		return Entry{Data: []byte(fmt.Sprintf("v%d", n))}, nil
+	}
+	if _, _, err := c.GetOrFillStale("k", time.Minute, time.Hour, fill); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const rounds = 200
+	var wg sync.WaitGroup
+	wg.Add(goroutines + 1)
+	stop := make(chan struct{})
+	go func() { // clock mover: keeps flipping the entry between fresh and stale
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			clock.Advance(45 * time.Second)
+			time.Sleep(50 * time.Microsecond)
+		}
+		close(stop)
+	}()
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e, _, err := c.GetOrFillStale("k", time.Minute, time.Hour, fill)
+				if err != nil {
+					t.Errorf("GetOrFillStale: %v", err)
+					return
+				}
+				if len(e.Data) == 0 {
+					t.Error("empty entry served")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c.Close()
+	if fills.Load() == 0 {
+		t.Fatal("no fills ran")
+	}
+}

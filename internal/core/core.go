@@ -54,6 +54,26 @@ type Config struct {
 	// on that period; stop it with Close. 0 disables the sweeper
 	// (expired entries are then only dropped on access).
 	CacheSweepInterval time.Duration
+	// FetchRetries is how many times an idempotent origin GET is retried
+	// after a transient failure, with exponential backoff (the
+	// -fetch-retries knob). 0 disables retries.
+	FetchRetries int
+	// BreakerThreshold is the consecutive-failure count that trips an
+	// origin's circuit breaker (the -breaker-threshold knob). 0 uses
+	// fetch.DefaultBreakerThreshold; negative disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker rejects requests
+	// before probing the origin again (the -breaker-cooldown knob).
+	// 0 uses fetch.DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// ServeStale keeps serving previously adapted content (and expired
+	// shared snapshots, revalidated in the background) when the origin
+	// is unreachable (the -serve-stale knob).
+	ServeStale bool
+	// StaleFor bounds how long past expiry a shared snapshot stays
+	// servable under ServeStale (the -stale-for knob). 0 uses
+	// proxy.DefaultStaleFor.
+	StaleFor time.Duration
 }
 
 // cacheOptions maps the Config knobs onto the cache.
@@ -62,6 +82,28 @@ func (cfg Config) cacheOptions() cache.Options {
 		MaxBytes:      cfg.CacheMaxBytes,
 		SweepInterval: cfg.CacheSweepInterval,
 	}
+}
+
+// fetchOptions maps the Config knobs onto origin fetchers: timeout,
+// retries, metrics, and one breaker set shared by every per-session
+// fetcher (origin health outlives any one session).
+func (cfg Config) fetchOptions(reg *obs.Registry) []fetch.Option {
+	var opts []fetch.Option
+	if cfg.FetchTimeout > 0 {
+		opts = append(opts, fetch.WithTimeout(cfg.FetchTimeout))
+	}
+	if cfg.FetchRetries > 0 {
+		opts = append(opts, fetch.WithRetries(cfg.FetchRetries))
+	}
+	if cfg.BreakerThreshold >= 0 {
+		breakers := fetch.NewBreakerSet(fetch.BreakerConfig{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+		})
+		breakers.SetObs(reg)
+		opts = append(opts, fetch.WithBreaker(breakers))
+	}
+	return append(opts, fetch.WithObs(reg))
 }
 
 // Framework is a running m.Site instance for one adaptation spec.
@@ -99,21 +141,18 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 	sharedCache := cache.NewWithOptions(cfg.cacheOptions())
 	sharedCache.SetObs(reg)
 	sessions.InstrumentObs(reg)
-	var fetchOpts []fetch.Option
-	if cfg.FetchTimeout > 0 {
-		fetchOpts = append(fetchOpts, fetch.WithTimeout(cfg.FetchTimeout))
-	}
-	fetchOpts = append(fetchOpts, fetch.WithObs(reg))
 	p, err := proxy.New(proxy.Config{
 		Spec:          sp,
 		Sessions:      sessions,
 		Cache:         sharedCache,
 		ViewportWidth: cfg.ViewportWidth,
-		FetchOptions:  fetchOpts,
+		FetchOptions:  cfg.fetchOptions(reg),
 		Obs:           reg,
 		Logger:        cfg.Logger,
 		FetchWorkers:  cfg.FetchWorkers,
 		RasterWorkers: cfg.RasterWorkers,
+		ServeStale:    cfg.ServeStale,
+		StaleFor:      cfg.StaleFor,
 	})
 	if err != nil {
 		sharedCache.Close()
@@ -151,21 +190,18 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 	sharedCache := cache.NewWithOptions(cfg.cacheOptions())
 	sharedCache.SetObs(reg)
 	sessions.InstrumentObs(reg)
-	var fetchOpts []fetch.Option
-	if cfg.FetchTimeout > 0 {
-		fetchOpts = append(fetchOpts, fetch.WithTimeout(cfg.FetchTimeout))
-	}
-	fetchOpts = append(fetchOpts, fetch.WithObs(reg))
 	multi, err := proxy.NewMulti(proxy.MultiConfig{
 		Specs:         specs,
 		Sessions:      sessions,
 		Cache:         sharedCache,
 		ViewportWidth: cfg.ViewportWidth,
-		FetchOptions:  fetchOpts,
+		FetchOptions:  cfg.fetchOptions(reg),
 		Obs:           reg,
 		Logger:        cfg.Logger,
 		FetchWorkers:  cfg.FetchWorkers,
 		RasterWorkers: cfg.RasterWorkers,
+		ServeStale:    cfg.ServeStale,
+		StaleFor:      cfg.StaleFor,
 	})
 	if err != nil {
 		sharedCache.Close()

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"msite/internal/core"
+	"msite/internal/netsim"
+	"msite/internal/obs"
+	"msite/internal/origin"
+)
+
+// ResilienceConfig tunes the chaos benchmark; the zero value reproduces
+// the PR's acceptance scenario: 30% origin error rate, 2 s latency
+// spikes, a forced blackout segment, and a proxy configured with
+// retries, breakers, and stale serving.
+type ResilienceConfig struct {
+	// Requests is the chaos-phase request count (default 40).
+	Requests int
+	// Blackout is how many requests run against a forced full outage
+	// after the chaos phase — the segment that trips the circuit breaker
+	// deterministically (default 10).
+	Blackout int
+	// ErrorRate is the injected 503 probability (default 0.3).
+	ErrorRate float64
+	// ResetRate is the injected connection-reset probability
+	// (default 0.05).
+	ResetRate float64
+	// SpikeRate/Spike inject latency spikes past the fetch deadline
+	// (defaults 0.1 and 2 s).
+	SpikeRate float64
+	Spike     time.Duration
+	// FetchTimeout is the proxy's per-request origin deadline
+	// (default 400 ms — a 2 s spike is a guaranteed timeout).
+	FetchTimeout time.Duration
+	// Retries is the proxy's idempotent-GET retry budget (default 2).
+	Retries int
+	// Seed fixes the injected fault sequence.
+	Seed int64
+}
+
+func (cfg ResilienceConfig) withDefaults() ResilienceConfig {
+	if cfg.Requests <= 0 {
+		cfg.Requests = 40
+	}
+	if cfg.Blackout <= 0 {
+		cfg.Blackout = 10
+	}
+	if cfg.ErrorRate == 0 {
+		cfg.ErrorRate = 0.3
+	}
+	if cfg.ResetRate == 0 {
+		cfg.ResetRate = 0.05
+	}
+	if cfg.SpikeRate == 0 {
+		cfg.SpikeRate = 0.1
+	}
+	if cfg.Spike <= 0 {
+		cfg.Spike = 2 * time.Second
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 400 * time.Millisecond
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	return cfg
+}
+
+// ResilienceReport is the PR's chaos record (BENCH_PR3.json): request
+// availability and latency under injected faults, plus what the
+// resilience machinery did about them.
+type ResilienceReport struct {
+	Requests        int     `json:"requests"`
+	OK              int     `json:"ok"`
+	Errors5xx       int     `json:"errors_5xx"`
+	AvailabilityPct float64 `json:"availability_pct"`
+	P50MS           float64 `json:"p50_ms"`
+	P99MS           float64 `json:"p99_ms"`
+
+	ErrorRate      float64 `json:"origin_error_rate"`
+	SpikeMS        float64 `json:"latency_spike_ms"`
+	FetchTimeoutMS float64 `json:"fetch_timeout_ms"`
+	Retries        int     `json:"fetch_retries"`
+
+	StaleServed   float64 `json:"stale_served"`
+	Degraded      float64 `json:"degraded"`
+	RetriesSpent  float64 `json:"retries_spent"`
+	BreakerOpens  float64 `json:"breaker_opens"`
+	BreakerCloses float64 `json:"breaker_closes"`
+
+	Faults netsim.FaultStats `json:"injected_faults"`
+}
+
+// counterSum totals a counter family across its label sets.
+func counterSum(snap obs.Snapshot, name string) float64 {
+	var total float64
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			total += float64(c.Value)
+		}
+	}
+	return total
+}
+
+// Resilience runs the chaos benchmark: a proxy with retries, breakers,
+// and stale serving fronts a fault-injected origin; after a clean
+// warm-up, every request rides ?refresh=1 so each one exercises a full
+// re-adaptation against the flaky origin, then a forced blackout
+// segment trips the breaker. The proxy must answer every request 200 —
+// degraded or stale when it has to.
+func Resilience(cfg ResilienceConfig) (*ResilienceReport, error) {
+	cfg = cfg.withDefaults()
+
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	injector := netsim.NewInjector(netsim.FaultConfig{
+		ErrorRate:    cfg.ErrorRate,
+		ResetRate:    cfg.ResetRate,
+		SpikeRate:    cfg.SpikeRate,
+		LatencySpike: cfg.Spike,
+		Seed:         cfg.Seed,
+	})
+	injector.SetEnabled(false) // warm up against a healthy origin
+	originSrv := httptest.NewServer(injector.Wrap(forum.Handler()))
+	defer originSrv.Close()
+
+	dir, err := os.MkdirTemp("", "msite-resilience-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	fw, err := core.New(SpecForForum(originSrv.URL), core.Config{
+		SessionRoot:     dir,
+		FetchTimeout:    cfg.FetchTimeout,
+		FetchRetries:    cfg.Retries,
+		BreakerCooldown: 300 * time.Millisecond,
+		ServeStale:      true,
+		StaleFor:        time.Hour,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fw.Close()
+	proxySrv := httptest.NewServer(fw.Handler())
+	defer proxySrv.Close()
+
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Jar: jar, Timeout: time.Minute}
+	warm, err := client.Get(proxySrv.URL + "/")
+	if err != nil {
+		return nil, err
+	}
+	_ = warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("experiments: resilience warm-up status %d", warm.StatusCode)
+	}
+
+	rep := &ResilienceReport{
+		ErrorRate:      cfg.ErrorRate,
+		SpikeMS:        float64(cfg.Spike) / float64(time.Millisecond),
+		FetchTimeoutMS: float64(cfg.FetchTimeout) / float64(time.Millisecond),
+		Retries:        cfg.Retries,
+	}
+	var latencies []time.Duration
+	hit := func() error {
+		start := time.Now()
+		resp, err := client.Get(proxySrv.URL + "/?refresh=1")
+		if err != nil {
+			return err
+		}
+		_ = resp.Body.Close()
+		latencies = append(latencies, time.Since(start))
+		rep.Requests++
+		if resp.StatusCode >= 500 {
+			rep.Errors5xx++
+		} else if resp.StatusCode == http.StatusOK {
+			rep.OK++
+		}
+		return nil
+	}
+
+	// Chaos phase: probabilistic errors, resets, and latency spikes.
+	injector.SetEnabled(true)
+	for i := 0; i < cfg.Requests; i++ {
+		if err := hit(); err != nil {
+			return nil, err
+		}
+	}
+	// Blackout phase: the origin is hard down; consecutive failures trip
+	// the breaker, and stale serving keeps answering.
+	injector.SetDown(true)
+	for i := 0; i < cfg.Blackout; i++ {
+		if err := hit(); err != nil {
+			return nil, err
+		}
+	}
+	injector.SetDown(false)
+
+	if rep.Requests > 0 {
+		rep.AvailabilityPct = 100 * float64(rep.OK) / float64(rep.Requests)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+	rep.P50MS = pct(0.50)
+	rep.P99MS = pct(0.99)
+
+	snap := fw.Obs().Snapshot()
+	rep.StaleServed = counterSum(snap, "msite_proxy_stale_served_total")
+	rep.Degraded = counterSum(snap, "msite_proxy_degraded_total")
+	rep.RetriesSpent = counterSum(snap, "msite_fetch_retries_total")
+	for _, c := range snap.Counters {
+		if c.Name != "msite_breaker_transitions_total" {
+			continue
+		}
+		for _, l := range c.Labels {
+			if l.Key == "to" && l.Value == "open" {
+				rep.BreakerOpens += float64(c.Value)
+			}
+			if l.Key == "to" && l.Value == "closed" {
+				rep.BreakerCloses += float64(c.Value)
+			}
+		}
+	}
+	rep.Faults = injector.Stats()
+	return rep, nil
+}
+
+// FormatResilience renders the chaos report like the other experiment
+// tables.
+func FormatResilience(rep *ResilienceReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Resilience under injected faults (%.0f%% origin errors, %.0f ms spikes, %.0f ms fetch timeout, %d retries)\n",
+		rep.ErrorRate*100, rep.SpikeMS, rep.FetchTimeoutMS, rep.Retries)
+	fmt.Fprintf(&b, "availability: %d/%d requests OK (%.1f%%), %d served 5xx\n",
+		rep.OK, rep.Requests, rep.AvailabilityPct, rep.Errors5xx)
+	fmt.Fprintf(&b, "latency under fault: p50 %.0f ms, p99 %.0f ms\n", rep.P50MS, rep.P99MS)
+	fmt.Fprintf(&b, "machinery: %.0f retries spent, %.0f stale serves, %.0f degraded stages, breaker opened %.0fx / closed %.0fx\n",
+		rep.RetriesSpent, rep.StaleServed, rep.Degraded, rep.BreakerOpens, rep.BreakerCloses)
+	fmt.Fprintf(&b, "injected: %d errors, %d resets, %d spikes, %d outage rejects over %d origin requests\n",
+		rep.Faults.Errors, rep.Faults.Resets, rep.Faults.Spikes, rep.Faults.FlapRejects, rep.Faults.Requests)
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestResilienceChaos is the chaos test of the resilience PR: a proxy
+// with retries, breakers, and stale serving fronts a flapping origin
+// (probabilistic 503s, connection resets, latency spikes, then a full
+// blackout) and must answer every request 200 — degraded or stale as
+// needed, never 5xx.
+func TestResilienceChaos(t *testing.T) {
+	rep, err := Resilience(ResilienceConfig{
+		Requests:     10,
+		Blackout:     5,
+		ErrorRate:    0.5,
+		ResetRate:    0.1,
+		SpikeRate:    0.15,
+		Spike:        400 * time.Millisecond,
+		FetchTimeout: 150 * time.Millisecond,
+		Retries:      2,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 15 {
+		t.Fatalf("requests = %d", rep.Requests)
+	}
+	if rep.Errors5xx != 0 {
+		t.Fatalf("proxy served %d 5xx under fault:\n%s", rep.Errors5xx, FormatResilience(rep))
+	}
+	if rep.OK != rep.Requests {
+		t.Fatalf("availability = %d/%d:\n%s", rep.OK, rep.Requests, FormatResilience(rep))
+	}
+	// The blackout segment guarantees consecutive failures: the breaker
+	// must have tripped and stale adaptations must have been served.
+	if rep.BreakerOpens < 1 {
+		t.Fatalf("breaker never opened:\n%s", FormatResilience(rep))
+	}
+	if rep.StaleServed < 1 {
+		t.Fatalf("no stale adaptations served:\n%s", FormatResilience(rep))
+	}
+	if rep.Faults.Requests == 0 {
+		t.Fatal("injector saw no traffic")
+	}
+}

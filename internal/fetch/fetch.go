@@ -6,9 +6,11 @@
 package fetch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -73,6 +75,16 @@ type Fetcher struct {
 	userAgent string
 	obs       *obs.Registry
 	workers   int
+
+	// Resilience knobs: retries is the extra attempts allowed for
+	// idempotent GETs on retryable failures (see Error.Temporary),
+	// backoffBase/backoffMax bound the jittered exponential backoff
+	// between them, and breakers (shared across fetchers) short-circuits
+	// requests to origins that keep failing.
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	breakers    *BreakerSet
 }
 
 // sessionJar presents the session's *current* cookie jar to the HTTP
@@ -121,18 +133,61 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithRetries allows n extra attempts for idempotent GETs whose failure
+// class is retryable (timeouts, refusals, resets, DNS, 5xx/429) — the
+// -fetch-retries knob. n <= 0 disables retries (the default). POSTs are
+// never retried.
+func WithRetries(n int) Option {
+	return func(f *Fetcher) {
+		if n > 0 {
+			f.retries = n
+		}
+	}
+}
+
+// WithBackoff sets the retry backoff schedule: the delay before retry k
+// is base·2^(k-1) capped at max, with full jitter (a uniform draw from
+// the half-to-full range) so a fleet of waiting fetches does not
+// re-arrive in lockstep. Defaults: 100 ms base, 2 s cap.
+func WithBackoff(base, max time.Duration) Option {
+	return func(f *Fetcher) {
+		if base > 0 {
+			f.backoffBase = base
+		}
+		if max > 0 {
+			f.backoffMax = max
+		}
+	}
+}
+
+// WithBreaker routes every request through the per-origin circuit
+// breakers in set (the -breaker-threshold knob family). The set is
+// shared across fetchers — origin health outlives any one session.
+func WithBreaker(set *BreakerSet) Option {
+	return func(f *Fetcher) { f.breakers = set }
+}
+
 // record reports one origin request's outcome and latency.
 func (f *Fetcher) record(start time.Time, err error) {
 	if f.obs == nil {
 		return
 	}
 	outcome := "ok"
-	switch e := err.(type) {
-	case nil:
-	case *AuthRequiredError:
+	var fetchErr *Error
+	var authErr *AuthRequiredError
+	var statusErr *StatusError
+	switch {
+	case err == nil:
+	case errors.As(err, &authErr):
 		outcome = "auth"
-	case *StatusError:
-		outcome = "status_" + strconv.Itoa(e.Status)
+	case errors.As(err, &fetchErr):
+		if fetchErr.Kind == KindStatus {
+			outcome = "status_" + strconv.Itoa(fetchErr.Status)
+		} else {
+			outcome = string(fetchErr.Kind)
+		}
+	case errors.As(err, &statusErr):
+		outcome = "status_" + strconv.Itoa(statusErr.Status)
 	default:
 		outcome = "error"
 	}
@@ -148,10 +203,12 @@ func New(sess *session.Session, opts ...Option) *Fetcher {
 		client.Jar = sessionJar{sess}
 	}
 	f := &Fetcher{
-		client:    client,
-		sess:      sess,
-		userAgent: "m.Site-proxy/1.0",
-		workers:   DefaultWorkers,
+		client:      client,
+		sess:        sess,
+		userAgent:   "m.Site-proxy/1.0",
+		workers:     DefaultWorkers,
+		backoffBase: 100 * time.Millisecond,
+		backoffMax:  2 * time.Second,
 	}
 	for _, opt := range opts {
 		opt(f)
@@ -159,16 +216,88 @@ func New(sess *session.Session, opts ...Option) *Fetcher {
 	return f
 }
 
-// Get fetches one resource.
+// Get fetches one resource, retrying retryable failures up to the
+// configured budget (WithRetries) with jittered exponential backoff.
 func (f *Fetcher) Get(rawURL string) (*Page, error) {
+	return f.GetContext(context.Background(), rawURL)
+}
+
+// GetContext is Get bound to a caller deadline/cancellation: each
+// attempt is additionally bounded by the fetcher's per-request timeout,
+// and backoff sleeps abort when ctx does.
+func (f *Fetcher) GetContext(ctx context.Context, rawURL string) (*Page, error) {
 	start := time.Now()
-	page, err := f.get(rawURL)
+	page, err := f.getRetry(ctx, rawURL)
 	f.record(start, err)
 	return page, err
 }
 
-func (f *Fetcher) get(rawURL string) (*Page, error) {
-	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+// getRetry runs the bounded retry loop around single attempts. Only
+// failures classified retryable (Error.Temporary) consume the budget;
+// auth challenges, 4xx statuses, and breaker rejections return
+// immediately.
+func (f *Fetcher) getRetry(ctx context.Context, rawURL string) (*Page, error) {
+	var page *Page
+	var err error
+	attempts := 0
+	for {
+		attempts++
+		page, err = f.attempt(ctx, rawURL)
+		if err == nil || attempts > f.retries || !Retryable(err) {
+			break
+		}
+		if f.obs != nil {
+			f.obs.Counter("msite_fetch_retries_total").Inc()
+		}
+		if sleepErr := sleepCtx(ctx, f.backoff(attempts)); sleepErr != nil {
+			break
+		}
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		fe.Attempts = attempts
+	}
+	return page, err
+}
+
+// backoff returns the jittered delay before the retry following failed
+// attempt n (1-based): base·2^(n-1) capped at max, drawn uniformly from
+// [d/2, d].
+func (f *Fetcher) backoff(n int) time.Duration {
+	d := f.backoffBase
+	for i := 1; i < n && d < f.backoffMax; i++ {
+		d *= 2
+	}
+	if d > f.backoffMax {
+		d = f.backoffMax
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// attempt runs one GET through the origin's circuit breaker. Outcomes
+// feed the breaker: any origin response (even 4xx) proves liveness;
+// transport failures and 5xx count against it.
+func (f *Fetcher) attempt(ctx context.Context, rawURL string) (*Page, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
 	if err != nil {
 		return nil, fmt.Errorf("fetch: building request for %s: %w", rawURL, err)
 	}
@@ -178,19 +307,38 @@ func (f *Fetcher) get(rawURL string) (*Page, error) {
 			req.SetBasicAuth(creds.User, creds.Pass)
 		}
 	}
+	var br *Breaker
+	if f.breakers != nil {
+		br = f.breakers.For(req.URL.Host)
+		if !br.Allow() {
+			return nil, &Error{URL: rawURL, Origin: req.URL.Host, Kind: KindBreakerOpen, Attempts: 1}
+		}
+	}
 	resp, err := f.client.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("fetch: requesting %s: %w", rawURL, err)
+		if br != nil {
+			br.Record(false)
+		}
+		return nil, transportError(rawURL, 1, err)
 	}
 	defer func() { _ = resp.Body.Close() }()
 
 	if resp.StatusCode == http.StatusUnauthorized {
+		if br != nil {
+			br.Record(true)
+		}
 		realm := parseRealm(resp.Header.Get("WWW-Authenticate"))
 		return nil, &AuthRequiredError{URL: rawURL, Realm: realm}
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
-		return nil, fmt.Errorf("fetch: reading %s: %w", rawURL, err)
+		if br != nil {
+			br.Record(false)
+		}
+		return nil, &Error{
+			URL: rawURL, Origin: req.URL.Host, Kind: KindReset, Attempts: 1,
+			Err: fmt.Errorf("fetch: reading %s: %w", rawURL, err),
+		}
 	}
 	page := &Page{
 		URL:         resp.Request.URL.String(),
@@ -199,7 +347,13 @@ func (f *Fetcher) get(rawURL string) (*Page, error) {
 		Status:      resp.StatusCode,
 	}
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		return page, &StatusError{URL: rawURL, Status: resp.StatusCode}
+		if br != nil {
+			br.Record(resp.StatusCode < 500)
+		}
+		return page, statusError(rawURL, resp.StatusCode, 1)
+	}
+	if br != nil {
+		br.Record(true)
 	}
 	return page, nil
 }
@@ -213,6 +367,8 @@ func (f *Fetcher) PostForm(rawURL string, form url.Values) (*Page, error) {
 	return page, err
 }
 
+// postForm never retries (form submission is not idempotent) but still
+// consults the origin's breaker and returns typed failures.
 func (f *Fetcher) postForm(rawURL string, form url.Values) (*Page, error) {
 	req, err := http.NewRequest(http.MethodPost, rawURL, strings.NewReader(form.Encode()))
 	if err != nil {
@@ -220,14 +376,30 @@ func (f *Fetcher) postForm(rawURL string, form url.Values) (*Page, error) {
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	req.Header.Set("User-Agent", f.userAgent)
+	var br *Breaker
+	if f.breakers != nil {
+		br = f.breakers.For(req.URL.Host)
+		if !br.Allow() {
+			return nil, &Error{URL: rawURL, Origin: req.URL.Host, Kind: KindBreakerOpen, Attempts: 1}
+		}
+	}
 	resp, err := f.client.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("fetch: posting %s: %w", rawURL, err)
+		if br != nil {
+			br.Record(false)
+		}
+		return nil, transportError(rawURL, 1, err)
 	}
 	defer func() { _ = resp.Body.Close() }()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
-		return nil, fmt.Errorf("fetch: reading %s: %w", rawURL, err)
+		if br != nil {
+			br.Record(false)
+		}
+		return nil, &Error{
+			URL: rawURL, Origin: req.URL.Host, Kind: KindReset, Attempts: 1,
+			Err: fmt.Errorf("fetch: reading %s: %w", rawURL, err),
+		}
 	}
 	page := &Page{
 		URL:         resp.Request.URL.String(),
@@ -236,7 +408,13 @@ func (f *Fetcher) postForm(rawURL string, form url.Values) (*Page, error) {
 		Status:      resp.StatusCode,
 	}
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		return page, &StatusError{URL: rawURL, Status: resp.StatusCode}
+		if br != nil {
+			br.Record(resp.StatusCode < 500)
+		}
+		return page, statusError(rawURL, resp.StatusCode, 1)
+	}
+	if br != nil {
+		br.Record(true)
 	}
 	return page, nil
 }

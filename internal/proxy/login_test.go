@@ -298,13 +298,23 @@ func TestAssetETagConditional(t *testing.T) {
 
 func TestFilterRuntimeFailure(t *testing.T) {
 	// A "replace" filter with an invalid pattern passes spec validation
-	// (only the type is checked) but must fail cleanly at adapt time.
+	// (only the type is checked) and fails at adapt time. The failed
+	// stage degrades — the page is adapted from the unfiltered source —
+	// rather than turning the whole request into a 502.
 	rig := newRig(t, func(s *spec.Spec) {
 		s.Filters = []spec.Filter{{Type: "replace", Params: map[string]string{"pattern": "("}}}
 	})
 	_, resp := rig.get(t, "/")
-	if resp.StatusCode != http.StatusBadGateway {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	stats, _ := rig.get(t, "/stats")
+	if !strings.Contains(stats, "degraded filter") {
+		t.Fatalf("degradation not noted in /stats: %s", stats)
+	}
+	if c, ok := rig.p.Obs().Snapshot().Counter("msite_proxy_degraded_total",
+		"stage", "filter", "site", rig.p.cfg.Spec.Name); !ok || c.Value < 1 {
+		t.Fatalf("degradation counter = %+v ok=%v", c, ok)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"time"
 
 	"msite/internal/cache"
 	"msite/internal/fetch"
@@ -48,6 +49,10 @@ type MultiConfig struct {
 	FetchWorkers  int
 	RasterWorkers int
 	WriteWorkers  int
+	// ServeStale and StaleFor are the staleness knobs, applied to every
+	// site (see Config).
+	ServeStale bool
+	StaleFor   time.Duration
 }
 
 // NewMulti builds the composite proxy.
@@ -83,6 +88,8 @@ func NewMulti(cfg MultiConfig) (*MultiProxy, error) {
 			FetchWorkers:  cfg.FetchWorkers,
 			RasterWorkers: cfg.RasterWorkers,
 			WriteWorkers:  cfg.WriteWorkers,
+			ServeStale:    cfg.ServeStale,
+			StaleFor:      cfg.StaleFor,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("proxy: site %q: %w", name, err)

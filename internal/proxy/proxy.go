@@ -74,7 +74,19 @@ type Config struct {
 	// WriteWorkers bounds the concurrent subpage/asset file writes per
 	// adaptation. 0 defaults to 4; 1 forces serial writes.
 	WriteWorkers int
+	// ServeStale keeps serving a session's previous adaptation (and the
+	// shared snapshot past its TTL) when re-adaptation fails because the
+	// origin is unreachable, instead of returning 502.
+	ServeStale bool
+	// StaleFor bounds how long past expiry a shared snapshot remains
+	// servable while a background refresh runs (stale-while-revalidate).
+	// Zero with ServeStale set uses DefaultStaleFor.
+	StaleFor time.Duration
 }
+
+// DefaultStaleFor is how long past its TTL a shared snapshot stays
+// servable when ServeStale is on and no StaleFor is configured.
+const DefaultStaleFor = 5 * time.Minute
 
 // Stats counts proxy work for the scalability experiments.
 type Stats struct {
@@ -101,6 +113,7 @@ type Proxy struct {
 	logger     *slog.Logger
 	rasterWork int
 	writeWork  int
+	staleFor   time.Duration
 
 	// Work counters are atomic (not under mu) so Stats() snapshots and
 	// metric scrapes never contend with the adaptation hot path.
@@ -165,6 +178,10 @@ func New(cfg Config) (*Proxy, error) {
 	if writeWork <= 0 {
 		writeWork = 4
 	}
+	staleFor := cfg.StaleFor
+	if cfg.ServeStale && staleFor <= 0 {
+		staleFor = DefaultStaleFor
+	}
 	p := &Proxy{
 		cfg:        cfg,
 		dispatcher: dispatcher,
@@ -175,6 +192,7 @@ func New(cfg Config) (*Proxy, error) {
 		logger:     cfg.Logger,
 		rasterWork: cfg.RasterWorkers,
 		writeWork:  writeWork,
+		staleFor:   staleFor,
 		adapted:    make(map[string]*adaptation),
 		inflight:   make(map[string]chan struct{}),
 	}
@@ -456,6 +474,7 @@ func (p *Proxy) ensureAdaptation(ctx context.Context, sess *session.Session, for
 
 		p.mu.Lock()
 		delete(p.inflight, sess.ID)
+		prev := p.adapted[sess.ID]
 		if err == nil {
 			p.adapted[sess.ID] = ad
 		}
@@ -465,8 +484,25 @@ func (p *Proxy) ensureAdaptation(ctx context.Context, sess *session.Session, for
 			p.obs.Counter("msite_proxy_adaptations_total", "site", p.cfg.Spec.Name).Inc()
 		}
 		close(done)
+		if err != nil && p.cfg.ServeStale && prev != nil && !isAuthError(err) {
+			// The origin is unreachable but this session was adapted
+			// before: serve the previous adaptation rather than fail the
+			// request (§3.2's "any error handling should the page be
+			// unavailable", resolved in favor of availability).
+			p.obs.Counter("msite_proxy_stale_served_total", "site", p.cfg.Spec.Name).Inc()
+			obs.TraceFrom(ctx).Annotate("degraded", "stale_adaptation")
+			return prev, nil
+		}
 		return ad, err
 	}
+}
+
+// isAuthError reports whether err is an origin auth challenge, which
+// must surface to the client (as a redirect to the auth page) rather
+// than degrade to stale content.
+func isAuthError(err error) bool {
+	var authErr *fetch.AuthRequiredError
+	return errors.As(err, &authErr)
 }
 
 // adaptSession runs the fetch → filter → attribute → file-generation
@@ -485,12 +521,19 @@ func (p *Proxy) adaptSession(ctx context.Context, sess *session.Session) (*adapt
 		return nil, err
 	}
 
+	// Every stage past the fetch degrades instead of failing: a broken
+	// filter serves the unfiltered source, missing stylesheets render
+	// unstyled, a failed attribute phase serves the tidied document
+	// whole. The best page we can build beats a 502.
+	var degraded []string
+
 	// Filter phase: cheap source-level transforms first (§3.2).
 	sp = obs.StartSpan(ctx, "filter")
 	src, err := filter.Apply(string(page.Body), p.cfg.Spec.Filters)
 	sp.End()
 	if err != nil {
-		return nil, fmt.Errorf("proxy: filter phase: %w", err)
+		src = string(page.Body)
+		degraded = append(degraded, p.degrade(ctx, "filter", err))
 	}
 
 	// Inline the origin's linked stylesheets so the attribute phase and
@@ -501,8 +544,7 @@ func (p *Proxy) adaptSession(ctx context.Context, sess *session.Session) (*adapt
 	sp = obs.StartSpan(ctx, "subres")
 	doc := tidyDoc(src)
 	if _, err := f.InlineStylesheets(doc, page.URL); err != nil {
-		sp.End()
-		return nil, fmt.Errorf("proxy: inlining stylesheets: %w", err)
+		degraded = append(degraded, p.degrade(ctx, "stylesheets", err))
 	}
 	images := fetchImages(f, doc, page.URL)
 	sp.End()
@@ -511,8 +553,8 @@ func (p *Proxy) adaptSession(ctx context.Context, sess *session.Session) (*adapt
 	sp = obs.StartSpan(ctx, "attr")
 	result, err := applier.Apply(p.cfg.Spec, doc)
 	if err != nil {
-		sp.End()
-		return nil, fmt.Errorf("proxy: attribute phase: %w", err)
+		degraded = append(degraded, p.degrade(ctx, "attributes", err))
+		result = &attr.Result{Doc: doc}
 	}
 
 	// Re-anchor origin-relative URLs: adapted pages are served from the
@@ -585,9 +627,19 @@ func (p *Proxy) adaptSession(ctx context.Context, sess *session.Session) (*adapt
 	if err := writeFiles(jobs, p.writeWork); err != nil {
 		return nil, err
 	}
-	ad.notes = result.Notes
+	ad.notes = append(result.Notes, degraded...)
 
 	return ad, nil
+}
+
+// degrade records one non-fatal pipeline-stage failure: the stage's
+// output is dropped and adaptation continues with what it has. The
+// failure lands on the request trace, in the degradation counter, and
+// in the adaptation notes /stats reports.
+func (p *Proxy) degrade(ctx context.Context, stage string, err error) string {
+	p.obs.Counter("msite_proxy_degraded_total", "stage", stage, "site", p.cfg.Spec.Name).Inc()
+	obs.TraceFrom(ctx).Annotate("degraded_"+stage, err.Error())
+	return fmt.Sprintf("degraded %s: %v", stage, err)
 }
 
 // writeJob is one generated file of an adaptation.
@@ -674,7 +726,17 @@ func (p *Proxy) handleEntry(w http.ResponseWriter, r *http.Request) {
 
 	snap, scale, width, height, err := p.snapshot(r.Context(), sess)
 	if err != nil {
-		p.fetchError(w, r, err)
+		// The graphical entry page is an enhancement over the adapted
+		// document, not a prerequisite: if the render fails, degrade to
+		// serving the adapted main page directly.
+		_ = p.degrade(r.Context(), "snapshot", err)
+		data, rerr := os.ReadFile(p.sessionFile(sess, "pages", "main.html"))
+		if rerr != nil {
+			p.fetchError(w, r, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write(data)
 		return
 	}
 	_ = snap
@@ -726,9 +788,11 @@ func (p *Proxy) snapshot(ctx context.Context, sess *session.Session) (data []byt
 	}
 	p.mu.Unlock()
 
-	filled := false
+	// filled is atomic: with stale-while-revalidate the fill can run on a
+	// background refresh goroutine while this request inspects it.
+	var filled atomic.Bool
 	fill := func() (cache.Entry, error) {
-		filled = true
+		filled.Store(true)
 		p.nSnapshotRenders.Add(1)
 		p.obs.Counter("msite_proxy_snapshot_renders_total", "site", p.cfg.Spec.Name).Inc()
 		mainPath := p.sessionFile(sess, "pages", "main.html")
@@ -756,8 +820,20 @@ func (p *Proxy) snapshot(ctx context.Context, sess *session.Session) (data []byt
 
 	var entry cache.Entry
 	if p.cfg.Spec.Snapshot.Shared && ttl > 0 {
-		entry, err = p.cfg.Cache.GetOrFill("snapshot:"+p.cfg.Spec.Name, ttl, fill)
-		if err == nil && !filled {
+		key := "snapshot:" + p.cfg.Spec.Name
+		var stale bool
+		if p.cfg.ServeStale && p.staleFor > 0 {
+			// Stale-while-revalidate: an expired shared snapshot is served
+			// immediately while a background goroutine re-renders it.
+			entry, stale, err = p.cfg.Cache.GetOrFillStale(key, ttl, p.staleFor, fill)
+		} else {
+			entry, err = p.cfg.Cache.GetOrFill(key, ttl, fill)
+		}
+		if stale {
+			p.nSnapshotHits.Add(1)
+			p.obs.Counter("msite_proxy_snapshot_hits_total", "site", p.cfg.Spec.Name).Inc()
+			obs.TraceFrom(ctx).Annotate("cache", "stale")
+		} else if err == nil && !filled.Load() {
 			// Served from the shared cache (either directly or by another
 			// goroutine's single-flight fill) — the amortization §3.3 is
 			// about.

@@ -478,3 +478,66 @@ func TestRefreshReAdapts(t *testing.T) {
 		t.Fatalf("adaptations = %d", got)
 	}
 }
+
+func TestServeStaleOnOriginFailure(t *testing.T) {
+	// With ServeStale on, a session that was adapted once keeps being
+	// served (from its previous adaptation) after the origin goes down.
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	sp := forumSpec(originSrv.URL)
+
+	sessions, err := session.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cache.New()
+	defer c.Close()
+	p, err := New(Config{
+		Spec: sp, Sessions: sessions, Cache: c,
+		ServeStale: true, StaleFor: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(p)
+	defer proxySrv.Close()
+
+	jar, _ := cookiejar.New(nil)
+	client := &http.Client{Jar: jar, Timeout: 30 * time.Second}
+	warm, err := client.Get(proxySrv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, warm.Body)
+	_ = warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up status = %d", warm.StatusCode)
+	}
+
+	originSrv.Close() // origin goes dark
+
+	resp, err := client.Get(proxySrv.URL + "/?refresh=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale status = %d: %.200s", resp.StatusCode, body)
+	}
+	if cnt, ok := p.Obs().Snapshot().Counter("msite_proxy_stale_served_total",
+		"site", sp.Name); !ok || cnt.Value < 1 {
+		t.Fatalf("stale counter = %+v ok=%v", cnt, ok)
+	}
+
+	// A brand-new session has nothing to fall back on: still 502.
+	fresh, err := http.Get(proxySrv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, fresh.Body)
+	_ = fresh.Body.Close()
+	if fresh.StatusCode != http.StatusBadGateway {
+		t.Fatalf("cold status = %d", fresh.StatusCode)
+	}
+}
