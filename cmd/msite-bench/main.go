@@ -12,6 +12,7 @@
 //	msite-bench fidelity | speedup | pageweight | ablation | stages
 //	msite-bench parallel     # serial-vs-parallel pipeline ablation → BENCH_PR2.json
 //	msite-bench resilience   # availability under injected origin faults → BENCH_PR3.json
+//	msite-bench overload     # flash-crowd admission-control chaos run → BENCH_PR4.json
 package main
 
 import (
@@ -43,6 +44,10 @@ func run() error {
 	resilienceOut := flag.String("resilience-out", "BENCH_PR3.json", "where the resilience bench writes its JSON record (empty = don't write)")
 	resilienceReqs := flag.Int("resilience-requests", 40, "chaos-phase request count for the resilience bench")
 	resilienceBlackout := flag.Int("resilience-blackout", 10, "forced-outage request count for the resilience bench")
+	overloadOut := flag.String("overload-out", "BENCH_PR4.json", "where the overload bench writes its JSON record (empty = don't write)")
+	overloadCrowd := flag.Int("overload-crowd", 12, "flash-crowd size for the overload bench")
+	overloadSites := flag.Int("overload-sites", 6, "extra cold sites for the overload bench's capacity squeeze")
+	overloadLatency := flag.Duration("overload-latency", 120*time.Millisecond, "injected origin latency for the overload bench")
 	flag.Parse()
 
 	what := "all"
@@ -164,6 +169,32 @@ func run() error {
 				}
 				fmt.Printf("wrote %s\n\n", *resilienceOut)
 			}
+		case "overload":
+			// Runs against its own latency-injected internal origin (the
+			// -origin flag does not apply): the storm needs slow cold builds
+			// to make the admission queue and coalescer observable.
+			rep, err := experiments.Overload(experiments.OverloadConfig{
+				Crowd:         *overloadCrowd,
+				ExtraSites:    *overloadSites,
+				OriginLatency: *overloadLatency,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatOverload(rep))
+			if *overloadOut != "" {
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*overloadOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n\n", *overloadOut)
+			}
+			if len(rep.Violations) > 0 {
+				return fmt.Errorf("overload: %d invariant violation(s)", len(rep.Violations))
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -171,7 +202,7 @@ func run() error {
 	}
 
 	if what == "all" {
-		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "stages", "fig7"} {
+		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "stages", "fig7"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -56,6 +56,10 @@ func run() error {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long a tripped breaker rejects before re-probing (0 = default 5s)")
 	serveStale := flag.Bool("serve-stale", true, "serve previous adaptations and expired snapshots when the origin is unreachable")
 	staleFor := flag.Duration("stale-for", 0, "how long past expiry a shared snapshot stays servable under -serve-stale (0 = default 5m)")
+	maxAdapt := flag.Int("max-concurrent-adaptations", 0, "adaptation pipelines allowed to run at once; excess waits in a bounded queue or is shed with 503 (0 = unlimited)")
+	admissionQueue := flag.Int("admission-queue", 0, "admission wait-queue length behind -max-concurrent-adaptations (0 = 4x concurrency, negative = no queue)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client requests/second budget, 429 + Retry-After past the burst (0 = unlimited)")
+	maxSessions := flag.Int("max-sessions", 0, "live session cap; first contacts past it are shed with 503 (0 = uncapped)")
 	flag.Parse()
 
 	if len(specPaths) == 0 {
@@ -79,6 +83,11 @@ func run() error {
 		BreakerCooldown:    *breakerCooldown,
 		ServeStale:         *serveStale,
 		StaleFor:           *staleFor,
+
+		MaxConcurrentAdaptations: *maxAdapt,
+		AdmissionQueue:           *admissionQueue,
+		RateLimit:                *rateLimit,
+		MaxSessions:              *maxSessions,
 	}
 
 	if len(specPaths) > 1 {

@@ -91,3 +91,33 @@ func TestReadmeLinksResolve(t *testing.T) {
 		t.Fatal("found no relative doc links in README.md — link regexp out of date?")
 	}
 }
+
+func TestAdmissionDocCoversEveryKnob(t *testing.T) {
+	doc, err := os.ReadFile("docs/ADMISSION.md")
+	if err != nil {
+		t.Fatalf("read docs/ADMISSION.md: %v", err)
+	}
+	for _, flag := range []string{
+		"-max-concurrent-adaptations", "-admission-queue",
+		"-rate-limit", "-max-sessions",
+	} {
+		if !strings.Contains(string(doc), "`"+flag+"`") {
+			t.Errorf("docs/ADMISSION.md does not document %s", flag)
+		}
+	}
+	for _, metric := range []string{
+		"msite_admission_queue_depth", "msite_admission_shed_total",
+		"msite_admission_coalesced_total", "msite_ratelimit_rejects_total",
+	} {
+		if !strings.Contains(string(doc), metric) {
+			t.Errorf("docs/ADMISSION.md does not document metric %s", metric)
+		}
+		obsDoc, err := os.ReadFile("docs/OBSERVABILITY.md")
+		if err != nil {
+			t.Fatalf("read docs/OBSERVABILITY.md: %v", err)
+		}
+		if !strings.Contains(string(obsDoc), metric) {
+			t.Errorf("docs/OBSERVABILITY.md does not list metric %s", metric)
+		}
+	}
+}

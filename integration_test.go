@@ -114,8 +114,11 @@ func TestIntegrationMultiUserConcurrency(t *testing.T) {
 	if stats.SnapshotRenders != 1 {
 		t.Fatalf("snapshot renders = %d, want 1 (amortized)", stats.SnapshotRenders)
 	}
-	if stats.Adaptations != users {
-		t.Fatalf("adaptations = %d, want %d", stats.Adaptations, users)
+	// Concurrent cold sessions of the same page coalesce into shared
+	// pipeline runs: perfect overlap builds once, no overlap builds once
+	// per user. Anything in between is timing.
+	if stats.Adaptations < 1 || stats.Adaptations > users {
+		t.Fatalf("adaptations = %d, want 1..%d", stats.Adaptations, users)
 	}
 }
 

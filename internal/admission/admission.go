@@ -1,0 +1,366 @@
+// Package admission is the overload-protection tier of the adaptation
+// proxy. m.Site's economics depend on keeping the heavyweight
+// fetch+layout+raster pipeline off the hot path (§4); this package makes
+// sure a traffic spike cannot put it back on: a bounded concurrency
+// limiter with a deadline-aware wait queue sheds work it could never
+// finish in time (503 + Retry-After), an in-flight coalescer folds N
+// identical cold adaptations into one pipeline run, and per-client token
+// buckets stop any single session or address from monopolizing the
+// proxy (429 + Retry-After). The design follows staged admission control
+// (SEDA): say no early, cheaply, and with a useful hint, instead of
+// queueing unboundedly and timing everyone out.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"msite/internal/obs"
+)
+
+// Shed reasons, used as the `reason` label of
+// msite_admission_shed_total and carried on ShedError.
+const (
+	// ReasonQueueFull: every pipeline slot and queue position was taken.
+	ReasonQueueFull = "queue_full"
+	// ReasonDeadline: the request's deadline would expire before a slot
+	// could free up (shed on arrival), or expired while queued.
+	ReasonDeadline = "deadline"
+	// ReasonRateLimit: the client's token bucket was empty.
+	ReasonRateLimit = "rate_limit"
+	// ReasonSessionCap: session creation would exceed -max-sessions.
+	ReasonSessionCap = "session_cap"
+)
+
+// ShedError reports a request refused by admission control. The proxy
+// maps it to 503 (capacity) or 429 (rate limit) with a Retry-After
+// header derived from RetryAfter.
+type ShedError struct {
+	// Reason is one of the Reason* constants.
+	Reason string
+	// RetryAfter is the hint for when the client should try again.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("admission: shed (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// IsShed reports whether err is an admission shed, returning it.
+func IsShed(err error) (*ShedError, bool) {
+	var shed *ShedError
+	if errors.As(err, &shed) {
+		return shed, true
+	}
+	return nil, false
+}
+
+// RetryAfterSeconds renders a Retry-After duration as whole seconds for
+// the HTTP header: rounded up, never less than 1 (a Retry-After of 0
+// invites an immediate retry storm).
+func RetryAfterSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// estimateWait is the queue arithmetic behind deadline shedding and
+// Retry-After hints: with maxConcurrent pipeline slots and an average
+// run time of avgRun, the request entering at queue position pos
+// (0-based) expects to wait for pos+1 slot releases, which arrive every
+// avgRun/maxConcurrent on average.
+func estimateWait(pos, maxConcurrent int, avgRun time.Duration) time.Duration {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 1
+	}
+	if avgRun <= 0 {
+		return 0
+	}
+	return time.Duration(int64(avgRun) * int64(pos+1) / int64(maxConcurrent))
+}
+
+// DefaultExpectedRun seeds the limiter's run-time estimate before any
+// pipeline run has completed. Cold adaptations are origin-bound, so the
+// seed is deliberately pessimistic.
+const DefaultExpectedRun = 500 * time.Millisecond
+
+// LimiterConfig tunes a Limiter.
+type LimiterConfig struct {
+	// MaxConcurrent is the number of adaptation pipelines allowed to run
+	// at once (required, > 0).
+	MaxConcurrent int
+	// QueueLen bounds how many requests may wait for a slot. 0 defaults
+	// to 4×MaxConcurrent; negative disables queueing (shed immediately
+	// when all slots are busy).
+	QueueLen int
+	// ExpectedRun seeds the average-run-time estimate used for deadline
+	// shedding and Retry-After hints until real runs are observed.
+	// 0 uses DefaultExpectedRun.
+	ExpectedRun time.Duration
+}
+
+// waiter is one queued request.
+type waiter struct {
+	ready    chan struct{} // closed on admission
+	admitted bool
+}
+
+// Limiter is a bounded adaptation-concurrency limiter with a
+// deadline-aware FIFO wait queue. Safe for concurrent use.
+type Limiter struct {
+	maxConcurrent int
+	queueLen      int
+
+	mu     sync.Mutex
+	active int
+	queue  []*waiter
+	// avgRun is the EWMA of completed run durations, the basis of
+	// estimateWait.
+	avgRun time.Duration
+
+	depth *obs.Gauge // msite_admission_queue_depth
+	shed  func(reason string)
+}
+
+// NewLimiter builds a limiter from cfg.
+func NewLimiter(cfg LimiterConfig) (*Limiter, error) {
+	if cfg.MaxConcurrent <= 0 {
+		return nil, errors.New("admission: MaxConcurrent must be > 0")
+	}
+	queueLen := cfg.QueueLen
+	if queueLen == 0 {
+		queueLen = 4 * cfg.MaxConcurrent
+	}
+	if queueLen < 0 {
+		queueLen = 0
+	}
+	expected := cfg.ExpectedRun
+	if expected <= 0 {
+		expected = DefaultExpectedRun
+	}
+	return &Limiter{
+		maxConcurrent: cfg.MaxConcurrent,
+		queueLen:      queueLen,
+		avgRun:        expected,
+		shed:          func(string) {},
+	}, nil
+}
+
+// SetObs registers the limiter's queue-depth gauge and shed counter on
+// reg.
+func (l *Limiter) SetObs(reg *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.depth = reg.Gauge("msite_admission_queue_depth")
+	l.shed = func(reason string) {
+		reg.Counter("msite_admission_shed_total", "reason", reason).Inc()
+	}
+}
+
+// Acquire admits one pipeline run, waiting in the bounded queue when all
+// slots are busy. The returned release func must be called exactly once
+// when the run finishes. A request that cannot start before ctx's
+// deadline — on arrival or while queued — is shed with a *ShedError.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	l.mu.Lock()
+	if l.active < l.maxConcurrent && len(l.queue) == 0 {
+		l.active++
+		l.mu.Unlock()
+		return l.releaser(time.Now()), nil
+	}
+	pos := len(l.queue)
+	if pos >= l.queueLen {
+		retry := estimateWait(pos, l.maxConcurrent, l.avgRun)
+		l.mu.Unlock()
+		l.shed(ReasonQueueFull)
+		return nil, &ShedError{Reason: ReasonQueueFull, RetryAfter: retry}
+	}
+	wait := estimateWait(pos, l.maxConcurrent, l.avgRun)
+	if dl, ok := ctx.Deadline(); ok && time.Now().Add(wait).After(dl) {
+		l.mu.Unlock()
+		l.shed(ReasonDeadline)
+		return nil, &ShedError{Reason: ReasonDeadline, RetryAfter: wait}
+	}
+	w := &waiter{ready: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	l.setDepthLocked()
+	l.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return l.releaser(time.Now()), nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		if w.admitted {
+			// Lost the race: the slot was already handed to us. Give it
+			// back so the queue keeps draining.
+			l.releaseLocked(0)
+			l.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		l.removeLocked(w)
+		retry := estimateWait(0, l.maxConcurrent, l.avgRun)
+		l.mu.Unlock()
+		l.shed(ReasonDeadline)
+		return nil, &ShedError{Reason: ReasonDeadline, RetryAfter: retry}
+	}
+}
+
+// releaser returns the once-only release func for an admitted run.
+func (l *Limiter) releaser(start time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			l.releaseLocked(time.Since(start))
+			l.mu.Unlock()
+		})
+	}
+}
+
+// releaseLocked frees one slot, folds the run duration into the EWMA,
+// and admits the queue head.
+func (l *Limiter) releaseLocked(ran time.Duration) {
+	l.active--
+	if ran > 0 {
+		// EWMA with α = 1/4: responsive to load shifts, stable under
+		// jitter.
+		l.avgRun = (3*l.avgRun + ran) / 4
+	}
+	for l.active < l.maxConcurrent && len(l.queue) > 0 {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		w.admitted = true
+		l.active++
+		close(w.ready)
+	}
+	l.setDepthLocked()
+}
+
+// removeLocked drops a waiter that gave up (deadline or disconnect).
+func (l *Limiter) removeLocked(w *waiter) {
+	for i, q := range l.queue {
+		if q == w {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			break
+		}
+	}
+	l.setDepthLocked()
+}
+
+func (l *Limiter) setDepthLocked() {
+	if l.depth != nil {
+		l.depth.Set(float64(len(l.queue)))
+	}
+}
+
+// QueueDepth returns the number of requests currently waiting.
+func (l *Limiter) QueueDepth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue)
+}
+
+// Active returns the number of admitted runs in flight.
+func (l *Limiter) Active() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.active
+}
+
+// Controller bundles the proxy's admission machinery: the pipeline
+// concurrency limiter and the per-client rate limiter. Either may be
+// absent (nil Controller, or a Controller with only one of them, means
+// that dimension is unlimited). One Controller is shared by every site
+// of a MultiProxy — capacity is a property of the process, not a page.
+type Controller struct {
+	limiter *Limiter
+	rate    *RateLimiter
+}
+
+// Config wires a Controller.
+type Config struct {
+	// MaxConcurrent bounds concurrent adaptation pipelines. 0 disables
+	// the concurrency limiter.
+	MaxConcurrent int
+	// QueueLen bounds the admission wait queue (see LimiterConfig).
+	QueueLen int
+	// ExpectedRun seeds the run-time estimate (see LimiterConfig).
+	ExpectedRun time.Duration
+	// RatePerSec is the per-client steady-state request rate. 0 disables
+	// rate limiting.
+	RatePerSec float64
+	// Burst is the per-client token bucket depth. 0 derives a burst of
+	// max(5, 2×RatePerSec).
+	Burst float64
+}
+
+// NewController builds a Controller; a zero Config returns one that
+// admits everything.
+func NewController(cfg Config) (*Controller, error) {
+	c := &Controller{}
+	if cfg.MaxConcurrent > 0 {
+		l, err := NewLimiter(LimiterConfig{
+			MaxConcurrent: cfg.MaxConcurrent,
+			QueueLen:      cfg.QueueLen,
+			ExpectedRun:   cfg.ExpectedRun,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.limiter = l
+	}
+	if cfg.RatePerSec > 0 {
+		c.rate = NewRateLimiter(cfg.RatePerSec, cfg.Burst)
+	}
+	return c, nil
+}
+
+// SetObs registers the controller's metrics on reg.
+func (c *Controller) SetObs(reg *obs.Registry) {
+	if c == nil {
+		return
+	}
+	if c.limiter != nil {
+		c.limiter.SetObs(reg)
+	}
+	if c.rate != nil {
+		c.rate.SetObs(reg)
+	}
+}
+
+// Acquire admits one pipeline run (see Limiter.Acquire). A nil
+// Controller or one without a limiter admits immediately.
+func (c *Controller) Acquire(ctx context.Context) (func(), error) {
+	if c == nil || c.limiter == nil {
+		return func() {}, nil
+	}
+	return c.limiter.Acquire(ctx)
+}
+
+// AllowClient spends one token from the client's bucket. A nil
+// Controller or one without a rate limiter always allows.
+func (c *Controller) AllowClient(key string) (ok bool, retryAfter time.Duration) {
+	if c == nil || c.rate == nil {
+		return true, 0
+	}
+	return c.rate.Allow(key)
+}
+
+// Limiter exposes the concurrency limiter (nil when disabled).
+func (c *Controller) Limiter() *Limiter {
+	if c == nil {
+		return nil
+	}
+	return c.limiter
+}

@@ -7,6 +7,7 @@
 package ajax
 
 import (
+	"context"
 	"fmt"
 	"regexp"
 	"strconv"
@@ -176,13 +177,19 @@ func NewDispatcher(actions []spec.Action, c *cache.Cache) (*Dispatcher, error) {
 // return the HTML fragment bytes. Shared fragments are cached across
 // clients per the action's TTL.
 func (d *Dispatcher) Dispatch(f *fetch.Fetcher, id int, p string) ([]byte, error) {
+	return d.DispatchContext(context.Background(), f, id, p)
+}
+
+// DispatchContext is Dispatch bound to a caller deadline/cancellation:
+// the origin fetch behind the action aborts when ctx ends.
+func (d *Dispatcher) DispatchContext(ctx context.Context, f *fetch.Fetcher, id int, p string) ([]byte, error) {
 	ca, ok := d.actions[id]
 	if !ok {
 		return nil, fmt.Errorf("ajax: unknown action %d", id)
 	}
 	target := substituteParam(ca.spec.Target, p)
 	fill := func() (cache.Entry, error) {
-		page, err := f.Get(target)
+		page, err := f.GetContext(ctx, target)
 		if err != nil {
 			return cache.Entry{}, fmt.Errorf("ajax: action %d fetch: %w", id, err)
 		}

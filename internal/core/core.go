@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"time"
 
+	"msite/internal/admission"
 	"msite/internal/cache"
 	"msite/internal/fetch"
 	"msite/internal/gen"
@@ -74,6 +75,41 @@ type Config struct {
 	// servable under ServeStale (the -stale-for knob). 0 uses
 	// proxy.DefaultStaleFor.
 	StaleFor time.Duration
+	// MaxConcurrentAdaptations bounds how many adaptation pipelines run
+	// at once (the -max-concurrent-adaptations knob); excess requests
+	// wait in a bounded, deadline-aware queue and are shed with 503 +
+	// Retry-After past it. 0 disables admission control.
+	MaxConcurrentAdaptations int
+	// AdmissionQueue is the wait-queue length behind the concurrency
+	// limit (the -admission-queue knob). 0 defaults to 4× the
+	// concurrency; negative means no queue (shed immediately when all
+	// slots are busy).
+	AdmissionQueue int
+	// RateLimit is the per-client request budget in requests/second (the
+	// -rate-limit knob); clients past their token bucket get 429 +
+	// Retry-After. 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket depth behind RateLimit. 0 defaults
+	// to max(5, 2×RateLimit).
+	RateBurst float64
+	// MaxSessions caps live sessions (the -max-sessions knob); past it,
+	// first contacts are shed with 503 + Retry-After instead of
+	// allocating session state. 0 means uncapped.
+	MaxSessions int
+}
+
+// admissionController maps the Config knobs onto an admission
+// controller; nil (admit everything) when no knob is set.
+func (cfg Config) admissionController() (*admission.Controller, error) {
+	if cfg.MaxConcurrentAdaptations <= 0 && cfg.RateLimit <= 0 {
+		return nil, nil
+	}
+	return admission.NewController(admission.Config{
+		MaxConcurrent: cfg.MaxConcurrentAdaptations,
+		QueueLen:      cfg.AdmissionQueue,
+		RatePerSec:    cfg.RateLimit,
+		Burst:         cfg.RateBurst,
+	})
 }
 
 // cacheOptions maps the Config knobs onto the cache.
@@ -134,9 +170,14 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
+	sessions.SetLimit(cfg.MaxSessions)
 	reg := cfg.Obs
 	if reg == nil {
 		reg = obs.NewRegistry()
+	}
+	adm, err := cfg.admissionController()
+	if err != nil {
+		return nil, err
 	}
 	sharedCache := cache.NewWithOptions(cfg.cacheOptions())
 	sharedCache.SetObs(reg)
@@ -153,6 +194,7 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 		RasterWorkers: cfg.RasterWorkers,
 		ServeStale:    cfg.ServeStale,
 		StaleFor:      cfg.StaleFor,
+		Admission:     adm,
 	})
 	if err != nil {
 		sharedCache.Close()
@@ -183,9 +225,14 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 	if err != nil {
 		return nil, err
 	}
+	sessions.SetLimit(cfg.MaxSessions)
 	reg := cfg.Obs
 	if reg == nil {
 		reg = obs.NewRegistry()
+	}
+	adm, err := cfg.admissionController()
+	if err != nil {
+		return nil, err
 	}
 	sharedCache := cache.NewWithOptions(cfg.cacheOptions())
 	sharedCache.SetObs(reg)
@@ -202,6 +249,7 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 		RasterWorkers: cfg.RasterWorkers,
 		ServeStale:    cfg.ServeStale,
 		StaleFor:      cfg.StaleFor,
+		Admission:     adm,
 	})
 	if err != nil {
 		sharedCache.Close()

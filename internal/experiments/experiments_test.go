@@ -205,3 +205,40 @@ func TestErrorPropagation(t *testing.T) {
 		t.Fatal("dead origin accepted")
 	}
 }
+
+// TestOverloadScenario runs the PR's overload chaos bench with tiny
+// budgets: the flash crowd must coalesce to one pipeline run and every
+// admission invariant must hold.
+func TestOverloadScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Overload(OverloadConfig{
+		Crowd:         4,
+		ExtraSites:    3,
+		MaxConcurrent: 1,
+		QueueLen:      1,
+		RateLimit:     5,
+		RateBurst:     15, // roomy enough for the cookieless phases' shared address bucket
+		Hammer:        40,
+		CapSlack:      1,
+		CapProbes:     3,
+		OriginLatency: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.CrowdAdaptations != 1 {
+		t.Fatalf("crowd ran %.0f adaptations, want 1", rep.CrowdAdaptations)
+	}
+	if rep.Squeeze503 == 0 || rep.Hammer429 == 0 || rep.Cap503 == 0 {
+		t.Fatalf("missing sheds: squeeze=%d hammer=%d cap=%d",
+			rep.Squeeze503, rep.Hammer429, rep.Cap503)
+	}
+	if !strings.Contains(FormatOverload(rep), "flash crowd") {
+		t.Fatal("format wrong")
+	}
+}

@@ -1,0 +1,430 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"msite/internal/core"
+	"msite/internal/obs"
+	"msite/internal/origin"
+	"msite/internal/spec"
+)
+
+// OverloadConfig tunes the overload chaos scenario; the zero value
+// reproduces the PR's acceptance run: a flash crowd on one cold page, a
+// capacity squeeze across several pages, a per-client hammer, and a
+// session-cap probe, against a proxy with tight admission budgets.
+type OverloadConfig struct {
+	// Crowd is the flash-crowd size on the first (cold) site
+	// (default 12).
+	Crowd int
+	// ExtraSites is how many additional cold sites fight for pipeline
+	// slots in the capacity phase (default 6).
+	ExtraSites int
+	// MaxConcurrent and QueueLen are the proxy's admission budgets
+	// (defaults 2 and 2) — deliberately smaller than ExtraSites so the
+	// squeeze must shed.
+	MaxConcurrent int
+	QueueLen      int
+	// RateLimit and RateBurst are the per-client budgets (defaults 50/s
+	// and 100) — generous enough for the crowd, tight enough that the
+	// hammer phase trips them.
+	RateLimit float64
+	RateBurst float64
+	// Hammer is how many back-to-back requests the hammer client fires
+	// (default 150, past RateBurst).
+	Hammer int
+	// CapSlack is how many sessions past the phases' own the -max-sessions
+	// cap allows; CapProbes fresh clients then probe it (defaults 3 and 8).
+	CapSlack  int
+	CapProbes int
+	// OriginLatency is the injected origin round-trip (default 120 ms) —
+	// what makes cold builds slow enough to overlap and queue.
+	OriginLatency time.Duration
+	// P99Budget bounds the 99th-percentile request latency across every
+	// phase (default 10 s). Shed requests must be fast; queued requests
+	// must be bounded by the queue, not hang.
+	P99Budget time.Duration
+	// GoroutineSlack is the allowed growth in runtime goroutines after
+	// the storm settles (default 50).
+	GoroutineSlack int
+}
+
+func (cfg OverloadConfig) withDefaults() OverloadConfig {
+	if cfg.Crowd <= 0 {
+		cfg.Crowd = 12
+	}
+	if cfg.ExtraSites <= 0 {
+		cfg.ExtraSites = 6
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 2
+	}
+	if cfg.RateLimit <= 0 {
+		cfg.RateLimit = 50
+	}
+	if cfg.RateBurst <= 0 {
+		cfg.RateBurst = 100
+	}
+	if cfg.Hammer <= 0 {
+		cfg.Hammer = 150
+	}
+	if cfg.CapSlack <= 0 {
+		cfg.CapSlack = 3
+	}
+	if cfg.CapProbes <= 0 {
+		cfg.CapProbes = 8
+	}
+	if cfg.OriginLatency <= 0 {
+		cfg.OriginLatency = 120 * time.Millisecond
+	}
+	if cfg.P99Budget <= 0 {
+		cfg.P99Budget = 10 * time.Second
+	}
+	if cfg.GoroutineSlack <= 0 {
+		cfg.GoroutineSlack = 50
+	}
+	return cfg
+}
+
+// OverloadReport is the PR's overload record (BENCH_PR4.json).
+type OverloadReport struct {
+	Crowd         int     `json:"crowd"`
+	ExtraSites    int     `json:"extra_sites"`
+	MaxConcurrent int     `json:"max_concurrent"`
+	QueueLen      int     `json:"queue_len"`
+	RateLimit     float64 `json:"rate_limit_per_sec"`
+	OriginLatMS   float64 `json:"origin_latency_ms"`
+
+	CrowdOK          int     `json:"crowd_ok"`
+	CrowdAdaptations float64 `json:"crowd_adaptations"`
+	Coalesced        float64 `json:"coalesced_total"`
+
+	SqueezeOK   int `json:"squeeze_ok"`
+	Squeeze503  int `json:"squeeze_503"`
+	SqueezeHang int `json:"squeeze_hang"`
+
+	Hammer429        int     `json:"hammer_429"`
+	RateLimitRejects float64 `json:"ratelimit_rejects_total"`
+
+	CapOK   int `json:"session_cap_ok"`
+	Cap503  int `json:"session_cap_503"`
+	CapLive int `json:"sessions_live"`
+
+	ShedByReason map[string]float64 `json:"shed_by_reason"`
+
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+
+	GoroutinesBefore int `json:"goroutines_before"`
+	GoroutinesAfter  int `json:"goroutines_after"`
+
+	// Violations are failed invariants; a clean run has none and the
+	// bench exits nonzero otherwise.
+	Violations []string `json:"violations"`
+}
+
+// Overload drives the admission-control tier through a four-phase storm
+// and checks its invariants: a flash crowd coalesces to one pipeline
+// run, a capacity squeeze sheds 503 + Retry-After instead of hanging, a
+// hammering client is rate limited with 429, the session cap refuses
+// state allocation past it, latency stays bounded, and the process does
+// not leak goroutines.
+func Overload(cfg OverloadConfig) (*OverloadReport, error) {
+	cfg = cfg.withDefaults()
+
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(LatencyHandler(forum.Handler(), cfg.OriginLatency))
+	defer originSrv.Close()
+
+	dir, err := os.MkdirTemp("", "msite-overload-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	// One spec per site: s0 takes the flash crowd, s1..sN fight for
+	// pipeline slots. Coalescing is per page, capacity is per process.
+	nSites := 1 + cfg.ExtraSites
+	specs := make([]*spec.Spec, nSites)
+	for i := range specs {
+		sp := *SpecForForum(originSrv.URL)
+		sp.Name = "s" + strconv.Itoa(i)
+		specs[i] = &sp
+	}
+	expectedSessions := cfg.Crowd + cfg.ExtraSites + 1 // phases A + B + hammer client
+	fw, err := core.NewMulti(specs, core.Config{
+		SessionRoot:              dir,
+		FetchTimeout:             30 * time.Second,
+		MaxConcurrentAdaptations: cfg.MaxConcurrent,
+		AdmissionQueue:           cfg.QueueLen,
+		RateLimit:                cfg.RateLimit,
+		RateBurst:                cfg.RateBurst,
+		MaxSessions:              expectedSessions + cfg.CapSlack,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fw.Close()
+	proxySrv := httptest.NewServer(fw.Handler())
+	defer proxySrv.Close()
+
+	rep := &OverloadReport{
+		Crowd:         cfg.Crowd,
+		ExtraSites:    cfg.ExtraSites,
+		MaxConcurrent: cfg.MaxConcurrent,
+		QueueLen:      cfg.QueueLen,
+		RateLimit:     cfg.RateLimit,
+		OriginLatMS:   float64(cfg.OriginLatency) / float64(time.Millisecond),
+		ShedByReason:  map[string]float64{},
+	}
+	violate := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+
+	runtime.GC()
+	rep.GoroutinesBefore = runtime.NumGoroutine()
+
+	var (
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	// get performs one timed request and enforces the never-hang
+	// invariant: every response must arrive (shed or served) and every
+	// shed must carry a Retry-After hint.
+	get := func(client *http.Client, path string) (int, error) {
+		start := time.Now()
+		resp, err := client.Get(proxySrv.URL + path)
+		latMu.Lock()
+		latencies = append(latencies, time.Since(start))
+		latMu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+				violate("%d response without usable Retry-After (%q)", resp.StatusCode, resp.Header.Get("Retry-After"))
+			}
+		}
+		return resp.StatusCode, nil
+	}
+
+	// Phase A — flash crowd: Crowd cookieless clients storm the cold s0
+	// page at once. Coalescing must collapse them to ONE pipeline run.
+	var wg sync.WaitGroup
+	statuses := make([]int, cfg.Crowd)
+	for i := 0; i < cfg.Crowd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: time.Minute}
+			code, err := get(client, "/p/s0/")
+			if err != nil {
+				violate("crowd client %d: %v", i, err)
+				return
+			}
+			statuses[i] = code
+		}(i)
+	}
+	wg.Wait()
+	for _, code := range statuses {
+		if code == http.StatusOK {
+			rep.CrowdOK++
+		}
+	}
+	snap := fw.Obs().Snapshot()
+	for _, c := range snap.Counters {
+		if c.Name == "msite_proxy_adaptations_total" && labelIs(c.Labels, "site", "s0") {
+			rep.CrowdAdaptations += float64(c.Value)
+		}
+	}
+	rep.Coalesced = counterSum(snap, "msite_admission_coalesced_total")
+	if rep.CrowdOK != cfg.Crowd {
+		violate("flash crowd: %d/%d served 200", rep.CrowdOK, cfg.Crowd)
+	}
+	if rep.CrowdAdaptations != 1 {
+		violate("flash crowd ran %.0f pipeline executions, want exactly 1 (coalescing)", rep.CrowdAdaptations)
+	}
+
+	// Phase B — capacity squeeze: one cold client per extra site, all at
+	// once, against MaxConcurrent slots + QueueLen queue. The overflow
+	// must shed 503 fast, never hang.
+	squeezeCodes := make([]int, cfg.ExtraSites)
+	for i := 0; i < cfg.ExtraSites; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: time.Minute}
+			code, err := get(client, "/p/s"+strconv.Itoa(i+1)+"/")
+			if err != nil {
+				rep.SqueezeHang++
+				violate("squeeze client %d: %v", i, err)
+				return
+			}
+			squeezeCodes[i] = code
+		}(i)
+	}
+	wg.Wait()
+	for _, code := range squeezeCodes {
+		switch code {
+		case http.StatusOK:
+			rep.SqueezeOK++
+		case http.StatusServiceUnavailable:
+			rep.Squeeze503++
+		}
+	}
+	if rep.SqueezeOK+rep.Squeeze503 != cfg.ExtraSites {
+		violate("squeeze: %d OK + %d shed != %d clients", rep.SqueezeOK, rep.Squeeze503, cfg.ExtraSites)
+	}
+	if cfg.ExtraSites > cfg.MaxConcurrent+cfg.QueueLen && rep.Squeeze503 == 0 {
+		violate("squeeze past capacity shed nothing")
+	}
+
+	// Phase C — hammer: one session-cookied client fires Hammer requests
+	// back to back; past the burst it must see 429s.
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return nil, err
+	}
+	hammer := &http.Client{Jar: jar, Timeout: time.Minute}
+	if _, err := get(hammer, "/p/s0/"); err != nil { // pick up a session cookie
+		return nil, err
+	}
+	for i := 0; i < cfg.Hammer; i++ {
+		code, err := get(hammer, "/p/s0/stats")
+		if err != nil {
+			return nil, err
+		}
+		if code == http.StatusTooManyRequests {
+			rep.Hammer429++
+		}
+	}
+	if rep.Hammer429 == 0 {
+		violate("hammer of %d requests past burst %.0f saw no 429", cfg.Hammer, cfg.RateBurst)
+	}
+
+	// Phase D — session cap: fresh cookieless clients past -max-sessions
+	// must be refused before any session state is allocated.
+	for i := 0; i < cfg.CapProbes; i++ {
+		client := &http.Client{Timeout: time.Minute}
+		code, err := get(client, "/p/s0/")
+		if err != nil {
+			return nil, err
+		}
+		switch code {
+		case http.StatusOK:
+			rep.CapOK++
+		case http.StatusServiceUnavailable:
+			rep.Cap503++
+		}
+	}
+	rep.CapLive = fw.Sessions().Len()
+	if rep.Cap503 == 0 {
+		violate("session-cap probe of %d clients past the cap saw no 503", cfg.CapProbes)
+	}
+	if limit := expectedSessions + cfg.CapSlack; rep.CapLive > limit {
+		violate("sessions live = %d, cap %d", rep.CapLive, limit)
+	}
+
+	// Latency across every phase: sheds are fast, queued work is bounded
+	// by the queue — nothing approaches a hang.
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return float64(latencies[int(p*float64(len(latencies)-1))]) / float64(time.Millisecond)
+	}
+	rep.P50MS = pct(0.50)
+	rep.P99MS = pct(0.99)
+	if budget := float64(cfg.P99Budget) / float64(time.Millisecond); rep.P99MS > budget {
+		violate("p99 %.0f ms exceeds budget %.0f ms", rep.P99MS, budget)
+	}
+
+	// The storm is over: goroutines must come back down (no leaked
+	// waiters, watchers, or builds). Drop the client side's idle
+	// keep-alive connections so only server-side leaks would show.
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		rep.GoroutinesAfter = runtime.NumGoroutine()
+		if rep.GoroutinesAfter <= rep.GoroutinesBefore+cfg.GoroutineSlack || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if rep.GoroutinesAfter > rep.GoroutinesBefore+cfg.GoroutineSlack {
+		violate("goroutines grew %d -> %d (slack %d)", rep.GoroutinesBefore, rep.GoroutinesAfter, cfg.GoroutineSlack)
+	}
+
+	snap = fw.Obs().Snapshot()
+	rep.RateLimitRejects = counterSum(snap, "msite_ratelimit_rejects_total")
+	for _, c := range snap.Counters {
+		if c.Name == "msite_admission_shed_total" {
+			rep.ShedByReason[labelValueOf(c.Labels, "reason")] += float64(c.Value)
+		}
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == "msite_admission_queue_depth" && g.Value != 0 {
+			violate("admission queue depth = %v after the storm, want 0", g.Value)
+		}
+	}
+	return rep, nil
+}
+
+// FormatOverload renders the overload report like the other experiment
+// tables.
+func FormatOverload(rep *OverloadReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Overload protection (%d-client flash crowd, %d sites vs %d slots + %d queue, %.0f req/s per client, %.0f ms origin)\n",
+		rep.Crowd, rep.ExtraSites+1, rep.MaxConcurrent, rep.QueueLen, rep.RateLimit, rep.OriginLatMS)
+	fmt.Fprintf(&b, "flash crowd: %d/%d served, %.0f pipeline run(s), %.0f coalesced\n",
+		rep.CrowdOK, rep.Crowd, rep.CrowdAdaptations, rep.Coalesced)
+	fmt.Fprintf(&b, "capacity squeeze: %d served, %d shed 503, %d hung\n",
+		rep.SqueezeOK, rep.Squeeze503, rep.SqueezeHang)
+	fmt.Fprintf(&b, "rate limit: %d of the hammer's requests answered 429 (%.0f rejects total)\n",
+		rep.Hammer429, rep.RateLimitRejects)
+	fmt.Fprintf(&b, "session cap: %d admitted, %d refused, %d live sessions\n",
+		rep.CapOK, rep.Cap503, rep.CapLive)
+	fmt.Fprintf(&b, "latency: p50 %.0f ms, p99 %.0f ms; goroutines %d -> %d\n",
+		rep.P50MS, rep.P99MS, rep.GoroutinesBefore, rep.GoroutinesAfter)
+	if len(rep.Violations) == 0 {
+		fmt.Fprintf(&b, "invariants: all held\n")
+	} else {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(&b, "VIOLATION: %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// labelIs reports whether labels carries key=value.
+func labelIs(labels []obs.Label, key, value string) bool {
+	return labelValueOf(labels, key) == value
+}
+
+// labelValueOf returns the value of key in labels ("" when absent).
+func labelValueOf(labels []obs.Label, key string) string {
+	for _, l := range labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}

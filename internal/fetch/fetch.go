@@ -361,16 +361,21 @@ func (f *Fetcher) attempt(ctx context.Context, rawURL string) (*Page, error) {
 // PostForm submits a form to the origin (used to marshal login
 // interactions through the proxy).
 func (f *Fetcher) PostForm(rawURL string, form url.Values) (*Page, error) {
+	return f.PostFormContext(context.Background(), rawURL, form)
+}
+
+// PostFormContext is PostForm bound to a caller deadline/cancellation.
+func (f *Fetcher) PostFormContext(ctx context.Context, rawURL string, form url.Values) (*Page, error) {
 	start := time.Now()
-	page, err := f.postForm(rawURL, form)
+	page, err := f.postForm(ctx, rawURL, form)
 	f.record(start, err)
 	return page, err
 }
 
 // postForm never retries (form submission is not idempotent) but still
 // consults the origin's breaker and returns typed failures.
-func (f *Fetcher) postForm(rawURL string, form url.Values) (*Page, error) {
-	req, err := http.NewRequest(http.MethodPost, rawURL, strings.NewReader(form.Encode()))
+func (f *Fetcher) postForm(ctx context.Context, rawURL string, form url.Values) (*Page, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rawURL, strings.NewReader(form.Encode()))
 	if err != nil {
 		return nil, fmt.Errorf("fetch: building POST for %s: %w", rawURL, err)
 	}
@@ -529,6 +534,12 @@ func (f *Fetcher) GetWithResources(rawURL string) (*PageLoad, error) {
 // and the mobile client is spared the extra request. Sheets that fail to
 // fetch are left as links. Returns how many sheets were inlined.
 func (f *Fetcher) InlineStylesheets(doc *dom.Node, base string) (int, error) {
+	return f.InlineStylesheetsContext(context.Background(), doc, base)
+}
+
+// InlineStylesheetsContext is InlineStylesheets bound to a caller
+// deadline/cancellation (the sheet downloads abort when ctx ends).
+func (f *Fetcher) InlineStylesheetsContext(ctx context.Context, doc *dom.Node, base string) (int, error) {
 	baseURL, err := url.Parse(base)
 	if err != nil {
 		return 0, fmt.Errorf("fetch: bad base URL %q: %w", base, err)
@@ -555,7 +566,7 @@ func (f *Fetcher) InlineStylesheets(doc *dom.Node, base string) (int, error) {
 		sheetURLs = append(sheetURLs, abs.String())
 	}
 	inlined := 0
-	for i, res := range f.FetchAll(sheetURLs, 0) {
+	for i, res := range f.FetchAllContext(ctx, sheetURLs, 0) {
 		link := links[i]
 		if res.Err != nil {
 			continue // degrade: keep the link

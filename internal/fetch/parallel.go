@@ -1,6 +1,7 @@
 package fetch
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +29,14 @@ type Result struct {
 // count is exported as the msite_fetch_concurrent gauge when the
 // Fetcher carries an obs registry.
 func (f *Fetcher) FetchAll(urls []string, workers int) []Result {
+	return f.FetchAllContext(context.Background(), urls, workers)
+}
+
+// FetchAllContext is FetchAll bound to a caller deadline/cancellation:
+// when ctx ends, in-flight requests abort and queued URLs fail fast with
+// ctx's error instead of being attempted — a disconnected client stops
+// costing the origin anything.
+func (f *Fetcher) FetchAllContext(ctx context.Context, urls []string, workers int) []Result {
 	results := make([]Result, len(urls))
 	if len(urls) == 0 {
 		return results
@@ -43,7 +52,11 @@ func (f *Fetcher) FetchAll(urls []string, workers int) []Result {
 	}
 	if workers == 1 {
 		for i, u := range urls {
-			page, err := f.Get(u)
+			if err := ctx.Err(); err != nil {
+				results[i] = Result{URL: u, Err: err}
+				continue
+			}
+			page, err := f.GetContext(ctx, u)
 			results[i] = Result{URL: u, Page: page, Err: err}
 		}
 		return results
@@ -61,10 +74,14 @@ func (f *Fetcher) FetchAll(urls []string, workers int) []Result {
 				if i >= len(urls) {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{URL: urls[i], Err: err}
+					continue
+				}
 				if inflight != nil {
 					inflight.Add(1)
 				}
-				page, err := f.Get(urls[i])
+				page, err := f.GetContext(ctx, urls[i])
 				if inflight != nil {
 					inflight.Add(-1)
 				}

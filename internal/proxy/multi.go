@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"msite/internal/admission"
 	"msite/internal/cache"
 	"msite/internal/fetch"
 	"msite/internal/obs"
@@ -53,6 +54,10 @@ type MultiConfig struct {
 	// site (see Config).
 	ServeStale bool
 	StaleFor   time.Duration
+	// Admission is the overload-protection controller, shared by every
+	// site: one concurrency budget and one per-client rate limit cover
+	// the whole server, not each page separately. Nil admits everything.
+	Admission *admission.Controller
 }
 
 // NewMulti builds the composite proxy.
@@ -90,6 +95,7 @@ func NewMulti(cfg MultiConfig) (*MultiProxy, error) {
 			WriteWorkers:  cfg.WriteWorkers,
 			ServeStale:    cfg.ServeStale,
 			StaleFor:      cfg.StaleFor,
+			Admission:     cfg.Admission,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("proxy: site %q: %w", name, err)

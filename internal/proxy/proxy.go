@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"image"
+	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
@@ -27,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"msite/internal/admission"
 	"msite/internal/ajax"
 	"msite/internal/attr"
 	"msite/internal/cache"
@@ -82,7 +85,17 @@ type Config struct {
 	// servable while a background refresh runs (stale-while-revalidate).
 	// Zero with ServeStale set uses DefaultStaleFor.
 	StaleFor time.Duration
+	// Admission is the overload-protection tier: the adaptation
+	// concurrency limiter and per-client rate limiter. Nil admits
+	// everything (the default, and what most tests use). One controller
+	// is shared across every site of a MultiProxy.
+	Admission *admission.Controller
 }
+
+// SessionCapRetryAfter is the Retry-After hint sent with 503s caused by
+// the -max-sessions cap: sessions free up on the idle-GC timescale, not
+// the pipeline one.
+const SessionCapRetryAfter = 30 * time.Second
 
 // DefaultStaleFor is how long past its TTL a shared snapshot stays
 // servable when ServeStale is on and no StaleFor is configured.
@@ -121,6 +134,11 @@ type Proxy struct {
 	nAdaptations     atomic.Uint64
 	nSnapshotRenders atomic.Uint64
 	nSnapshotHits    atomic.Uint64
+
+	// coalesce collapses concurrent cold adaptations of the same page
+	// across sessions into one pipeline run (admission control tier 2);
+	// personalized sessions bypass it.
+	coalesce *admission.Coalescer[*builtAdaptation]
 
 	mu       sync.Mutex
 	adapted  map[string]*adaptation // by session ID
@@ -182,6 +200,9 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.ServeStale && staleFor <= 0 {
 		staleFor = DefaultStaleFor
 	}
+	if cfg.Admission != nil {
+		cfg.Admission.SetObs(reg)
+	}
 	p := &Proxy{
 		cfg:        cfg,
 		dispatcher: dispatcher,
@@ -193,6 +214,7 @@ func New(cfg Config) (*Proxy, error) {
 		rasterWork: cfg.RasterWorkers,
 		writeWork:  writeWork,
 		staleFor:   staleFor,
+		coalesce:   admission.NewCoalescer[*builtAdaptation](),
 		adapted:    make(map[string]*adaptation),
 		inflight:   make(map[string]chan struct{}),
 	}
@@ -254,6 +276,10 @@ func handlerKind(path string) string {
 }
 
 // statusRecorder captures the response status for metrics and logging.
+// It forwards the optional ResponseWriter interfaces the stdlib sniffs
+// for: Flush (streaming handlers stall behind a recorder that hides
+// http.Flusher) and ReadFrom (the sendfile fast path io.Copy probes
+// for).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -263,6 +289,26 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush implements http.Flusher when the underlying writer does;
+// otherwise it is a no-op rather than a panic.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ReadFrom preserves the underlying writer's io.ReaderFrom fast path
+// (sendfile on *http.response); without it io.Copy falls back to the
+// buffered loop for every recorder-wrapped response.
+func (r *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	if rf, ok := r.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(src)
+	}
+	// Copy through the plain Writer; going through r itself would
+	// recurse into this method forever.
+	return io.Copy(struct{ io.Writer }{r.ResponseWriter}, src)
 }
 
 // ServeHTTP implements http.Handler. Every request is counted, traced
@@ -289,6 +335,16 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ctx, tr := p.obs.StartTrace(r.Context(), kind)
 	r = r.WithContext(ctx)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+
+	if ok, retry := p.allowClient(r); !ok {
+		obs.TraceFrom(ctx).Annotate("shed", admission.ReasonRateLimit)
+		rec.Header().Set("Retry-After", strconv.Itoa(admission.RetryAfterSeconds(retry)))
+		http.Error(rec, "rate limit exceeded, retry later", http.StatusTooManyRequests)
+		d := tr.End()
+		p.obs.Histogram("msite_http_request_seconds", "handler", kind).ObserveDuration(d)
+		p.logRequest(r, tr, kind, rec.status, d)
+		return
+	}
 
 	switch kind {
 	case "entry":
@@ -317,6 +373,50 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.obs.Counter("msite_proxy_errors_total", "handler", kind, "site", site).Inc()
 	}
 	p.logRequest(r, tr, kind, rec.status, d)
+}
+
+// allowClient applies the per-client token bucket (admission control
+// tier 3). Requests from clients with a session cookie are keyed by the
+// cookie value (NATed users stay independent); cookieless first contacts
+// fall back to the remote address.
+func (p *Proxy) allowClient(r *http.Request) (bool, time.Duration) {
+	return p.cfg.Admission.AllowClient(clientKey(r))
+}
+
+// clientKey derives the rate-limit bucket key for a request.
+func clientKey(r *http.Request) string {
+	if c, err := r.Cookie(session.CookieName); err == nil && c.Value != "" {
+		return "s:" + c.Value
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "a:" + r.RemoteAddr
+	}
+	return "a:" + host
+}
+
+// serverError answers a failed request with a generic body: the error
+// detail goes onto the request trace (and, through it, into the
+// structured error log line), never into client-visible bytes.
+func (p *Proxy) serverError(w http.ResponseWriter, r *http.Request, status int, public string, err error) {
+	if err != nil {
+		obs.TraceFrom(r.Context()).Annotate("error", err.Error())
+	}
+	http.Error(w, public, status)
+}
+
+// shedError answers an admission-shed request: 503 (or 429 for rate
+// limiting) with a Retry-After hint and a generic body, counted under
+// msite_admission_shed_total by reason.
+func (p *Proxy) shedError(w http.ResponseWriter, r *http.Request, shed *admission.ShedError, err error) {
+	p.obs.Counter("msite_admission_shed_total", "reason", shed.Reason).Inc()
+	obs.TraceFrom(r.Context()).Annotate("shed", shed.Reason)
+	w.Header().Set("Retry-After", strconv.Itoa(admission.RetryAfterSeconds(shed.RetryAfter)))
+	status := http.StatusServiceUnavailable
+	if shed.Reason == admission.ReasonRateLimit {
+		status = http.StatusTooManyRequests
+	}
+	p.serverError(w, r, status, "server busy, retry later", err)
 }
 
 // logRequest emits the per-request structured log line.
@@ -386,14 +486,18 @@ func (p *Proxy) handleLogin(w http.ResponseWriter, r *http.Request) {
 		passField = "password"
 	}
 	f := fetch.New(sess, p.cfg.FetchOptions...)
-	_, err := f.PostForm(loginCfg.URL, url.Values{
+	_, err := f.PostFormContext(r.Context(), loginCfg.URL, url.Values{
 		userField: {r.FormValue("username")},
 		passField: {r.FormValue("password")},
 	})
 	if err != nil {
-		http.Error(w, "login failed: "+err.Error(), http.StatusForbidden)
+		obs.TraceFrom(r.Context()).Annotate("error", err.Error())
+		http.Error(w, "login failed", http.StatusForbidden)
 		return
 	}
+	// The session now carries a marshaled origin login: its adaptations
+	// are user-specific and must never coalesce with other sessions'.
+	sess.MarkPersonalized()
 	// Re-adapt: the logged-in origin page may differ.
 	p.mu.Lock()
 	delete(p.adapted, sess.ID)
@@ -435,11 +539,20 @@ func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(payload)
 }
 
-// ensureSession wraps session issuance with error reporting.
+// ensureSession wraps session issuance with error reporting. The
+// -max-sessions cap surfaces as a 503 shed with a Retry-After on the
+// session-GC timescale; other failures are generic 500s.
 func (p *Proxy) ensureSession(w http.ResponseWriter, r *http.Request) (*session.Session, bool) {
 	sess, err := p.cfg.Sessions.Ensure(w, r)
 	if err != nil {
-		http.Error(w, "session error: "+err.Error(), http.StatusInternalServerError)
+		if errors.Is(err, session.ErrTooManySessions) {
+			p.shedError(w, r, &admission.ShedError{
+				Reason:     admission.ReasonSessionCap,
+				RetryAfter: SessionCapRetryAfter,
+			}, err)
+			return nil, false
+		}
+		p.serverError(w, r, http.StatusInternalServerError, "session unavailable", err)
 		return nil, false
 	}
 	obs.TraceFrom(r.Context()).Annotate("session", sess.ID)
@@ -462,7 +575,11 @@ func (p *Proxy) ensureAdaptation(ctx context.Context, sess *session.Session, for
 		}
 		if wait, busy := p.inflight[sess.ID]; busy {
 			p.mu.Unlock()
-			<-wait
+			select {
+			case <-wait:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 			force = false // the racing adaptation satisfies a refresh too
 			continue
 		}
@@ -470,7 +587,7 @@ func (p *Proxy) ensureAdaptation(ctx context.Context, sess *session.Session, for
 		p.inflight[sess.ID] = done
 		p.mu.Unlock()
 
-		ad, err := p.adaptSession(ctx, sess)
+		ad, err := p.runAdaptation(ctx, sess)
 
 		p.mu.Lock()
 		delete(p.inflight, sess.ID)
@@ -479,10 +596,6 @@ func (p *Proxy) ensureAdaptation(ctx context.Context, sess *session.Session, for
 			p.adapted[sess.ID] = ad
 		}
 		p.mu.Unlock()
-		if err == nil {
-			p.nAdaptations.Add(1)
-			p.obs.Counter("msite_proxy_adaptations_total", "site", p.cfg.Spec.Name).Inc()
-		}
 		close(done)
 		if err != nil && p.cfg.ServeStale && prev != nil && !isAuthError(err) {
 			// The origin is unreachable but this session was adapted
@@ -505,17 +618,73 @@ func isAuthError(err error) bool {
 	return errors.As(err, &authErr)
 }
 
-// adaptSession runs the fetch → filter → attribute → file-generation
-// pipeline for one session, recording one span per stage (plus an
-// adapt_total envelope) into the request trace and the per-stage latency
-// histograms.
-func (p *Proxy) adaptSession(ctx context.Context, sess *session.Session) (*adaptation, error) {
+// runAdaptation admits one pipeline run through the admission
+// controller and executes it. Anonymous sessions coalesce: a flash
+// crowd of N cold clients on the same page shares one build (one origin
+// fetch, one filter+attr pass, one admission slot) and then installs
+// the shared product into each session's directory. Personalized
+// sessions (stored HTTP auth, marshaled logins) never coalesce — their
+// origin content may differ per user.
+func (p *Proxy) runAdaptation(ctx context.Context, sess *session.Session) (*adaptation, error) {
+	build := func(bctx context.Context) (*builtAdaptation, error) {
+		release, err := p.cfg.Admission.Acquire(bctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return p.buildAdaptation(bctx, fetch.New(sess, p.cfg.FetchOptions...))
+	}
+	var (
+		b         *builtAdaptation
+		coalesced bool
+		err       error
+	)
+	if sess.Personalized() {
+		b, err = build(ctx)
+	} else {
+		b, coalesced, err = p.coalesce.Do(ctx, "adapt:"+p.cfg.Spec.Name, build)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if coalesced {
+		p.obs.Counter("msite_admission_coalesced_total", "site", p.cfg.Spec.Name).Inc()
+		obs.TraceFrom(ctx).Annotate("coalesced", "adaptation")
+	}
+	return p.installAdaptation(sess, b)
+}
+
+// builtAdaptation is the session-independent product of one pipeline
+// run: the subpage set, notes, decoded images, and the serialized files
+// to install under a session directory. One build may be installed into
+// many sessions when cold requests coalesce.
+type builtAdaptation struct {
+	subpages map[string]*attr.Subpage
+	notes    []string
+	images   map[string]image.Image
+	files    []buildFile
+}
+
+// buildFile is one generated file, named relative to a session
+// directory ("pages" or "images").
+type buildFile struct {
+	dir  string
+	name string
+	data []byte
+	kind string
+}
+
+// buildAdaptation runs the fetch → filter → attribute → serialization
+// pipeline, recording one span per stage (plus an adapt_total envelope)
+// into the request trace and the per-stage latency histograms. The
+// origin fetch and every subresource download abort when ctx ends, so a
+// disconnected client stops costing the origin anything.
+func (p *Proxy) buildAdaptation(ctx context.Context, f *fetch.Fetcher) (*builtAdaptation, error) {
 	total := obs.StartSpan(ctx, "adapt_total")
 	defer total.End()
 
-	f := fetch.New(sess, p.cfg.FetchOptions...)
 	sp := obs.StartSpan(ctx, "fetch")
-	page, err := f.Get(p.cfg.Spec.Origin)
+	page, err := f.GetContext(ctx, p.cfg.Spec.Origin)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -543,10 +712,10 @@ func (p *Proxy) adaptSession(ctx context.Context, sess *session.Session) (*adapt
 	// phase over the tidied DOM.
 	sp = obs.StartSpan(ctx, "subres")
 	doc := tidyDoc(src)
-	if _, err := f.InlineStylesheets(doc, page.URL); err != nil {
+	if _, err := f.InlineStylesheetsContext(ctx, doc, page.URL); err != nil {
 		degraded = append(degraded, p.degrade(ctx, "stylesheets", err))
 	}
-	images := fetchImages(f, doc, page.URL)
+	images := fetchImages(ctx, f, doc, page.URL)
 	sp.End()
 	applier := *p.applier // copy: Images are per-fetch
 	applier.Images = images
@@ -571,11 +740,64 @@ func (p *Proxy) adaptSession(ctx context.Context, sess *session.Session) (*adapt
 	}
 	sp.End()
 
-	// Write generated files into the user's protected directory (§3.2:
-	// "All of the files generated during a user's session are stored in
-	// the file system under a (protected) subdirectory").
+	// Serialize the generated files (§3.2: "All of the files generated
+	// during a user's session are stored in the file system under a
+	// (protected) subdirectory"). The serialization (DOM walks) happens
+	// here, once per build; the writes happen per session in
+	// installAdaptation.
 	sp = obs.StartSpan(ctx, "subpage_split")
 	defer sp.End()
+	b := &builtAdaptation{
+		subpages: make(map[string]*attr.Subpage),
+		images:   images,
+	}
+	for _, sub := range result.Subpages {
+		b.subpages[sub.Name] = sub
+		b.files = append(b.files, buildFile{
+			dir:  "pages",
+			name: attr.SubpageFileName(sub.Name),
+			data: attr.SerializeSubpage(sub),
+			kind: "subpage",
+		})
+		if len(sub.ImageData) > 0 {
+			b.files = append(b.files, buildFile{
+				dir:  "images",
+				name: attr.AssetFileName(sub),
+				data: sub.ImageData,
+				kind: "asset",
+			})
+		}
+	}
+	for _, asset := range result.Assets {
+		b.files = append(b.files, buildFile{
+			dir:  "images",
+			name: asset.Name,
+			data: asset.Data,
+			kind: "thumbnail asset",
+		})
+	}
+	// The adapted main document feeds the snapshot; serialize it for the
+	// snapshot render (it excludes split-off objects, matching what the
+	// overlay's regions index).
+	b.files = append(b.files, buildFile{
+		dir:  "pages",
+		name: "main.html",
+		data: pageHTML(result),
+		kind: "main",
+	})
+	b.notes = append(result.Notes, degraded...)
+
+	p.nAdaptations.Add(1)
+	p.obs.Counter("msite_proxy_adaptations_total", "site", p.cfg.Spec.Name).Inc()
+	return b, nil
+}
+
+// installAdaptation writes a built adaptation's files into one
+// session's protected directory. The resulting byte slices are written
+// concurrently by a bounded worker set — subpage counts are small but
+// each write is an independent fsync path, so overlapping them trims
+// the tail of a cold adaptation.
+func (p *Proxy) installAdaptation(sess *session.Session, b *builtAdaptation) (*adaptation, error) {
 	pagesDir, err := sess.SubpageDir()
 	if err != nil {
 		return nil, err
@@ -584,52 +806,23 @@ func (p *Proxy) adaptSession(ctx context.Context, sess *session.Session) (*adapt
 	if err != nil {
 		return nil, err
 	}
-	ad := &adaptation{
-		subpages: make(map[string]*attr.Subpage),
-		when:     time.Now(),
-		images:   images,
-	}
-	// Serialization (DOM walks) stays on this goroutine; the resulting
-	// byte slices are written concurrently by a bounded worker set —
-	// subpage counts are small but each write is an independent fsync
-	// path, so overlapping them trims the tail of a cold adaptation.
-	var jobs []writeJob
-	for _, sub := range result.Subpages {
-		ad.subpages[sub.Name] = sub
-		jobs = append(jobs, writeJob{
-			path: filepath.Join(pagesDir, attr.SubpageFileName(sub.Name)),
-			data: attr.SerializeSubpage(sub),
-			kind: "subpage",
-		})
-		if len(sub.ImageData) > 0 {
-			jobs = append(jobs, writeJob{
-				path: filepath.Join(imagesDir, attr.AssetFileName(sub)),
-				data: sub.ImageData,
-				kind: "asset",
-			})
+	jobs := make([]writeJob, 0, len(b.files))
+	for _, bf := range b.files {
+		dir := pagesDir
+		if bf.dir == "images" {
+			dir = imagesDir
 		}
+		jobs = append(jobs, writeJob{path: filepath.Join(dir, bf.name), data: bf.data, kind: bf.kind})
 	}
-	for _, asset := range result.Assets {
-		jobs = append(jobs, writeJob{
-			path: filepath.Join(imagesDir, asset.Name),
-			data: asset.Data,
-			kind: "thumbnail asset",
-		})
-	}
-	// The adapted main document feeds the snapshot; serialize it for the
-	// snapshot render (it excludes split-off objects, matching what the
-	// overlay's regions index).
-	jobs = append(jobs, writeJob{
-		path: filepath.Join(pagesDir, "main.html"),
-		data: pageHTML(result),
-		kind: "main",
-	})
 	if err := writeFiles(jobs, p.writeWork); err != nil {
 		return nil, err
 	}
-	ad.notes = append(result.Notes, degraded...)
-
-	return ad, nil
+	return &adaptation{
+		subpages: b.subpages,
+		notes:    b.notes,
+		when:     time.Now(),
+		images:   b.images,
+	}, nil
 }
 
 // degrade records one non-fatal pipeline-stage failure: the stage's
@@ -716,7 +909,7 @@ func (p *Proxy) handleEntry(w http.ResponseWriter, r *http.Request) {
 		// No snapshot: serve the adapted main page directly.
 		data, err := os.ReadFile(p.sessionFile(sess, "pages", "main.html"))
 		if err != nil {
-			http.Error(w, "adaptation missing", http.StatusInternalServerError)
+			p.serverError(w, r, http.StatusInternalServerError, "adaptation missing", err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -899,7 +1092,7 @@ func (p *Proxy) handleSubpage(w http.ResponseWriter, r *http.Request, rawName st
 	}
 	data, err := os.ReadFile(p.sessionFile(sess, "pages", attr.SubpageFileName(name)))
 	if err != nil {
-		http.Error(w, "subpage missing", http.StatusInternalServerError)
+		p.serverError(w, r, http.StatusInternalServerError, "subpage missing", err)
 		return
 	}
 	// The pluggable engine hook (§1: "multiple rendering engines to
@@ -913,7 +1106,7 @@ func (p *Proxy) handleSubpage(w http.ResponseWriter, r *http.Request, rawName st
 		}
 		out, err := engine.Render(tidyDoc(string(data)), layout.Viewport{Width: p.width})
 		if err != nil {
-			http.Error(w, "render failed: "+err.Error(), http.StatusInternalServerError)
+			p.serverError(w, r, http.StatusInternalServerError, "render failed", err)
 			return
 		}
 		w.Header().Set("Content-Type", engine.MIME())
@@ -977,9 +1170,9 @@ func (p *Proxy) handleAJAX(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	f := fetch.New(sess, p.cfg.FetchOptions...)
-	data, err := p.dispatcher.Dispatch(f, id, r.URL.Query().Get("p"))
+	data, err := p.dispatcher.DispatchContext(r.Context(), f, id, r.URL.Query().Get("p"))
 	if err != nil {
-		http.Error(w, "action failed: "+err.Error(), http.StatusBadGateway)
+		p.serverError(w, r, http.StatusBadGateway, "action failed", err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -1011,6 +1204,9 @@ func (p *Proxy) handleAuth(w http.ResponseWriter, r *http.Request) {
 			User: r.FormValue("username"),
 			Pass: r.FormValue("password"),
 		})
+		// Stored HTTP credentials make this session's origin view
+		// user-specific; exclude it from cross-session coalescing.
+		sess.MarkPersonalized()
 		http.Redirect(w, r, back, http.StatusSeeOther)
 		return
 	}
@@ -1033,7 +1229,7 @@ func (p *Proxy) handleLogout(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := sess.ClearCookies(); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		p.serverError(w, r, http.StatusInternalServerError, "logout failed", err)
 		return
 	}
 	p.mu.Lock()
@@ -1042,9 +1238,11 @@ func (p *Proxy) handleLogout(w http.ResponseWriter, r *http.Request) {
 	http.Redirect(w, r, p.prefix+"/", http.StatusSeeOther)
 }
 
-// fetchError maps origin failures: auth challenges redirect to the
-// lightweight auth page; everything else is a gateway error (§3.2 "any
-// error handling should the page be unavailable").
+// fetchError maps adaptation failures: auth challenges redirect to the
+// lightweight auth page, admission sheds become 503 + Retry-After, and
+// everything else is a gateway error (§3.2 "any error handling should
+// the page be unavailable") with a generic body — the detail lands on
+// the trace and in the error log, never in the response.
 func (p *Proxy) fetchError(w http.ResponseWriter, r *http.Request, err error) {
 	var authErr *fetch.AuthRequiredError
 	if errors.As(err, &authErr) {
@@ -1058,7 +1256,11 @@ func (p *Proxy) fetchError(w http.ResponseWriter, r *http.Request, err error) {
 			http.StatusSeeOther)
 		return
 	}
-	http.Error(w, "origin unavailable: "+err.Error(), http.StatusBadGateway)
+	if shed, ok := admission.IsShed(err); ok {
+		p.shedError(w, r, shed, err)
+		return
+	}
+	p.serverError(w, r, http.StatusBadGateway, "origin unavailable", err)
 }
 
 func (p *Proxy) sessionFile(sess *session.Session, sub, name string) string {

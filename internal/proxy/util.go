@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"image"
 	"net/url"
 	"strings"
@@ -36,10 +37,11 @@ const maxRenderImages = 48
 // fetchImages downloads and decodes the images a render of doc needs,
 // keyed by the src attribute value as written (the key the rasterizer
 // looks up). Discovery walks the DOM once, the downloads run through
-// the fetcher's bounded worker pool, and decoding (plus the map build)
-// stays serial. Undecodable or unfetchable images are skipped — the
-// renderer falls back to placeholders.
-func fetchImages(f *fetch.Fetcher, doc *dom.Node, base string) map[string]image.Image {
+// the fetcher's bounded worker pool (aborting when ctx ends), and
+// decoding (plus the map build) stays serial. Undecodable or
+// unfetchable images are skipped — the renderer falls back to
+// placeholders.
+func fetchImages(ctx context.Context, f *fetch.Fetcher, doc *dom.Node, base string) map[string]image.Image {
 	baseURL, err := url.Parse(base)
 	if err != nil {
 		return nil
@@ -64,7 +66,7 @@ func fetchImages(f *fetch.Fetcher, doc *dom.Node, base string) map[string]image.
 		return true
 	})
 	images := make(map[string]image.Image)
-	for i, res := range f.FetchAll(absURLs, 0) {
+	for i, res := range f.FetchAllContext(ctx, absURLs, 0) {
 		if res.Err != nil {
 			continue
 		}
