@@ -13,6 +13,7 @@
 //	msite-bench parallel     # serial-vs-parallel pipeline ablation → BENCH_PR2.json
 //	msite-bench resilience   # availability under injected origin faults → BENCH_PR3.json
 //	msite-bench overload     # flash-crowd admission-control chaos run → BENCH_PR4.json
+//	msite-bench persistence  # durable store: warm restart + crash safety → BENCH_PR5.json
 package main
 
 import (
@@ -48,6 +49,8 @@ func run() error {
 	overloadCrowd := flag.Int("overload-crowd", 12, "flash-crowd size for the overload bench")
 	overloadSites := flag.Int("overload-sites", 6, "extra cold sites for the overload bench's capacity squeeze")
 	overloadLatency := flag.Duration("overload-latency", 120*time.Millisecond, "injected origin latency for the overload bench")
+	persistenceOut := flag.String("persistence-out", "BENCH_PR5.json", "where the persistence bench writes its JSON record (empty = don't write)")
+	persistenceCrash := flag.Int("persistence-crash-records", 200, "records committed before the simulated crash in the persistence bench")
 	flag.Parse()
 
 	what := "all"
@@ -195,6 +198,30 @@ func run() error {
 			if len(rep.Violations) > 0 {
 				return fmt.Errorf("overload: %d invariant violation(s)", len(rep.Violations))
 			}
+		case "persistence":
+			// Runs against its own internal origin and temp store directory
+			// (the -origin flag does not apply): the scenario restarts the
+			// proxy and corrupts the store's log tail mid-run.
+			rep, err := experiments.Persistence(experiments.PersistenceConfig{
+				CrashRecords: *persistenceCrash,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatPersistence(rep))
+			if *persistenceOut != "" {
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*persistenceOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n\n", *persistenceOut)
+			}
+			if len(rep.Violations) > 0 {
+				return fmt.Errorf("persistence: %d invariant violation(s)", len(rep.Violations))
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -202,7 +229,7 @@ func run() error {
 	}
 
 	if what == "all" {
-		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "stages", "fig7"} {
+		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "persistence", "stages", "fig7"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -60,6 +60,9 @@ func run() error {
 	admissionQueue := flag.Int("admission-queue", 0, "admission wait-queue length behind -max-concurrent-adaptations (0 = 4x concurrency, negative = no queue)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client requests/second budget, 429 + Retry-After past the burst (0 = unlimited)")
 	maxSessions := flag.Int("max-sessions", 0, "live session cap; first contacts past it are shed with 503 (0 = uncapped)")
+	storeDir := flag.String("store-dir", "", "durable render store directory; restarts rehydrate adapted content from it (empty = no persistence)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "durable store byte budget, least-recently-accessed records evicted past it (0 = unbounded)")
+	storeFsync := flag.String("store-fsync", "", "store durability policy: interval (default), always, or never")
 	flag.Parse()
 
 	if len(specPaths) == 0 {
@@ -88,6 +91,10 @@ func run() error {
 		AdmissionQueue:           *admissionQueue,
 		RateLimit:                *rateLimit,
 		MaxSessions:              *maxSessions,
+
+		StoreDir:      *storeDir,
+		StoreMaxBytes: *storeMaxBytes,
+		StoreFsync:    *storeFsync,
 	}
 
 	if len(specPaths) > 1 {

@@ -70,6 +70,40 @@ func TestResilienceDocCoversEveryKnob(t *testing.T) {
 	}
 }
 
+func TestStoreDocCoversEveryKnob(t *testing.T) {
+	doc, err := os.ReadFile("docs/STORE.md")
+	if err != nil {
+		t.Fatalf("read docs/STORE.md: %v", err)
+	}
+	for _, flag := range []string{
+		"-store-dir", "-store-max-bytes", "-store-fsync",
+	} {
+		if !strings.Contains(string(doc), "`"+flag+"`") {
+			t.Errorf("docs/STORE.md does not document %s", flag)
+		}
+	}
+	obsDoc, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read docs/OBSERVABILITY.md: %v", err)
+	}
+	for _, metric := range []string{
+		"msite_store_hits_total", "msite_store_misses_total",
+		"msite_store_bytes", "msite_store_segments",
+		"msite_store_write_drops_total",
+		"msite_store_recovered_records_total",
+		"msite_store_corrupt_records_total",
+		"msite_proxy_bundle_reuses_total",
+		"msite_session_cleanup_errors_total",
+	} {
+		if strings.HasPrefix(metric, "msite_store") && !strings.Contains(string(doc), metric) {
+			t.Errorf("docs/STORE.md does not document metric %s", metric)
+		}
+		if !strings.Contains(string(obsDoc), metric) {
+			t.Errorf("docs/OBSERVABILITY.md does not list metric %s", metric)
+		}
+	}
+}
+
 func TestReadmeLinksResolve(t *testing.T) {
 	readme, err := os.ReadFile("README.md")
 	if err != nil {

@@ -155,12 +155,12 @@ func InjectRuntime(doc *dom.Node) {
 // Dispatcher satisfies rewritten calls on the server side.
 type Dispatcher struct {
 	actions map[int]compiledAction
-	cache   *cache.Cache
+	cache   cache.Layer
 }
 
 // NewDispatcher builds a dispatcher over the same action set. cache may
 // be nil to disable fragment sharing.
-func NewDispatcher(actions []spec.Action, c *cache.Cache) (*Dispatcher, error) {
+func NewDispatcher(actions []spec.Action, c cache.Layer) (*Dispatcher, error) {
 	d := &Dispatcher{actions: make(map[int]compiledAction), cache: c}
 	for _, a := range actions {
 		re, err := regexp.Compile(a.Match)

@@ -21,6 +21,7 @@ import (
 	"msite/internal/proxy"
 	"msite/internal/session"
 	"msite/internal/spec"
+	"msite/internal/store"
 )
 
 // Config wires a Framework.
@@ -96,6 +97,50 @@ type Config struct {
 	// first contacts are shed with 503 + Retry-After instead of
 	// allocating session state. 0 means uncapped.
 	MaxSessions int
+	// StoreDir enables the durable render store (the -store-dir knob): a
+	// crash-safe disk tier under the render cache. Adapted bundles,
+	// shared snapshots, and subpage artifacts persist there, so a
+	// restarted framework serves them without re-running the pipeline.
+	// Empty disables persistence.
+	StoreDir string
+	// StoreMaxBytes bounds the store's live bytes on disk; least
+	// recently accessed records are evicted past it (the
+	// -store-max-bytes knob). 0 means unbounded.
+	StoreMaxBytes int64
+	// StoreFsync selects the store's durability policy (the -store-fsync
+	// knob): "interval" (default; fsync on a short timer), "always"
+	// (fsync every append), or "never" (leave it to the OS).
+	StoreFsync string
+}
+
+// buildCache wires the render cache: a plain in-memory cache, or — when
+// StoreDir is set — a tiered cache over the durable store, rehydrated
+// so a warm restart serves from disk instead of re-rendering.
+func (cfg Config) buildCache(reg *obs.Registry) (cache.Layer, *store.Store, error) {
+	l1 := cache.NewWithOptions(cfg.cacheOptions())
+	if cfg.StoreDir == "" {
+		l1.SetObs(reg)
+		return l1, nil, nil
+	}
+	fsync, err := store.ParseFsync(cfg.StoreFsync)
+	if err != nil {
+		l1.Close()
+		return nil, nil, err
+	}
+	st, err := store.Open(store.Options{
+		Dir:      cfg.StoreDir,
+		MaxBytes: cfg.StoreMaxBytes,
+		Fsync:    fsync,
+	})
+	if err != nil {
+		l1.Close()
+		return nil, nil, err
+	}
+	st.SetObs(reg)
+	tiered := cache.NewTiered(l1, st, cache.TieredOptions{})
+	tiered.SetObs(reg)
+	tiered.Rehydrate(0)
+	return tiered, st, nil
 }
 
 // admissionController maps the Config knobs onto an admission
@@ -146,7 +191,8 @@ func (cfg Config) fetchOptions(reg *obs.Registry) []fetch.Option {
 type Framework struct {
 	sp       *spec.Spec
 	sessions *session.Manager
-	cache    *cache.Cache
+	cache    cache.Layer
+	store    *store.Store // nil without StoreDir
 	proxy    *proxy.Proxy
 	obs      *obs.Registry
 }
@@ -179,35 +225,43 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
-	sharedCache := cache.NewWithOptions(cfg.cacheOptions())
-	sharedCache.SetObs(reg)
+	sharedCache, st, err := cfg.buildCache(reg)
+	if err != nil {
+		return nil, err
+	}
 	sessions.InstrumentObs(reg)
+	sessions.SetLogger(cfg.Logger)
 	p, err := proxy.New(proxy.Config{
-		Spec:          sp,
-		Sessions:      sessions,
-		Cache:         sharedCache,
-		ViewportWidth: cfg.ViewportWidth,
-		FetchOptions:  cfg.fetchOptions(reg),
-		Obs:           reg,
-		Logger:        cfg.Logger,
-		FetchWorkers:  cfg.FetchWorkers,
-		RasterWorkers: cfg.RasterWorkers,
-		ServeStale:    cfg.ServeStale,
-		StaleFor:      cfg.StaleFor,
-		Admission:     adm,
+		Spec:           sp,
+		Sessions:       sessions,
+		Cache:          sharedCache,
+		ViewportWidth:  cfg.ViewportWidth,
+		FetchOptions:   cfg.fetchOptions(reg),
+		Obs:            reg,
+		Logger:         cfg.Logger,
+		FetchWorkers:   cfg.FetchWorkers,
+		RasterWorkers:  cfg.RasterWorkers,
+		ServeStale:     cfg.ServeStale,
+		StaleFor:       cfg.StaleFor,
+		Admission:      adm,
+		PersistBundles: st != nil,
 	})
 	if err != nil {
 		sharedCache.Close()
+		if st != nil {
+			_ = st.Close()
+		}
 		return nil, err
 	}
-	return &Framework{sp: sp, sessions: sessions, cache: sharedCache, proxy: p, obs: reg}, nil
+	return &Framework{sp: sp, sessions: sessions, cache: sharedCache, store: st, proxy: p, obs: reg}, nil
 }
 
 // MultiFramework hosts the proxies for several adapted pages under one
 // handler (each at /p/<name>/), sharing sessions and the render cache.
 type MultiFramework struct {
 	sessions *session.Manager
-	cache    *cache.Cache
+	cache    cache.Layer
+	store    *store.Store // nil without StoreDir
 	multi    *proxy.MultiProxy
 	obs      *obs.Registry
 }
@@ -234,28 +288,35 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 	if err != nil {
 		return nil, err
 	}
-	sharedCache := cache.NewWithOptions(cfg.cacheOptions())
-	sharedCache.SetObs(reg)
+	sharedCache, st, err := cfg.buildCache(reg)
+	if err != nil {
+		return nil, err
+	}
 	sessions.InstrumentObs(reg)
+	sessions.SetLogger(cfg.Logger)
 	multi, err := proxy.NewMulti(proxy.MultiConfig{
-		Specs:         specs,
-		Sessions:      sessions,
-		Cache:         sharedCache,
-		ViewportWidth: cfg.ViewportWidth,
-		FetchOptions:  cfg.fetchOptions(reg),
-		Obs:           reg,
-		Logger:        cfg.Logger,
-		FetchWorkers:  cfg.FetchWorkers,
-		RasterWorkers: cfg.RasterWorkers,
-		ServeStale:    cfg.ServeStale,
-		StaleFor:      cfg.StaleFor,
-		Admission:     adm,
+		Specs:          specs,
+		Sessions:       sessions,
+		Cache:          sharedCache,
+		ViewportWidth:  cfg.ViewportWidth,
+		FetchOptions:   cfg.fetchOptions(reg),
+		Obs:            reg,
+		Logger:         cfg.Logger,
+		FetchWorkers:   cfg.FetchWorkers,
+		RasterWorkers:  cfg.RasterWorkers,
+		ServeStale:     cfg.ServeStale,
+		StaleFor:       cfg.StaleFor,
+		Admission:      adm,
+		PersistBundles: st != nil,
 	})
 	if err != nil {
 		sharedCache.Close()
+		if st != nil {
+			_ = st.Close()
+		}
 		return nil, err
 	}
-	return &MultiFramework{sessions: sessions, cache: sharedCache, multi: multi, obs: reg}, nil
+	return &MultiFramework{sessions: sessions, cache: sharedCache, store: st, multi: multi, obs: reg}, nil
 }
 
 // Handler returns the composite handler.
@@ -316,8 +377,12 @@ func (f *Framework) Handler() http.Handler { return f.proxy }
 // Sessions exposes the session manager (for GC loops and tests).
 func (f *Framework) Sessions() *session.Manager { return f.sessions }
 
-// Cache exposes the shared render cache.
-func (f *Framework) Cache() *cache.Cache { return f.cache }
+// Cache exposes the shared render cache layer (a *cache.Cache, or a
+// *cache.Tiered when a durable store is configured).
+func (f *Framework) Cache() cache.Layer { return f.cache }
+
+// Store exposes the durable render store; nil without StoreDir.
+func (f *Framework) Store() *store.Store { return f.store }
 
 // ProxyStats returns the proxy's work counters.
 func (f *Framework) ProxyStats() proxy.Stats { return f.proxy.Stats() }
@@ -351,13 +416,29 @@ func mountMetrics(h http.Handler, reg *obs.Registry) http.Handler {
 // CacheStats returns the shared cache counters.
 func (f *Framework) CacheStats() cache.Stats { return f.cache.Stats() }
 
-// Close releases background resources (the cache's expiry sweeper).
-// Safe to call more than once.
-func (f *Framework) Close() { f.cache.Close() }
+// Close releases background resources: the cache's expiry sweeper, and
+// — when a durable store is configured — the write-through pool (drained
+// first, so queued persists land) and the store itself. Safe to call
+// more than once.
+func (f *Framework) Close() {
+	f.cache.Close()
+	if f.store != nil {
+		_ = f.store.Close()
+	}
+}
+
+// Store exposes the durable render store; nil without StoreDir.
+func (m *MultiFramework) Store() *store.Store { return m.store }
 
 // Close releases background resources (the shared cache's expiry
-// sweeper). Safe to call more than once.
-func (m *MultiFramework) Close() { m.cache.Close() }
+// sweeper, the store write-through pool, and the store). Safe to call
+// more than once.
+func (m *MultiFramework) Close() {
+	m.cache.Close()
+	if m.store != nil {
+		_ = m.store.Close()
+	}
+}
 
 // GenerateCode emits the standalone Go proxy source for this framework's
 // spec — the m.Site "shell code" artifact.

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"msite/internal/cache"
+	"msite/internal/core"
+	"msite/internal/origin"
+	"msite/internal/store"
+)
+
+// PersistenceConfig tunes the durable-store benchmark; the zero value
+// reproduces the PR's acceptance scenario: a cold adaptation persisted,
+// a warm restart served entirely from disk, a crash simulation with a
+// torn tail, and a stalled-disk fault that must not block serving.
+type PersistenceConfig struct {
+	// CrashRecords is how many records the crash simulation commits
+	// before the simulated crash (default 200).
+	CrashRecords int
+	// StalledFills is how many render fills run against the stalled
+	// store (default 50).
+	StalledFills int
+	// StalledBudget bounds the worst acceptable fill latency while the
+	// store is stalled — the "serving never blocks on the store"
+	// invariant (default 250 ms).
+	StalledBudget time.Duration
+}
+
+func (cfg PersistenceConfig) withDefaults() PersistenceConfig {
+	if cfg.CrashRecords <= 0 {
+		cfg.CrashRecords = 200
+	}
+	if cfg.StalledFills <= 0 {
+		cfg.StalledFills = 50
+	}
+	if cfg.StalledBudget <= 0 {
+		cfg.StalledBudget = 250 * time.Millisecond
+	}
+	return cfg
+}
+
+// PersistenceReport is the PR's durability record (BENCH_PR5.json):
+// cold-vs-warm serving latency, recovery-scan cost, crash-safety, and
+// the non-blocking write-through under a stalled disk.
+type PersistenceReport struct {
+	// Cold vs warm: the same entry page served by a fresh deployment
+	// (full pipeline) and by a restarted one (durable artifacts only).
+	ColdEntryMS     float64 `json:"cold_entry_ms"`
+	WarmEntryMS     float64 `json:"warm_entry_ms"`
+	ColdAdaptations uint64  `json:"cold_adaptations"`
+	WarmAdaptations uint64  `json:"warm_adaptations"`
+	WarmRenders     uint64  `json:"warm_snapshot_renders"`
+	WarmHitRatio    float64 `json:"warm_store_hit_ratio"`
+	RecoveryScanMS  float64 `json:"recovery_scan_ms"`
+	StoreRecords    int     `json:"store_records"`
+	StoreBytes      int64   `json:"store_bytes"`
+
+	// Crash simulation: records committed under fsync=always, process
+	// abandoned without Close, garbage appended over the tail.
+	CrashCommitted int     `json:"crash_committed_records"`
+	CrashRecovered float64 `json:"crash_recovered_records"`
+	CrashLost      int     `json:"crash_lost_records"`
+	CrashScanMS    float64 `json:"crash_scan_ms"`
+
+	// Stalled-disk fault: fills against a store whose writes block
+	// forever must still serve at memory speed, dropping write-throughs.
+	StalledFills      int     `json:"stalled_fills"`
+	StalledMaxFillMS  float64 `json:"stalled_max_fill_ms"`
+	StalledBudgetMS   float64 `json:"stalled_budget_ms"`
+	StalledWriteDrops uint64  `json:"stalled_write_drops"`
+
+	// Violations lists every broken acceptance invariant; the bench
+	// exits nonzero when it is non-empty.
+	Violations []string `json:"violations"`
+}
+
+// stalledTier is a cache.SecondTier whose writes block until release is
+// closed — the stuck-disk fault for the non-blocking invariant.
+type stalledTier struct {
+	release chan struct{}
+}
+
+func (s *stalledTier) Get(string) ([]byte, string, time.Time, bool) {
+	return nil, "", time.Time{}, false
+}
+
+func (s *stalledTier) Put(string, []byte, string, time.Duration) error {
+	<-s.release
+	return nil
+}
+
+func (s *stalledTier) Delete(string) error {
+	<-s.release
+	return nil
+}
+
+// Persistence runs the durable-store benchmark: cold adapt + persist,
+// warm restart over the same store directory, a crash simulation, and a
+// stalled-writer fault.
+func Persistence(cfg PersistenceConfig) (*PersistenceReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &PersistenceReport{
+		StalledBudgetMS: float64(cfg.StalledBudget) / float64(time.Millisecond),
+	}
+
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	defer originSrv.Close()
+
+	root, err := os.MkdirTemp("", "msite-persistence-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(root) }()
+	storeDir := filepath.Join(root, "store")
+
+	boot := func() (*core.Framework, *httptest.Server, error) {
+		fw, err := core.New(SpecForForum(originSrv.URL), core.Config{
+			SessionRoot:  filepath.Join(root, "sessions"),
+			FetchTimeout: 30 * time.Second,
+			StoreDir:     storeDir,
+			StoreFsync:   "always",
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return fw, httptest.NewServer(fw.Handler()), nil
+	}
+	serve := func(srv *httptest.Server, path string) (time.Duration, error) {
+		jar, err := cookiejar.New(nil)
+		if err != nil {
+			return 0, err
+		}
+		client := &http.Client{Jar: jar, Timeout: time.Minute}
+		start := time.Now()
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			return 0, err
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("experiments: persistence %s status %d", path, resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+
+	// Phase 1 — cold: a fresh deployment adapts, renders, and persists.
+	fw, srv, err := boot()
+	if err != nil {
+		return nil, err
+	}
+	coldLatency, err := serve(srv, "/")
+	srv.Close()
+	if err != nil {
+		fw.Close()
+		return nil, err
+	}
+	rep.ColdEntryMS = float64(coldLatency) / float64(time.Millisecond)
+	rep.ColdAdaptations = fw.ProxyStats().Adaptations
+	fw.Close() // drains the write-through queue into the store
+
+	// Phase 2 — warm restart: the same store directory, a new process.
+	fw2, srv2, err := boot()
+	if err != nil {
+		return nil, err
+	}
+	warmLatency, err := serve(srv2, "/")
+	srv2.Close()
+	if err != nil {
+		fw2.Close()
+		return nil, err
+	}
+	rep.WarmEntryMS = float64(warmLatency) / float64(time.Millisecond)
+	warmStats := fw2.ProxyStats()
+	rep.WarmAdaptations = warmStats.Adaptations
+	rep.WarmRenders = warmStats.SnapshotRenders
+	st := fw2.Store().Stats()
+	rep.RecoveryScanMS = float64(st.ScanDuration) / float64(time.Millisecond)
+	rep.StoreRecords = st.Records
+	rep.StoreBytes = st.LiveBytes
+	if total := st.Hits + st.Misses; total > 0 {
+		rep.WarmHitRatio = float64(st.Hits) / float64(total)
+	}
+	fw2.Close()
+
+	if rep.WarmHitRatio < 0.9 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("warm store hit ratio %.2f < 0.90", rep.WarmHitRatio))
+	}
+	if rep.WarmRenders != 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("warm restart re-rendered the snapshot %d times", rep.WarmRenders))
+	}
+	if rep.WarmAdaptations != 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("warm restart re-ran the pipeline %d times", rep.WarmAdaptations))
+	}
+
+	// Phase 3 — crash simulation: commit records under fsync=always,
+	// abandon the store without Close (the crash), scribble garbage over
+	// the log tail, and reopen. Every committed record must survive.
+	if err := crashSim(rep, filepath.Join(root, "crash"), cfg.CrashRecords); err != nil {
+		return nil, err
+	}
+	if rep.CrashLost > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("crash recovery lost %d of %d committed records", rep.CrashLost, rep.CrashCommitted))
+	}
+
+	// Phase 4 — stalled writer: serving must never block on the store.
+	if err := stalledWriter(rep, cfg); err != nil {
+		return nil, err
+	}
+	if rep.StalledMaxFillMS > rep.StalledBudgetMS {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("fill blocked %.0f ms on a stalled store (budget %.0f ms)",
+				rep.StalledMaxFillMS, rep.StalledBudgetMS))
+	}
+	if rep.StalledWriteDrops == 0 {
+		rep.Violations = append(rep.Violations,
+			"stalled store dropped no write-throughs (backpressure not exercised)")
+	}
+	return rep, nil
+}
+
+// crashSim commits n records durably, abandons the store mid-flight,
+// corrupts the log tail, and measures recovery.
+func crashSim(rep *PersistenceReport, dir string, n int) error {
+	st, err := store.Open(store.Options{Dir: dir, Fsync: store.FsyncAlways})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("render:%04d", i)
+		if err := st.Put(key, []byte(strings.Repeat("x", 64)+key), "text/html", time.Hour); err != nil {
+			return err
+		}
+	}
+	rep.CrashCommitted = n
+	// The crash: no Close, no final sync. fsync=always already made every
+	// Put durable. Then a torn write lands over the tail of the live
+	// segment — the half-flushed record a real crash leaves behind.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		return fmt.Errorf("experiments: no store segments in %s: %v", dir, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("\xde\xad\xbe\xefGARBAGE-half-written-record")); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	st2, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		return fmt.Errorf("experiments: crash recovery open: %w", err)
+	}
+	defer func() { _ = st2.Close() }()
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("render:%04d", i)
+		if _, _, _, ok := st2.Get(key); !ok {
+			rep.CrashLost++
+		}
+	}
+	stats := st2.Stats()
+	rep.CrashRecovered = float64(stats.RecoveredRecords)
+	rep.CrashScanMS = float64(stats.ScanDuration) / float64(time.Millisecond)
+	return nil
+}
+
+// stalledWriter runs fills through a tiered cache whose store never
+// completes a write, proving the serving path stays memory-speed and
+// sheds the write-throughs instead of queueing behind the stall.
+func stalledWriter(rep *PersistenceReport, cfg PersistenceConfig) error {
+	tier := &stalledTier{release: make(chan struct{})}
+	tc := cache.NewTiered(cache.New(), tier, cache.TieredOptions{Writers: 1, QueueLen: 2})
+	// LIFO: the stall releases first, so Close can drain and return.
+	defer tc.Close()
+	defer close(tier.release)
+
+	var maxFill time.Duration
+	for i := 0; i < cfg.StalledFills; i++ {
+		key := fmt.Sprintf("render:%d", i)
+		start := time.Now()
+		_, err := tc.GetOrFill(key, time.Minute, func() (cache.Entry, error) {
+			return cache.Entry{Data: []byte("rendered page"), MIME: "text/html"}, nil
+		})
+		if err != nil {
+			return err
+		}
+		if d := time.Since(start); d > maxFill {
+			maxFill = d
+		}
+	}
+	rep.StalledFills = cfg.StalledFills
+	rep.StalledMaxFillMS = float64(maxFill) / float64(time.Millisecond)
+	rep.StalledWriteDrops = tc.WriteDrops()
+	return nil
+}
+
+// FormatPersistence renders the durability report like the other
+// experiment tables.
+func FormatPersistence(rep *PersistenceReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Durable render store: warm restarts and crash safety\n")
+	fmt.Fprintf(&b, "cold entry (full pipeline): %.0f ms, %d adaptation(s)\n",
+		rep.ColdEntryMS, rep.ColdAdaptations)
+	fmt.Fprintf(&b, "warm entry (restart, from store): %.0f ms, %d adaptations, %d snapshot renders, hit ratio %.2f\n",
+		rep.WarmEntryMS, rep.WarmAdaptations, rep.WarmRenders, rep.WarmHitRatio)
+	fmt.Fprintf(&b, "recovery scan: %.1f ms over %d records (%d bytes live)\n",
+		rep.RecoveryScanMS, rep.StoreRecords, rep.StoreBytes)
+	fmt.Fprintf(&b, "crash sim: %d committed, %.0f recovered, %d lost (scan %.1f ms)\n",
+		rep.CrashCommitted, rep.CrashRecovered, rep.CrashLost, rep.CrashScanMS)
+	fmt.Fprintf(&b, "stalled disk: %d fills, max %.1f ms (budget %.0f ms), %d write-throughs dropped\n",
+		rep.StalledFills, rep.StalledMaxFillMS, rep.StalledBudgetMS, rep.StalledWriteDrops)
+	if len(rep.Violations) > 0 {
+		fmt.Fprintf(&b, "VIOLATIONS:\n")
+		for _, v := range rep.Violations {
+			fmt.Fprintf(&b, "  - %s\n", v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestPersistenceScenario(t *testing.T) {
+	rep, err := Persistence(PersistenceConfig{
+		CrashRecords:  50,
+		StalledFills:  20,
+		StalledBudget: 2 * time.Second, // generous under -race
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.ColdAdaptations != 1 {
+		t.Fatalf("cold adaptations = %d", rep.ColdAdaptations)
+	}
+	if rep.WarmAdaptations != 0 || rep.WarmRenders != 0 {
+		t.Fatalf("warm restart did work: %d adaptations, %d renders",
+			rep.WarmAdaptations, rep.WarmRenders)
+	}
+	if rep.WarmHitRatio < 0.9 {
+		t.Fatalf("warm hit ratio = %.2f", rep.WarmHitRatio)
+	}
+	if rep.CrashLost != 0 || rep.CrashCommitted != 50 {
+		t.Fatalf("crash sim: %d/%d lost", rep.CrashLost, rep.CrashCommitted)
+	}
+	if rep.CrashRecovered < 50 {
+		t.Fatalf("crash sim recovered %.0f records; want >= 50", rep.CrashRecovered)
+	}
+	if rep.StalledWriteDrops == 0 {
+		t.Fatal("stalled phase dropped no writes")
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not serializable: %v", err)
+	}
+	if FormatPersistence(rep) == "" {
+		t.Fatal("empty format")
+	}
+}

@@ -34,9 +34,10 @@ type MultiConfig struct {
 	// Specs are the adaptation specs, one per page; names must be unique
 	// and URL-safe.
 	Specs []*spec.Spec
-	// Sessions and Cache are shared across every site (required).
+	// Sessions and Cache are shared across every site (required); Cache
+	// may be a *cache.Cache or a durable *cache.Tiered.
 	Sessions *session.Manager
-	Cache    *cache.Cache
+	Cache    cache.Layer
 	// ViewportWidth and FetchOptions apply to every site.
 	ViewportWidth int
 	FetchOptions  []fetch.Option
@@ -58,6 +59,10 @@ type MultiConfig struct {
 	// site: one concurrency budget and one per-client rate limit cover
 	// the whole server, not each page separately. Nil admits everything.
 	Admission *admission.Controller
+	// PersistBundles and BundleTTL are the durable-store knobs, applied
+	// to every site (see Config).
+	PersistBundles bool
+	BundleTTL      time.Duration
 }
 
 // NewMulti builds the composite proxy.
@@ -82,20 +87,22 @@ func NewMulti(cfg MultiConfig) (*MultiProxy, error) {
 			return nil, fmt.Errorf("proxy: duplicate spec name %q", name)
 		}
 		p, err := New(Config{
-			Spec:          sp,
-			Sessions:      cfg.Sessions,
-			Cache:         cfg.Cache,
-			ViewportWidth: cfg.ViewportWidth,
-			FetchOptions:  cfg.FetchOptions,
-			PathPrefix:    "/p/" + name,
-			Obs:           reg,
-			Logger:        cfg.Logger,
-			FetchWorkers:  cfg.FetchWorkers,
-			RasterWorkers: cfg.RasterWorkers,
-			WriteWorkers:  cfg.WriteWorkers,
-			ServeStale:    cfg.ServeStale,
-			StaleFor:      cfg.StaleFor,
-			Admission:     cfg.Admission,
+			Spec:           sp,
+			Sessions:       cfg.Sessions,
+			Cache:          cfg.Cache,
+			ViewportWidth:  cfg.ViewportWidth,
+			FetchOptions:   cfg.FetchOptions,
+			PathPrefix:     "/p/" + name,
+			Obs:            reg,
+			Logger:         cfg.Logger,
+			FetchWorkers:   cfg.FetchWorkers,
+			RasterWorkers:  cfg.RasterWorkers,
+			WriteWorkers:   cfg.WriteWorkers,
+			ServeStale:     cfg.ServeStale,
+			StaleFor:       cfg.StaleFor,
+			Admission:      cfg.Admission,
+			PersistBundles: cfg.PersistBundles,
+			BundleTTL:      cfg.BundleTTL,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("proxy: site %q: %w", name, err)

@@ -1,0 +1,269 @@
+package proxy
+
+import (
+	"image"
+	"image/color"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"msite/internal/attr"
+	"msite/internal/cache"
+	"msite/internal/imaging"
+	"msite/internal/origin"
+	"msite/internal/session"
+	"msite/internal/store"
+)
+
+// persistRig is a proxy over a tiered cache backed by a real durable
+// store, restartable against the same store directory.
+type persistRig struct {
+	t        *testing.T
+	origin   *httptest.Server
+	storeDir string
+
+	st    *store.Store
+	tc    *cache.Tiered
+	p     *Proxy
+	proxy *httptest.Server
+}
+
+func newPersistRig(t *testing.T) *persistRig {
+	t.Helper()
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	t.Cleanup(originSrv.Close)
+	rig := &persistRig{t: t, origin: originSrv, storeDir: t.TempDir()}
+	rig.start()
+	return rig
+}
+
+// start boots a fresh proxy generation over the persistent store dir.
+func (rig *persistRig) start() {
+	t := rig.t
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: rig.storeDir, Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := cache.NewTiered(cache.New(), st, cache.TieredOptions{})
+	sessions, err := session.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Spec:           forumSpec(rig.origin.URL),
+		Sessions:       sessions,
+		Cache:          tc,
+		PersistBundles: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.st, rig.tc, rig.p = st, tc, p
+	rig.proxy = httptest.NewServer(p)
+	t.Cleanup(func() {
+		rig.proxy.Close()
+		tc.Close()
+		_ = st.Close()
+	})
+}
+
+// restart closes this generation (draining async writes) and boots a new
+// one from the same store directory — the crash/deploy cycle.
+func (rig *persistRig) restart() {
+	rig.t.Helper()
+	rig.proxy.Close()
+	rig.tc.Close() // drains the write-through queue
+	if err := rig.st.Close(); err != nil {
+		rig.t.Fatal(err)
+	}
+	rig.start()
+}
+
+// get fetches a path with a fresh cookie-jar client.
+func (rig *persistRig) get(path string) (string, *http.Response) {
+	rig.t.Helper()
+	jar, _ := cookiejar.New(nil)
+	client := &http.Client{Jar: jar, Timeout: 30 * time.Second}
+	resp, err := client.Get(rig.proxy.URL + path)
+	if err != nil {
+		rig.t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var b strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	return b.String(), resp
+}
+
+// TestWarmRestartServesWithoutRenders is the proxy-level warm-restart
+// proof: after a restart against the same store directory, the entry
+// page (snapshot overlay included) is served entirely from durable
+// artifacts — zero adaptations, zero snapshot renders.
+func TestWarmRestartServesWithoutRenders(t *testing.T) {
+	rig := newPersistRig(t)
+
+	body, resp := rig.get("/")
+	if resp.StatusCode != 200 {
+		t.Fatalf("cold entry: %d: %s", resp.StatusCode, body)
+	}
+	cold := rig.p.Stats()
+	if cold.Adaptations != 1 || cold.SnapshotRenders != 1 {
+		t.Fatalf("cold stats = %+v; want 1 adaptation, 1 render", cold)
+	}
+
+	rig.restart()
+
+	warmBody, resp := rig.get("/")
+	if resp.StatusCode != 200 {
+		t.Fatalf("warm entry: %d: %s", resp.StatusCode, warmBody)
+	}
+	if !strings.Contains(warmBody, "/asset/snapshot") {
+		t.Fatalf("warm entry lost the snapshot overlay: %s", warmBody)
+	}
+	warm := rig.p.Stats()
+	if warm.SnapshotRenders != 0 {
+		t.Fatalf("warm restart re-rendered the snapshot %d times", warm.SnapshotRenders)
+	}
+	if warm.Adaptations != 0 {
+		t.Fatalf("warm restart re-ran the pipeline %d times", warm.Adaptations)
+	}
+	if hits := rig.st.Stats().Hits; hits == 0 {
+		t.Fatal("warm restart served without touching the durable store")
+	}
+
+	// The rehydrated bundle serves subpages and assets too.
+	subBody, resp := rig.get("/subpage/login")
+	if resp.StatusCode != 200 || !strings.Contains(subBody, "<html") {
+		t.Fatalf("warm subpage: %d: %s", resp.StatusCode, subBody)
+	}
+}
+
+// TestRefreshBypassesBundle proves ?refresh=1 still forces a real
+// pipeline run (and overwrites the stored bundle) on a warm proxy.
+func TestRefreshBypassesBundle(t *testing.T) {
+	rig := newPersistRig(t)
+	if _, resp := rig.get("/"); resp.StatusCode != 200 {
+		t.Fatal("cold entry failed")
+	}
+	rig.restart()
+
+	if _, resp := rig.get("/?refresh=1"); resp.StatusCode != 200 {
+		t.Fatal("refresh entry failed")
+	}
+	if got := rig.p.Stats().Adaptations; got != 1 {
+		t.Fatalf("refresh ran %d adaptations; want 1 (bundle bypassed)", got)
+	}
+}
+
+// TestPersonalizedSessionsBypassBundle: logged-in (personalized)
+// sessions must never be served another user's persisted bundle.
+func TestPersonalizedSessionsBypassBundle(t *testing.T) {
+	rig := newPersistRig(t)
+	if _, resp := rig.get("/"); resp.StatusCode != 200 {
+		t.Fatal("cold entry failed")
+	}
+	rig.restart()
+
+	// A personalized session: mark via the session manager directly.
+	jar, _ := cookiejar.New(nil)
+	client := &http.Client{Jar: jar, Timeout: 30 * time.Second}
+	resp, err := client.Get(rig.proxy.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	// First anonymous visit on the warm proxy reused the bundle.
+	if got := rig.p.Stats().Adaptations; got != 0 {
+		t.Fatalf("anonymous warm visit ran %d adaptations", got)
+	}
+}
+
+// TestBundleRoundTrip pins the wire format: a build product survives
+// encode/decode with subpages, files, notes, and images intact.
+func TestBundleRoundTrip(t *testing.T) {
+	img := image.NewRGBA(image.Rect(0, 0, 3, 2))
+	img.Set(1, 1, color.RGBA{R: 200, G: 10, B: 30, A: 255})
+	src := &builtAdaptation{
+		subpages: map[string]*attr.Subpage{
+			"nav": {
+				Name:   "nav",
+				Title:  "Navigation",
+				Doc:    tidyDoc("<html><head><title>Navigation</title></head><body><ul><li>a</li></ul></body></html>"),
+				Parent: "",
+				Region: attr.Region{X: 1, Y: 2, W: 30, H: 40},
+				AJAX:   true,
+				Shared: true,
+			},
+			"pics": {
+				Name:      "pics",
+				PreRender: true,
+				Fidelity:  imaging.FidelityLow,
+				ImageData: []byte{1, 2, 3},
+				ImageMIME: "image/png",
+				CacheTTL:  time.Minute,
+			},
+		},
+		notes: []string{"degraded filter: x"},
+		files: []buildFile{
+			{dir: "pages", name: "main.html", data: []byte("<html></html>"), kind: "main"},
+			{dir: "images", name: "t.png", data: []byte{9}, kind: "asset"},
+		},
+		images: map[string]image.Image{
+			"/logo.gif":               img,
+			"http://origin/logo.gif":  img, // alias of the same decoded image
+			"http://origin/other.gif": image.NewRGBA(image.Rect(0, 0, 1, 1)),
+		},
+	}
+	blob, err := encodeBundle("sawdust", src)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := decodeBundle(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got.subpages) != 2 {
+		t.Fatalf("subpages = %d", len(got.subpages))
+	}
+	nav := got.subpages["nav"]
+	if nav == nil || nav.Title != "Navigation" || !nav.AJAX || !nav.Shared ||
+		nav.Region != (attr.Region{X: 1, Y: 2, W: 30, H: 40}) || nav.Doc == nil {
+		t.Fatalf("nav subpage mangled: %+v", nav)
+	}
+	pics := got.subpages["pics"]
+	if pics == nil || !pics.PreRender || pics.Fidelity != imaging.FidelityLow ||
+		string(pics.ImageData) != "\x01\x02\x03" || pics.CacheTTL != time.Minute {
+		t.Fatalf("pics subpage mangled: %+v", pics)
+	}
+	if len(got.files) != 2 || got.files[0].name != "main.html" || string(got.files[0].data) != "<html></html>" {
+		t.Fatalf("files mangled: %+v", got.files)
+	}
+	if len(got.notes) != 1 || got.notes[0] != "degraded filter: x" {
+		t.Fatalf("notes mangled: %v", got.notes)
+	}
+	if len(got.images) != 3 {
+		t.Fatalf("images = %d; want 3 keys", len(got.images))
+	}
+	if got.images["/logo.gif"] != got.images["http://origin/logo.gif"] {
+		t.Fatal("aliased image keys decoded to distinct images")
+	}
+	r, g, bb, a := got.images["/logo.gif"].At(1, 1).RGBA()
+	if r>>8 != 200 || g>>8 != 10 || bb>>8 != 30 || a>>8 != 255 {
+		t.Fatalf("image pixel mangled: %d %d %d %d", r>>8, g>>8, bb>>8, a>>8)
+	}
+	// A corrupt blob is rejected, not served.
+	if _, err := decodeBundle(blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated bundle decoded")
+	}
+}

@@ -50,8 +50,10 @@ type Config struct {
 	Spec *spec.Spec
 	// Sessions manages per-client state (required).
 	Sessions *session.Manager
-	// Cache is the public cross-session render cache (required).
-	Cache *cache.Cache
+	// Cache is the public cross-session render cache (required). With a
+	// *cache.Tiered it is also the durable tier adapted artifacts
+	// persist through.
+	Cache cache.Layer
 	// ViewportWidth overrides the spec's server-side render width.
 	ViewportWidth int
 	// FetchOptions are applied to every origin fetcher.
@@ -90,7 +92,22 @@ type Config struct {
 	// everything (the default, and what most tests use). One controller
 	// is shared across every site of a MultiProxy.
 	Admission *admission.Controller
+	// PersistBundles stores each non-personalized build product (subpage
+	// set, generated files, decoded images) in the cache keyed by
+	// (site, spec hash, device class, fidelity), so a restarted proxy —
+	// whose Cache is backed by a durable tier — reuses the build instead
+	// of re-running the pipeline. Off by default; core enables it when a
+	// store is configured.
+	PersistBundles bool
+	// BundleTTL bounds a persisted bundle's lifetime (zero uses
+	// DefaultBundleTTL). A spec change rotates the key, so the TTL only
+	// has to cover origin-content drift.
+	BundleTTL time.Duration
 }
+
+// DefaultBundleTTL is the persisted-bundle lifetime when PersistBundles
+// is on and no BundleTTL is configured.
+const DefaultBundleTTL = time.Hour
 
 // SessionCapRetryAfter is the Retry-After hint sent with 503s caused by
 // the -max-sessions cap: sessions free up on the idle-GC timescale, not
@@ -127,6 +144,11 @@ type Proxy struct {
 	rasterWork int
 	writeWork  int
 	staleFor   time.Duration
+	// bundleKey is the durable-bundle cache key for this proxy's
+	// (site, spec hash, device class, fidelity); empty when
+	// PersistBundles is off.
+	bundleKey string
+	bundleTTL time.Duration
 
 	// Work counters are atomic (not under mu) so Stats() snapshots and
 	// metric scrapes never contend with the adaptation hot path.
@@ -217,6 +239,17 @@ func New(cfg Config) (*Proxy, error) {
 		coalesce:   admission.NewCoalescer[*builtAdaptation](),
 		adapted:    make(map[string]*adaptation),
 		inflight:   make(map[string]chan struct{}),
+	}
+	if cfg.PersistBundles {
+		key, err := bundleKey(cfg.Spec, width)
+		if err != nil {
+			return nil, err
+		}
+		p.bundleKey = key
+		p.bundleTTL = cfg.BundleTTL
+		if p.bundleTTL <= 0 {
+			p.bundleTTL = DefaultBundleTTL
+		}
 	}
 	// Release per-session adaptation state when the session manager
 	// expires, deletes, or GCs the session — without this the adapted
@@ -587,7 +620,7 @@ func (p *Proxy) ensureAdaptation(ctx context.Context, sess *session.Session, for
 		p.inflight[sess.ID] = done
 		p.mu.Unlock()
 
-		ad, err := p.runAdaptation(ctx, sess)
+		ad, err := p.runAdaptation(ctx, sess, force)
 
 		p.mu.Lock()
 		delete(p.inflight, sess.ID)
@@ -625,14 +658,27 @@ func isAuthError(err error) bool {
 // the shared product into each session's directory. Personalized
 // sessions (stored HTTP auth, marshaled logins) never coalesce — their
 // origin content may differ per user.
-func (p *Proxy) runAdaptation(ctx context.Context, sess *session.Session) (*adaptation, error) {
+func (p *Proxy) runAdaptation(ctx context.Context, sess *session.Session, force bool) (*adaptation, error) {
+	// Non-personalized builds may come out of the durable bundle instead
+	// of the pipeline: a restarted proxy warm-starts from its store. A
+	// forced refresh (?refresh=1) bypasses and overwrites the bundle.
+	usePersist := p.bundleKey != "" && !sess.Personalized()
 	build := func(bctx context.Context) (*builtAdaptation, error) {
+		if usePersist && !force {
+			if b, ok := p.loadBundle(bctx); ok {
+				return b, nil
+			}
+		}
 		release, err := p.cfg.Admission.Acquire(bctx)
 		if err != nil {
 			return nil, err
 		}
 		defer release()
-		return p.buildAdaptation(bctx, fetch.New(sess, p.cfg.FetchOptions...))
+		b, err := p.buildAdaptation(bctx, fetch.New(sess, p.cfg.FetchOptions...))
+		if err == nil && usePersist {
+			p.saveBundle(b)
+		}
+		return b, err
 	}
 	var (
 		b         *builtAdaptation

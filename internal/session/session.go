@@ -13,15 +13,20 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/cookiejar"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"msite/internal/obs"
 )
+
+// removeAll is swapped out by tests to exercise teardown failures.
+var removeAll = os.RemoveAll
 
 // CookieName is the proxy session cookie.
 const CookieName = "msite_session"
@@ -168,7 +173,42 @@ type Manager struct {
 	// adaptation state so long-running deployments don't leak it.
 	expireMu sync.Mutex
 	onExpire []func(id string)
+
+	logger         atomic.Pointer[slog.Logger]
+	cleanupErrs    atomic.Uint64
+	obsCleanupErrs atomic.Pointer[obs.Counter]
 }
+
+// SetLogger directs session teardown diagnostics to l. Without one, the
+// default slog logger is used.
+func (m *Manager) SetLogger(l *slog.Logger) {
+	if l != nil {
+		m.logger.Store(l)
+	}
+}
+
+// cleanup removes a session directory. Failures are not fatal — the
+// session is already gone from the manager — but they leak disk, so they
+// are logged and counted (msite_session_cleanup_errors_total) instead of
+// being silently discarded.
+func (m *Manager) cleanup(id, dir string) {
+	err := removeAll(dir)
+	if err == nil {
+		return
+	}
+	m.cleanupErrs.Add(1)
+	if c := m.obsCleanupErrs.Load(); c != nil {
+		c.Inc()
+	}
+	l := m.logger.Load()
+	if l == nil {
+		l = slog.Default()
+	}
+	l.Error("session: removing session dir", "session", id, "dir", dir, "err", err)
+}
+
+// CleanupErrors returns how many session-directory teardowns have failed.
+func (m *Manager) CleanupErrors() uint64 { return m.cleanupErrs.Load() }
 
 // OnExpire registers fn to run with the session ID whenever a session is
 // expired, deleted, or garbage-collected. Callbacks run outside the
@@ -217,10 +257,12 @@ func NewManagerWithClock(root string, ttl time.Duration, clock func() time.Time)
 }
 
 // InstrumentObs registers the manager's live-session gauge
-// (msite_sessions_live) on reg. Idempotent; safe to call for managers
-// shared across several proxies.
+// (msite_sessions_live) and the teardown-failure counter
+// (msite_session_cleanup_errors_total) on reg. Idempotent; safe to call
+// for managers shared across several proxies.
 func (m *Manager) InstrumentObs(reg *obs.Registry) {
 	reg.GaugeFunc("msite_sessions_live", func() float64 { return float64(m.Len()) })
+	m.obsCleanupErrs.Store(reg.Counter("msite_session_cleanup_errors_total"))
 }
 
 // SetLimit caps the number of live sessions (the -max-sessions knob);
@@ -268,7 +310,7 @@ func (m *Manager) Create() (*Session, error) {
 		// Re-check under the insert lock: concurrent Creates may have
 		// filled the remaining room while the directory was being made.
 		m.mu.Unlock()
-		_ = os.RemoveAll(dir)
+		m.cleanup(id, dir)
 		return nil, ErrTooManySessions
 	}
 	m.sessions[id] = s
@@ -293,7 +335,7 @@ func (m *Manager) Get(id string) (*Session, error) {
 	if expired {
 		delete(m.sessions, id)
 		m.mu.Unlock()
-		_ = os.RemoveAll(s.Dir)
+		m.cleanup(id, s.Dir)
 		m.notifyExpired(id)
 		m.mu.Lock() // re-acquire for the deferred unlock
 		return nil, ErrNotFound
@@ -333,7 +375,7 @@ func (m *Manager) GC() int {
 	}
 	m.mu.Unlock()
 	for _, s := range stale {
-		_ = os.RemoveAll(s.Dir)
+		m.cleanup(s.ID, s.Dir)
 		m.notifyExpired(s.ID)
 	}
 	return len(stale)

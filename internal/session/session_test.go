@@ -1,13 +1,19 @@
 package session
 
 import (
+	"bytes"
+	"errors"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"msite/internal/obs"
 )
 
 func newTestManager(t *testing.T) (*Manager, *clock) {
@@ -264,5 +270,70 @@ func TestConcurrentSessions(t *testing.T) {
 	wg.Wait()
 	if m.Len() != 16 {
 		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+// TestCleanupErrorsLoggedAndCounted: a failing session-directory
+// teardown must not be silently swallowed — it is logged, counted on the
+// manager, and surfaced as msite_session_cleanup_errors_total.
+func TestCleanupErrorsLoggedAndCounted(t *testing.T) {
+	orig := removeAll
+	fail := true
+	removeAll = func(path string) error {
+		if fail {
+			return errors.New("injected teardown failure")
+		}
+		return orig(path)
+	}
+	defer func() { removeAll = orig }()
+
+	m, clk := newTestManager(t)
+	reg := obs.NewRegistry()
+	m.InstrumentObs(reg)
+	var logs bytes.Buffer
+	m.SetLogger(slog.New(slog.NewTextHandler(&logs, nil)))
+
+	// Expiry path (Get).
+	s, err := m.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Hour)
+	if _, err := m.Get(s.ID); err != ErrNotFound {
+		t.Fatalf("Get expired = %v", err)
+	}
+	// GC path.
+	s2, err := m.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Hour)
+	if n := m.GC(); n != 1 {
+		t.Fatalf("GC removed %d sessions; want 1", n)
+	}
+	_ = s2
+
+	if got := m.CleanupErrors(); got != 2 {
+		t.Fatalf("CleanupErrors = %d; want 2", got)
+	}
+	c, ok := reg.Snapshot().Counter("msite_session_cleanup_errors_total")
+	if !ok || c.Value != 2 {
+		t.Fatalf("msite_session_cleanup_errors_total = %v (ok=%v); want 2", c, ok)
+	}
+	if !strings.Contains(logs.String(), "injected teardown failure") {
+		t.Fatalf("teardown failure not logged: %q", logs.String())
+	}
+
+	// Successful teardowns stay uncounted.
+	fail = false
+	s3, err := m.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(s3.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CleanupErrors(); got != 2 {
+		t.Fatalf("CleanupErrors after clean delete = %d; want 2", got)
 	}
 }

@@ -1,0 +1,414 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"msite/internal/obs"
+)
+
+func openTest(t *testing.T, dir string, mut ...func(*Options)) *Store {
+	t.Helper()
+	o := Options{Dir: dir, Fsync: FsyncNever}
+	for _, m := range mut {
+		m(&o)
+	}
+	s, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	if err := s.Put("page:a", []byte("hello"), "text/html", 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	data, mime, _, ok := s.Get("page:a")
+	if !ok || string(data) != "hello" || mime != "text/html" {
+		t.Fatalf("Get = %q, %q, %v; want hello, text/html, true", data, mime, ok)
+	}
+	if _, _, _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) reported a hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, 1 put", st)
+	}
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	if err := s.Put("k", []byte("v1"), "m1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v2"), "m2", 0); err != nil {
+		t.Fatal(err)
+	}
+	data, mime, _, ok := s.Get("k")
+	if !ok || string(data) != "v2" || mime != "m2" {
+		t.Fatalf("after overwrite Get = %q, %q, %v", data, mime, ok)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := s.Get("k"); ok {
+		t.Fatal("Get after Delete reported a hit")
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatalf("Delete of absent key: %v", err)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s := openTest(t, t.TempDir(), func(o *Options) { o.Clock = clock })
+	if err := s.Put("k", []byte("v"), "m", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, exp, ok := s.Get("k"); !ok || !exp.Equal(now.Add(time.Minute)) {
+		t.Fatalf("fresh Get = ok=%v exp=%v", ok, exp)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, _, _, ok := s.Get("k"); ok {
+		t.Fatal("expired record still served")
+	}
+}
+
+func TestReopenRecoversRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("val-%02d", i)), "text/plain", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("k05"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := openTest(t, dir)
+	st := s2.Stats()
+	if st.RecoveredRecords != 20 {
+		t.Fatalf("recovered %d records; want 20", st.RecoveredRecords)
+	}
+	if st.CorruptRecords != 0 {
+		t.Fatalf("corrupt %d records on a clean log", st.CorruptRecords)
+	}
+	if s2.Len() != 19 {
+		t.Fatalf("Len = %d; want 19 (one deleted)", s2.Len())
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		data, _, _, ok := s2.Get(key)
+		if i == 5 {
+			if ok {
+				t.Fatalf("deleted key %s resurrected on reopen", key)
+			}
+			continue
+		}
+		if !ok || string(data) != fmt.Sprintf("val-%02d", i) {
+			t.Fatalf("Get(%s) after reopen = %q, %v", key, data, ok)
+		}
+	}
+	if st.ScanDuration <= 0 {
+		t.Fatalf("ScanDuration = %v; want > 0", st.ScanDuration)
+	}
+}
+
+func TestReopenDropsExpired(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s := openTest(t, dir, func(o *Options) { o.Clock = clock })
+	if err := s.Put("short", []byte("a"), "m", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("long", []byte("b"), "m", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+	now = now.Add(time.Minute)
+	s2 := openTest(t, dir, func(o *Options) { o.Clock = clock })
+	if _, _, _, ok := s2.Get("short"); ok {
+		t.Fatal("expired record survived reopen")
+	}
+	if _, _, _, ok := s2.Get("long"); !ok {
+		t.Fatal("unexpired record lost on reopen")
+	}
+}
+
+func TestSegmentRoll(t *testing.T) {
+	s := openTest(t, t.TempDir(), func(o *Options) { o.SegmentMaxBytes = 256 })
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), make([]byte, 100), "m", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Segments < 2 {
+		t.Fatalf("segments = %d; want roll-over past 1", st.Segments)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, _, ok := s.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d unreadable after segment roll", i)
+		}
+	}
+}
+
+func TestByteBudgetEvictsLRU(t *testing.T) {
+	s := openTest(t, t.TempDir(), func(o *Options) { o.MaxBytes = 600 })
+	// ~150 bytes per record (frame + key/mime overhead); budget fits ~4.
+	for i := 0; i < 8; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), make([]byte, 100), "m", 0); err != nil {
+			t.Fatal(err)
+		}
+		// Keep k0 hot so eviction takes the cold middle keys instead.
+		if i >= 1 {
+			if _, _, _, ok := s.Get("k0"); !ok && i < 4 {
+				t.Fatalf("k0 evicted while budget still had room (i=%d)", i)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite exceeding the byte budget")
+	}
+	if st.LiveBytes > 600 {
+		t.Fatalf("live bytes %d exceed budget 600", st.LiveBytes)
+	}
+	if _, _, _, ok := s.Get("k0"); !ok {
+		t.Fatal("recently-accessed k0 was evicted before colder keys")
+	}
+	if _, _, _, ok := s.Get("k1"); ok {
+		t.Fatal("cold k1 survived while budget forced evictions")
+	}
+}
+
+func TestBudgetEnforcedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	for i := 0; i < 8; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), make([]byte, 100), "m", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = s.Close()
+	s2 := openTest(t, dir, func(o *Options) { o.MaxBytes = 400 })
+	if s2.Bytes() > 400 {
+		t.Fatalf("open-time budget not enforced: %d live bytes", s2.Bytes())
+	}
+	// Scan order seeds the access clock, so the oldest-written keys go first.
+	if _, _, _, ok := s2.Get("k7"); !ok {
+		t.Fatal("newest record evicted at open before older ones")
+	}
+	if _, _, _, ok := s2.Get("k0"); ok {
+		t.Fatal("oldest record survived open-time budget enforcement")
+	}
+}
+
+func TestCompactionReclaimsDeadBytes(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, func(o *Options) {
+		o.SegmentMaxBytes = 512
+		o.CompactFraction = -1 // manual compaction only
+	})
+	// Write then overwrite everything so earlier segments are mostly dead.
+	val := func(round, i int) []byte {
+		return []byte(fmt.Sprintf("round-%d-%d-%s", round, i, string(make([]byte, 100))))
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 6; i++ {
+			if err := s.Put(fmt.Sprintf("k%d", i), val(round, i), "m", 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := s.Stats()
+	if before.Segments < 3 {
+		t.Fatalf("expected several segments before compaction, got %d", before.Segments)
+	}
+	moved, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after := s.Stats()
+	if after.Segments >= before.Segments {
+		t.Fatalf("compaction did not remove segments: %d -> %d (moved %d)", before.Segments, after.Segments, moved)
+	}
+	for i := 0; i < 6; i++ {
+		data, _, _, ok := s.Get(fmt.Sprintf("k%d", i))
+		if !ok || string(data) != string(val(3, i)) {
+			t.Fatalf("k%d lost or stale after compaction: %q, %v", i, data, ok)
+		}
+	}
+	// On-disk files must match the in-memory segment list.
+	files, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(files) != after.Segments {
+		t.Fatalf("disk has %d segment files, store reports %d", len(files), after.Segments)
+	}
+	// And a reopen must see the compacted state.
+	_ = s.Close()
+	s2 := openTest(t, dir)
+	for i := 0; i < 6; i++ {
+		data, _, _, ok := s2.Get(fmt.Sprintf("k%d", i))
+		if !ok || string(data) != string(val(3, i)) {
+			t.Fatalf("k%d wrong after compact+reopen: %q, %v", i, data, ok)
+		}
+	}
+}
+
+func TestKeysRecentFirst(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	for _, k := range []string{"a", "b", "c"} {
+		if err := s.Put(k, []byte(k), "m", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, ok := s.Get("a"); !ok { // touch a → most recent
+		t.Fatal("Get(a)")
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "a" {
+		t.Fatalf("Keys = %v; want a first", keys)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s := openTest(t, t.TempDir(), func(o *Options) { o.Fsync = FsyncInterval })
+	if err := s.Put("k", []byte("v"), "m", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.Put("k2", nil, "", 0); err == nil {
+		t.Fatal("Put after Close succeeded")
+	}
+	if _, _, _, ok := s.Get("k"); ok {
+		t.Fatal("Get after Close reported a hit")
+	}
+}
+
+func TestFsyncAlwaysSurvivesUncleanAbandon(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, func(o *Options) { o.Fsync = FsyncAlways })
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("committed"), "m", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// SIGKILL-equivalent: no Close, just reopen the directory.
+	s2 := openTest(t, dir)
+	for i := 0; i < 5; i++ {
+		if _, _, _, ok := s2.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("committed record k%d lost without clean shutdown", i)
+		}
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	cases := map[string]FsyncPolicy{
+		"":         FsyncInterval,
+		"interval": FsyncInterval,
+		"always":   FsyncAlways,
+		"ALWAYS":   FsyncAlways,
+		"never":    FsyncNever,
+	}
+	for in, want := range cases {
+		got, err := ParseFsync(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFsync(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFsync("sometimes"); err == nil {
+		t.Error("ParseFsync accepted an unknown policy")
+	}
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		if rt, err := ParseFsync(p.String()); err != nil || rt != p {
+			t.Errorf("round-trip of %v failed: %v, %v", p, rt, err)
+		}
+	}
+}
+
+func TestObsMetrics(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	if err := s.Put("k", []byte("v"), "m", 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+
+	s2 := openTest(t, dir)
+	reg := obs.NewRegistry()
+	s2.SetObs(reg)
+	s2.Get("k")
+	s2.Get("absent")
+	snap := reg.Snapshot()
+	check := func(name string, want uint64) {
+		t.Helper()
+		c, ok := snap.Counter(name)
+		if !ok || c.Value != want {
+			t.Errorf("%s = %v (ok=%v); want %d", name, c, ok, want)
+		}
+	}
+	check("msite_store_hits_total", 1)
+	check("msite_store_misses_total", 1)
+	check("msite_store_recovered_records_total", 1)
+	check("msite_store_corrupt_records_total", 0)
+}
+
+func TestOpenEmptyDirAndMissingDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "store")
+	s := openTest(t, dir)
+	if s.Len() != 0 {
+		t.Fatalf("fresh store Len = %d", s.Len())
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("store dir not created: %v", err)
+	}
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open with empty Dir succeeded")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := openTest(t, t.TempDir(), func(o *Options) { o.SegmentMaxBytes = 4096 })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%10)
+				switch i % 3 {
+				case 0:
+					if err := s.Put(key, []byte("v"), "m", 0); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				case 1:
+					s.Get(key)
+				default:
+					if err := s.Delete(key); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
