@@ -14,6 +14,7 @@
 //	msite-bench resilience   # availability under injected origin faults → BENCH_PR3.json
 //	msite-bench overload     # flash-crowd admission-control chaos run → BENCH_PR4.json
 //	msite-bench persistence  # durable store: warm restart + crash safety → BENCH_PR5.json
+//	msite-bench obs          # SLO burn-rate alerting + flight recorder → BENCH_PR6.json
 package main
 
 import (
@@ -51,6 +52,10 @@ func run() error {
 	overloadLatency := flag.Duration("overload-latency", 120*time.Millisecond, "injected origin latency for the overload bench")
 	persistenceOut := flag.String("persistence-out", "BENCH_PR5.json", "where the persistence bench writes its JSON record (empty = don't write)")
 	persistenceCrash := flag.Int("persistence-crash-records", 200, "records committed before the simulated crash in the persistence bench")
+	obsOut := flag.String("obs-out", "BENCH_PR6.json", "where the observability bench writes its JSON record (empty = don't write)")
+	obsBatches := flag.Int("obs-batches", 8, "warm batches per side for the observability bench's overhead measurement")
+	obsWarm := flag.Int("obs-warm", 150, "warm requests per batch for the observability bench")
+	obsSpike := flag.Duration("obs-spike", 400*time.Millisecond, "injected origin latency spike for the observability bench")
 	flag.Parse()
 
 	what := "all"
@@ -222,6 +227,33 @@ func run() error {
 			if len(rep.Violations) > 0 {
 				return fmt.Errorf("persistence: %d invariant violation(s)", len(rep.Violations))
 			}
+		case "obs":
+			// Runs against its own latency-injected internal origin (the
+			// -origin flag does not apply): the scenario needs to switch a
+			// spike on mid-run and compare an instrumented proxy against an
+			// uninstrumented twin.
+			rep, err := experiments.Obs(experiments.ObsConfig{
+				WarmBatches:  *obsBatches,
+				WarmRequests: *obsWarm,
+				SpikeLatency: *obsSpike,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatObs(rep))
+			if *obsOut != "" {
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*obsOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n\n", *obsOut)
+			}
+			if len(rep.Violations) > 0 {
+				return fmt.Errorf("obs: %d invariant violation(s)", len(rep.Violations))
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -229,7 +261,7 @@ func run() error {
 	}
 
 	if what == "all" {
-		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "persistence", "stages", "fig7"} {
+		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "persistence", "obs", "stages", "fig7"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

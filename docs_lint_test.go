@@ -155,3 +155,42 @@ func TestAdmissionDocCoversEveryKnob(t *testing.T) {
 		}
 	}
 }
+
+func TestObsDocCoversEveryKnob(t *testing.T) {
+	doc, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read docs/OBSERVABILITY.md: %v", err)
+	}
+	for _, flag := range []string{
+		"-slo-target-p99", "-slo-availability",
+		"-incident-dir", "-incident-max",
+	} {
+		if !strings.Contains(string(doc), "`"+flag+"`") {
+			t.Errorf("docs/OBSERVABILITY.md does not document %s", flag)
+		}
+	}
+	for _, metric := range []string{
+		"msite_slo_burn_rate", "msite_slo_compliance",
+		"msite_slo_budget_remaining", "msite_slo_alerting",
+		"msite_slo_alerts_total",
+		"msite_runtime_goroutines", "msite_runtime_heap_alloc_bytes",
+		"msite_runtime_gc_pause_total_seconds",
+		"msite_runtime_sched_latency_p99_seconds",
+		"msite_incidents_total", "msite_incidents_suppressed_total",
+		"msite_incident_capture_errors_total",
+	} {
+		if !strings.Contains(string(doc), metric) {
+			t.Errorf("docs/OBSERVABILITY.md does not document metric %s", metric)
+		}
+	}
+	for _, surface := range []string{
+		"/slo", "/debug/incidents", "/debug/pprof",
+		"X-MSite-Trace",
+		"meta.json", "goroutines.txt", "heap.pprof", "cpu.pprof",
+		"traces.json", "metrics_delta.json",
+	} {
+		if !strings.Contains(string(doc), surface) {
+			t.Errorf("docs/OBSERVABILITY.md does not mention %s", surface)
+		}
+	}
+}

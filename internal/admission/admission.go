@@ -164,6 +164,7 @@ func (l *Limiter) SetObs(reg *obs.Registry) {
 	l.depth = reg.Gauge("msite_admission_queue_depth")
 	l.shed = func(reason string) {
 		reg.Counter("msite_admission_shed_total", "reason", reason).Inc()
+		reg.Emit(obs.EventShed, reason)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"msite/internal/admission"
@@ -111,6 +112,46 @@ type Config struct {
 	// knob): "interval" (default; fsync on a short timer), "always"
 	// (fsync every append), or "never" (leave it to the OS).
 	StoreFsync string
+	// SLOTargetP99 enables the latency objective (the -slo-target-p99
+	// knob): at least 99% of proxied requests must complete within it.
+	// 0 disables the objective.
+	SLOTargetP99 time.Duration
+	// SLOAvailability enables the availability objective (the
+	// -slo-availability knob): the required non-5xx request fraction,
+	// e.g. 0.999. 0 disables the objective.
+	SLOAvailability float64
+	// SLOWarmHitRatio enables the warm-hit objective: the required
+	// render-cache hit fraction. 0 disables the objective.
+	SLOWarmHitRatio float64
+	// SLOInterval is the SLO evaluation tick (default
+	// obs.DefaultSLOInterval).
+	SLOInterval time.Duration
+	// SLOFastWindow / SLOSlowWindow are the burn-rate windows (defaults
+	// obs.DefaultSLOFastWindow / obs.DefaultSLOSlowWindow).
+	SLOFastWindow, SLOSlowWindow time.Duration
+	// SLOMinEvents gates burn-rate alerts on the fast window's event
+	// count (default obs.DefaultSLOMinEvents).
+	SLOMinEvents float64
+	// IncidentDir enables the flight recorder (the -incident-dir knob):
+	// incident bundles are captured there when the watchdog trips.
+	// Empty disables it.
+	IncidentDir string
+	// IncidentMax bounds the on-disk incident ring (the -incident-max
+	// knob; default obs.DefaultIncidentMax).
+	IncidentMax int
+	// IncidentCPUProfile is the capture's CPU-profile length (default
+	// obs.DefaultCPUProfile).
+	IncidentCPUProfile time.Duration
+	// IncidentCooldown suppresses repeat captures for the same reason
+	// (default obs.DefaultIncidentCooldown).
+	IncidentCooldown time.Duration
+	// IncidentInterval is the watchdog tick (default
+	// obs.DefaultWatchInterval).
+	IncidentInterval time.Duration
+	// HealthInterval is the runtime health sampling tick (default
+	// obs.DefaultHealthInterval). The sampler runs whenever the SLO
+	// engine or the flight recorder is enabled.
+	HealthInterval time.Duration
 }
 
 // buildCache wires the render cache: a plain in-memory cache, or — when
@@ -157,6 +198,96 @@ func (cfg Config) admissionController() (*admission.Controller, error) {
 	})
 }
 
+// obsTier is the second observability tier: SLO engine, runtime health
+// sampler, and flight recorder, started together and stopped by Close.
+type obsTier struct {
+	slo      *obs.SLOEngine
+	health   *obs.HealthSampler
+	recorder *obs.Recorder
+}
+
+// sloObjectives maps the SLO knobs onto engine objectives.
+func (cfg Config) sloObjectives() []obs.Objective {
+	var objectives []obs.Objective
+	if cfg.SLOTargetP99 > 0 {
+		objectives = append(objectives, obs.AdaptationLatencyObjective(cfg.SLOTargetP99))
+	}
+	if cfg.SLOAvailability > 0 {
+		objectives = append(objectives, obs.AvailabilityObjective(cfg.SLOAvailability))
+	}
+	if cfg.SLOWarmHitRatio > 0 {
+		objectives = append(objectives, obs.WarmHitObjective(cfg.SLOWarmHitRatio))
+	}
+	return objectives
+}
+
+// buildObsTier wires the SLO engine, health sampler, and flight
+// recorder from the Config knobs and starts them. Returns nil when no
+// knob enables the tier (no objective, no incident dir) — the base
+// tier (/metrics, /debug/traces) alone then serves, as before.
+func (cfg Config) buildObsTier(reg *obs.Registry) (*obsTier, error) {
+	objectives := cfg.sloObjectives()
+	if len(objectives) == 0 && cfg.IncidentDir == "" {
+		return nil, nil
+	}
+	tier := &obsTier{health: obs.NewHealthSampler(reg, cfg.HealthInterval)}
+	if cfg.IncidentDir != "" {
+		rec, err := obs.NewRecorder(reg, obs.RecorderConfig{
+			Dir:          cfg.IncidentDir,
+			MaxIncidents: cfg.IncidentMax,
+			CPUProfile:   cfg.IncidentCPUProfile,
+			Cooldown:     cfg.IncidentCooldown,
+			Interval:     cfg.IncidentInterval,
+			Health:       tier.health,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tier.recorder = rec
+	}
+	if len(objectives) > 0 {
+		sloCfg := obs.SLOConfig{
+			Interval:   cfg.SLOInterval,
+			FastWindow: cfg.SLOFastWindow,
+			SlowWindow: cfg.SLOSlowWindow,
+			MinEvents:  cfg.SLOMinEvents,
+		}
+		if tier.recorder != nil {
+			rec := tier.recorder
+			sloCfg.OnAlert = func(a obs.Alert) {
+				rec.Trip("slo_burn_"+a.Objective,
+					fmt.Sprintf("burn rates fast=%.1f slow=%.1f (bad %.0f of %.0f in fast window)",
+						a.FastBurn, a.SlowBurn, a.FastBad, a.FastTotal))
+			}
+		}
+		tier.slo = obs.NewSLOEngine(reg, sloCfg, objectives...)
+	}
+	tier.health.Start()
+	if tier.recorder != nil {
+		tier.recorder.Start()
+	}
+	if tier.slo != nil {
+		tier.slo.Start()
+	}
+	return tier, nil
+}
+
+// stop shuts the tier down; nil-safe.
+func (t *obsTier) stop() {
+	if t == nil {
+		return
+	}
+	if t.slo != nil {
+		t.slo.Stop()
+	}
+	if t.recorder != nil {
+		t.recorder.Stop()
+	}
+	if t.health != nil {
+		t.health.Stop()
+	}
+}
+
 // cacheOptions maps the Config knobs onto the cache.
 func (cfg Config) cacheOptions() cache.Options {
 	return cache.Options{
@@ -195,6 +326,7 @@ type Framework struct {
 	store    *store.Store // nil without StoreDir
 	proxy    *proxy.Proxy
 	obs      *obs.Registry
+	tier     *obsTier // nil without SLO/incident knobs
 }
 
 // New builds a Framework from a validated spec.
@@ -253,7 +385,15 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 		}
 		return nil, err
 	}
-	return &Framework{sp: sp, sessions: sessions, cache: sharedCache, store: st, proxy: p, obs: reg}, nil
+	tier, err := cfg.buildObsTier(reg)
+	if err != nil {
+		sharedCache.Close()
+		if st != nil {
+			_ = st.Close()
+		}
+		return nil, err
+	}
+	return &Framework{sp: sp, sessions: sessions, cache: sharedCache, store: st, proxy: p, obs: reg, tier: tier}, nil
 }
 
 // MultiFramework hosts the proxies for several adapted pages under one
@@ -264,6 +404,7 @@ type MultiFramework struct {
 	store    *store.Store // nil without StoreDir
 	multi    *proxy.MultiProxy
 	obs      *obs.Registry
+	tier     *obsTier // nil without SLO/incident knobs
 }
 
 // NewMulti wires several specs into one composite handler.
@@ -316,7 +457,15 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 		}
 		return nil, err
 	}
-	return &MultiFramework{sessions: sessions, cache: sharedCache, store: st, multi: multi, obs: reg}, nil
+	tier, err := cfg.buildObsTier(reg)
+	if err != nil {
+		sharedCache.Close()
+		if st != nil {
+			_ = st.Close()
+		}
+		return nil, err
+	}
+	return &MultiFramework{sessions: sessions, cache: sharedCache, store: st, multi: multi, obs: reg, tier: tier}, nil
 }
 
 // Handler returns the composite handler.
@@ -335,7 +484,7 @@ func (m *MultiFramework) TracesHandler() http.Handler { return obs.TracesHandler
 // HandlerWithMetrics mounts the composite proxy plus the observability
 // surface (/metrics, /debug/traces) on one handler.
 func (m *MultiFramework) HandlerWithMetrics() http.Handler {
-	return mountMetrics(m.multi, m.obs)
+	return mountMetrics(m.multi, m.obs, m.tier)
 }
 
 // Sessions exposes the shared session manager.
@@ -384,6 +533,31 @@ func (f *Framework) Cache() cache.Layer { return f.cache }
 // Store exposes the durable render store; nil without StoreDir.
 func (f *Framework) Store() *store.Store { return f.store }
 
+// SLO exposes the SLO engine; nil unless an SLO knob is set.
+func (f *Framework) SLO() *obs.SLOEngine {
+	if f.tier == nil {
+		return nil
+	}
+	return f.tier.slo
+}
+
+// Recorder exposes the flight recorder; nil without IncidentDir.
+func (f *Framework) Recorder() *obs.Recorder {
+	if f.tier == nil {
+		return nil
+	}
+	return f.tier.recorder
+}
+
+// Health exposes the runtime health sampler; nil unless the second
+// observability tier is enabled.
+func (f *Framework) Health() *obs.HealthSampler {
+	if f.tier == nil {
+		return nil
+	}
+	return f.tier.health
+}
+
 // ProxyStats returns the proxy's work counters.
 func (f *Framework) ProxyStats() proxy.Stats { return f.proxy.Stats() }
 
@@ -400,15 +574,31 @@ func (f *Framework) TracesHandler() http.Handler { return obs.TracesHandler(f.ob
 // HandlerWithMetrics mounts the proxy plus the observability surface
 // (/metrics, /debug/traces) on one handler.
 func (f *Framework) HandlerWithMetrics() http.Handler {
-	return mountMetrics(f.proxy, f.obs)
+	return mountMetrics(f.proxy, f.obs, f.tier)
 }
 
 // mountMetrics composes a serving handler with the observability
 // endpoints; the longer mux patterns win over the proxy's catch-all.
-func mountMetrics(h http.Handler, reg *obs.Registry) http.Handler {
+// The pprof handlers are mounted on the debug mux unconditionally;
+// /slo and /debug/incidents appear when the second tier is enabled.
+func mountMetrics(h http.Handler, reg *obs.Registry, tier *obsTier) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(reg))
 	mux.Handle("/debug/traces", obs.TracesHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if tier != nil {
+		if tier.slo != nil {
+			mux.Handle("/slo", obs.SLOHandler(tier.slo))
+		}
+		if tier.recorder != nil {
+			mux.Handle("/debug/incidents", obs.IncidentsHandler(tier.recorder))
+			mux.Handle("/debug/incidents/", obs.IncidentsHandler(tier.recorder))
+		}
+	}
 	mux.Handle("/", h)
 	return mux
 }
@@ -421,6 +611,7 @@ func (f *Framework) CacheStats() cache.Stats { return f.cache.Stats() }
 // first, so queued persists land) and the store itself. Safe to call
 // more than once.
 func (f *Framework) Close() {
+	f.tier.stop()
 	f.cache.Close()
 	if f.store != nil {
 		_ = f.store.Close()
@@ -430,10 +621,27 @@ func (f *Framework) Close() {
 // Store exposes the durable render store; nil without StoreDir.
 func (m *MultiFramework) Store() *store.Store { return m.store }
 
+// SLO exposes the SLO engine; nil unless an SLO knob is set.
+func (m *MultiFramework) SLO() *obs.SLOEngine {
+	if m.tier == nil {
+		return nil
+	}
+	return m.tier.slo
+}
+
+// Recorder exposes the flight recorder; nil without IncidentDir.
+func (m *MultiFramework) Recorder() *obs.Recorder {
+	if m.tier == nil {
+		return nil
+	}
+	return m.tier.recorder
+}
+
 // Close releases background resources (the shared cache's expiry
 // sweeper, the store write-through pool, and the store). Safe to call
 // more than once.
 func (m *MultiFramework) Close() {
+	m.tier.stop()
 	m.cache.Close()
 	if m.store != nil {
 		_ = m.store.Close()

@@ -8,8 +8,10 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"msite/internal/obs"
+	"msite/internal/origin"
 	"msite/internal/spec"
 )
 
@@ -142,5 +144,114 @@ func TestMultiMetricsShared(t *testing.T) {
 		if c, ok := snap.Counter("msite_proxy_requests_total", "handler", "entry", "site", site); !ok || c.Value != 1 {
 			t.Fatalf("site %s entry counter = %+v ok=%v", site, c, ok)
 		}
+	}
+}
+
+// TestObsTierMounted builds a framework with the SLO/incident knobs set
+// and exercises the second observability tier end to end: the trace
+// response header, /slo, /debug/incidents, and /debug/pprof.
+func TestObsTierMounted(t *testing.T) {
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	defer originSrv.Close()
+	fw, err := New(testSpec(originSrv.URL), Config{
+		SessionRoot:     t.TempDir(),
+		SLOTargetP99:    250 * time.Millisecond,
+		SLOAvailability: 0.999,
+		SLOInterval:     50 * time.Millisecond,
+		IncidentDir:     t.TempDir(),
+		HealthInterval:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	if fw.SLO() == nil || fw.Recorder() == nil || fw.Health() == nil {
+		t.Fatal("observability tier not built")
+	}
+
+	srv := httptest.NewServer(fw.HandlerWithMetrics())
+	defer srv.Close()
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Jar: jar}
+
+	resp, err := client.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	traceID := resp.Header.Get("X-MSite-Trace")
+	if len(traceID) != 16 {
+		t.Fatalf("X-MSite-Trace = %q, want a 16-char trace ID", traceID)
+	}
+
+	// /slo serves both formats and knows both objectives.
+	resp, err = client.Get(srv.URL + "/slo?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slo struct {
+		Objectives []obs.ObjectiveStatus `json:"objectives"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&slo); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	names := map[string]bool{}
+	for _, o := range slo.Objectives {
+		names[o.Name] = true
+	}
+	if !names["latency_p99"] || !names["availability"] {
+		t.Fatalf("objectives = %v", names)
+	}
+
+	// /debug/incidents serves the (empty) bundle index.
+	resp, err = client.Get(srv.URL + "/debug/incidents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var incidents struct {
+		Dir string `json:"dir"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&incidents); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if incidents.Dir == "" {
+		t.Fatal("incident dir not reported")
+	}
+
+	// pprof is mounted on the same mux.
+	resp, err = client.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d", resp.StatusCode)
+	}
+}
+
+// TestObsTierAbsentByDefault keeps the tier free when no SLO or
+// incident knob is set.
+func TestObsTierAbsentByDefault(t *testing.T) {
+	fw, _ := newFramework(t)
+	if fw.SLO() != nil || fw.Recorder() != nil || fw.Health() != nil {
+		t.Fatal("observability tier built without any knob set")
+	}
+	srv := httptest.NewServer(fw.HandlerWithMetrics())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("/slo mounted without an objective configured")
 	}
 }

@@ -1,0 +1,473 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"msite/internal/core"
+	"msite/internal/netsim"
+	"msite/internal/obs"
+	"msite/internal/origin"
+)
+
+// ObsConfig tunes the observability scenario; the zero value reproduces
+// the PR's acceptance run: measure warm-path instrumentation overhead
+// against an uninstrumented twin, then inject an origin latency spike
+// and require the SLO engine's burn-rate alert to trip the flight
+// recorder into a complete incident bundle.
+type ObsConfig struct {
+	// WarmBatches is how many warm-request batches run against EACH
+	// proxy, interleaved to cancel machine drift (default 8).
+	WarmBatches int
+	// WarmRequests is the requests per batch (default 150).
+	WarmRequests int
+	// OverheadBudget bounds the warm-path slowdown with the full second
+	// tier enabled, as a fraction (default 0.05 = 5%).
+	OverheadBudget float64
+	// SLOTargetP99 is the latency objective the spike must violate
+	// (default 250 ms — a histogram bucket bound).
+	SLOTargetP99 time.Duration
+	// SpikeLatency is the injected origin latency during the spike
+	// (default 400 ms, past the objective).
+	SpikeLatency time.Duration
+	// SpikeRequests is how many forced-refresh requests ride the spike
+	// (default 12).
+	SpikeRequests int
+	// DetectBudget bounds how long after the spike starts the incident
+	// bundle must appear at /debug/incidents (default 20 s).
+	DetectBudget time.Duration
+}
+
+func (cfg ObsConfig) withDefaults() ObsConfig {
+	if cfg.WarmBatches <= 0 {
+		cfg.WarmBatches = 8
+	}
+	if cfg.WarmRequests <= 0 {
+		cfg.WarmRequests = 150
+	}
+	if cfg.OverheadBudget <= 0 {
+		cfg.OverheadBudget = 0.05
+	}
+	if cfg.SLOTargetP99 <= 0 {
+		cfg.SLOTargetP99 = 250 * time.Millisecond
+	}
+	if cfg.SpikeLatency <= 0 {
+		cfg.SpikeLatency = 400 * time.Millisecond
+	}
+	if cfg.SpikeRequests <= 0 {
+		cfg.SpikeRequests = 12
+	}
+	if cfg.DetectBudget <= 0 {
+		cfg.DetectBudget = 20 * time.Second
+	}
+	return cfg
+}
+
+// ObsReport is the PR's observability record (BENCH_PR6.json).
+type ObsReport struct {
+	WarmBatches    int     `json:"warm_batches"`
+	WarmRequests   int     `json:"warm_requests_per_batch"`
+	BaselineUS     float64 `json:"baseline_warm_us"`
+	InstrumentedUS float64 `json:"instrumented_warm_us"`
+	// OverheadPercent is the measured warm-path slowdown (median batch
+	// mean vs median batch mean; negative = in the noise).
+	OverheadPercent float64 `json:"overhead_percent"`
+	BudgetPercent   float64 `json:"overhead_budget_percent"`
+
+	// TraceID is the X-MSite-Trace header of one warm request; it must
+	// appear verbatim in the proxy's trace ring.
+	TraceID        string  `json:"trace_id"`
+	TraceInRingOK  bool    `json:"trace_in_ring_ok"`
+	SLOTargetP99MS float64 `json:"slo_target_p99_ms"`
+	SpikeLatencyMS float64 `json:"spike_latency_ms"`
+	SpikeRequests  int     `json:"spike_requests"`
+
+	// DetectMS is spike start → incident visible at /debug/incidents.
+	DetectMS       float64  `json:"detect_ms"`
+	IncidentName   string   `json:"incident_name"`
+	IncidentReason string   `json:"incident_reason"`
+	BundleFiles    []string `json:"bundle_files"`
+	// TailTraceMaxMS is the slowest trace in the bundle's tail
+	// reservoir; it must reach the injected spike.
+	TailTraceMaxMS float64 `json:"tail_trace_max_ms"`
+	CPUProfileB    int     `json:"cpu_profile_bytes"`
+	HeapProfileB   int     `json:"heap_profile_bytes"`
+	GoroutineDumpB int     `json:"goroutine_dump_bytes"`
+
+	// Alerting lists the objectives in the alerting state when the
+	// incident was detected.
+	Alerting []string `json:"alerting_objectives"`
+
+	// Violations are failed invariants; a clean run has none and the
+	// bench exits nonzero otherwise.
+	Violations []string `json:"violations"`
+}
+
+// Obs runs the observability scenario: two identical proxies — one bare,
+// one with the full second tier (SLO engine on a fast clock, health
+// sampler, flight recorder) — serve interleaved warm batches to measure
+// instrumentation overhead; then an injected origin latency spike must
+// trip the burn-rate watchdog into a complete incident bundle readable
+// over /debug/incidents.
+func Obs(cfg ObsConfig) (*ObsReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &ObsReport{
+		WarmBatches:    cfg.WarmBatches,
+		WarmRequests:   cfg.WarmRequests,
+		BudgetPercent:  cfg.OverheadBudget * 100,
+		SLOTargetP99MS: float64(cfg.SLOTargetP99) / float64(time.Millisecond),
+		SpikeLatencyMS: float64(cfg.SpikeLatency) / float64(time.Millisecond),
+		SpikeRequests:  cfg.SpikeRequests,
+	}
+	violate := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+
+	// One origin behind a latency injector, shared by both proxies. The
+	// injector starts disabled (pass-through); the spike phase enables
+	// it, adding SpikeLatency to every origin round trip.
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	injector := netsim.NewInjector(netsim.FaultConfig{Latency: cfg.SpikeLatency})
+	injector.SetEnabled(false)
+	originSrv := httptest.NewServer(injector.Wrap(forum.Handler()))
+	defer originSrv.Close()
+
+	root, err := os.MkdirTemp("", "msite-obs-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(root) }()
+	incidentDir := root + "/incidents"
+
+	newFramework := func(sessions string, instrumented bool) (*core.Framework, error) {
+		c := core.Config{
+			SessionRoot:  sessions,
+			FetchTimeout: 30 * time.Second,
+		}
+		if instrumented {
+			// Compressed SLO clock: evaluate every 100 ms over a 1 s fast
+			// window so one spiked request alerts within a tick or two.
+			c.SLOTargetP99 = cfg.SLOTargetP99
+			c.SLOAvailability = 0.999
+			c.SLOInterval = 100 * time.Millisecond
+			c.SLOFastWindow = time.Second
+			c.SLOSlowWindow = 2 * time.Second
+			c.SLOMinEvents = 1
+			c.IncidentDir = incidentDir
+			c.IncidentMax = 4
+			c.IncidentCPUProfile = 300 * time.Millisecond
+			c.IncidentCooldown = time.Minute
+			c.IncidentInterval = 200 * time.Millisecond
+			c.HealthInterval = 100 * time.Millisecond
+		}
+		return core.New(SpecForForum(originSrv.URL), c)
+	}
+
+	base, err := newFramework(root+"/sessions-base", false)
+	if err != nil {
+		return nil, err
+	}
+	defer base.Close()
+	instr, err := newFramework(root+"/sessions-instr", true)
+	if err != nil {
+		return nil, err
+	}
+	defer instr.Close()
+
+	// Both sides serve through the metrics mux so the comparison isolates
+	// the second tier (SLO ticker, health sampler, watchdog), not the
+	// mux dispatch both deployments would have anyway.
+	baseSrv := httptest.NewServer(base.HandlerWithMetrics())
+	defer baseSrv.Close()
+	instrSrv := httptest.NewServer(instr.HandlerWithMetrics())
+	defer instrSrv.Close()
+
+	// One cookied client per proxy; the first request runs the cold
+	// adaptation, everything after serves warm from the render cache.
+	newClient := func() (*http.Client, error) {
+		jar, err := cookiejar.New(nil)
+		if err != nil {
+			return nil, err
+		}
+		return &http.Client{Jar: jar, Timeout: time.Minute}, nil
+	}
+	baseClient, err := newClient()
+	if err != nil {
+		return nil, err
+	}
+	instrClient, err := newClient()
+	if err != nil {
+		return nil, err
+	}
+	warmup := func(client *http.Client, url string) error {
+		resp, err := client.Get(url + "/")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("warmup: status %d", resp.StatusCode)
+		}
+		rep.TraceID = resp.Header.Get("X-MSite-Trace")
+		return nil
+	}
+	if err := warmup(baseClient, baseSrv.URL); err != nil {
+		return nil, err
+	}
+	if err := warmup(instrClient, instrSrv.URL); err != nil {
+		return nil, err
+	}
+	if rep.TraceID == "" {
+		violate("warm response carried no X-MSite-Trace header")
+	} else {
+		for _, tr := range instr.Obs().RecentTraces() {
+			if tr.ID == rep.TraceID {
+				rep.TraceInRingOK = true
+				break
+			}
+		}
+		if !rep.TraceInRingOK {
+			violate("trace %s from X-MSite-Trace not found in /debug/traces ring", rep.TraceID)
+		}
+	}
+
+	// Overhead: request-level interleaving — each iteration times one
+	// warm request against each proxy, alternating which goes first, so
+	// process-wide noise (GC pauses, scheduler hiccups, machine drift)
+	// lands on both sides alike. Medians of per-request latency compare
+	// the two sides; the instrumented one carries the SLO ticker, health
+	// sampler, watchdog, and tail reservoir while serving.
+	timedGet := func(client *http.Client, url string) (float64, error) {
+		start := time.Now()
+		resp, err := client.Get(url + "/")
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("warm request: status %d", resp.StatusCode)
+		}
+		return float64(time.Since(start).Nanoseconds()) / 1e3, nil
+	}
+	total := cfg.WarmBatches * cfg.WarmRequests
+	baseMeans := make([]float64, 0, total)
+	instrMeans := make([]float64, 0, total)
+	for i := 0; i < total; i++ {
+		first, second := baseClient, instrClient
+		firstURL, secondURL := baseSrv.URL, instrSrv.URL
+		firstOut, secondOut := &baseMeans, &instrMeans
+		if i%2 == 1 {
+			first, second = instrClient, baseClient
+			firstURL, secondURL = instrSrv.URL, baseSrv.URL
+			firstOut, secondOut = &instrMeans, &baseMeans
+		}
+		m, err := timedGet(first, firstURL)
+		if err != nil {
+			return nil, err
+		}
+		*firstOut = append(*firstOut, m)
+		m, err = timedGet(second, secondURL)
+		if err != nil {
+			return nil, err
+		}
+		*secondOut = append(*secondOut, m)
+	}
+	median := func(v []float64) float64 {
+		s := append([]float64(nil), v...)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+	rep.BaselineUS = median(baseMeans)
+	rep.InstrumentedUS = median(instrMeans)
+	if rep.BaselineUS > 0 {
+		rep.OverheadPercent = (rep.InstrumentedUS - rep.BaselineUS) / rep.BaselineUS * 100
+	}
+	if rep.OverheadPercent > cfg.OverheadBudget*100 {
+		violate("warm-path overhead %.2f%% exceeds budget %.1f%% (%.0f us vs %.0f us)",
+			rep.OverheadPercent, cfg.OverheadBudget*100, rep.InstrumentedUS, rep.BaselineUS)
+	}
+
+	// Let the warm traffic age out of the slow burn window first — a
+	// multi-window alert correctly refuses to page while a long window
+	// full of good events says the budget is fine.
+	time.Sleep(2*time.Second + 200*time.Millisecond)
+
+	// Spike: the origin gains SpikeLatency per round trip, and forced
+	// refreshes (?refresh=1) drive requests through it. Each lands past
+	// the latency objective's bucket, so the fast window's burn rate
+	// explodes; the SLO alert trips the recorder directly.
+	spikeStart := time.Now()
+	injector.SetEnabled(true)
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.SpikeRequests)
+	for i := 0; i < cfg.SpikeRequests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client, err := newClient()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := client.Get(instrSrv.URL + "/?refresh=1")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+	injector.SetEnabled(false)
+	for _, err := range errs {
+		if err != nil {
+			violate("spike request: %v", err)
+		}
+	}
+
+	// The incident must appear at /debug/incidents within the budget.
+	type incidentIndex struct {
+		Incidents []obs.IncidentMeta `json:"incidents"`
+	}
+	var incidents []obs.IncidentMeta
+	deadline := time.Now().Add(cfg.DetectBudget)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(instrSrv.URL + "/debug/incidents")
+		if err != nil {
+			return nil, err
+		}
+		var idx incidentIndex
+		err = json.NewDecoder(resp.Body).Decode(&idx)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(idx.Incidents) > 0 {
+			incidents = idx.Incidents
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	rep.DetectMS = float64(time.Since(spikeStart)) / float64(time.Millisecond)
+	if len(incidents) == 0 {
+		violate("no incident bundle appeared within %v of the spike", cfg.DetectBudget)
+		return rep, nil
+	}
+	bundle := incidents[len(incidents)-1] // oldest = the spike's
+	rep.IncidentName = bundle.Name
+	rep.IncidentReason = bundle.Reason
+	rep.BundleFiles = bundle.Files
+	if !strings.HasPrefix(bundle.Reason, "slo_burn_") {
+		violate("incident reason %q, want an slo_burn_* trip", bundle.Reason)
+	}
+
+	// Every bundle artifact must be served over /debug/incidents and be
+	// non-trivial.
+	fetchFile := func(file string) []byte {
+		resp, err := http.Get(instrSrv.URL + "/debug/incidents/" + bundle.Name + "/" + file)
+		if err != nil {
+			violate("fetching %s: %v", file, err)
+			return nil
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			violate("fetching %s: status %d", file, resp.StatusCode)
+			return nil
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			violate("reading %s: %v", file, err)
+			return nil
+		}
+		return data
+	}
+	rep.GoroutineDumpB = len(fetchFile("goroutines.txt"))
+	if rep.GoroutineDumpB == 0 {
+		violate("goroutine dump is empty")
+	}
+	rep.HeapProfileB = len(fetchFile("heap.pprof"))
+	if rep.HeapProfileB == 0 {
+		violate("heap profile is empty")
+	}
+	rep.CPUProfileB = len(fetchFile("cpu.pprof"))
+	if rep.CPUProfileB == 0 {
+		violate("CPU profile is empty")
+	}
+	if len(fetchFile("metrics_delta.json")) == 0 {
+		violate("metrics delta is empty")
+	}
+	var traces struct {
+		Tail []obs.TraceRecord `json:"tail"`
+	}
+	if data := fetchFile("traces.json"); data != nil {
+		if err := json.Unmarshal(data, &traces); err != nil {
+			violate("parsing traces.json: %v", err)
+		}
+	}
+	for _, tr := range traces.Tail {
+		if tr.DurationMS > rep.TailTraceMaxMS {
+			rep.TailTraceMaxMS = tr.DurationMS
+		}
+		if tr.ID == "" {
+			violate("tail trace %q has no trace ID", tr.Name)
+		}
+	}
+	if rep.TailTraceMaxMS < rep.SpikeLatencyMS {
+		violate("slowest tail trace %.0f ms does not reach the %.0f ms spike — bundle lacks the evidence",
+			rep.TailTraceMaxMS, rep.SpikeLatencyMS)
+	}
+
+	// /slo must reflect the burn (JSON view; the alert may have cleared
+	// by now, so only record, don't assert).
+	resp, err := http.Get(instrSrv.URL + "/slo?format=json")
+	if err == nil {
+		var status struct {
+			Objectives []obs.ObjectiveStatus `json:"objectives"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		for _, o := range status.Objectives {
+			if o.Alerting {
+				rep.Alerting = append(rep.Alerting, o.Name)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// FormatObs renders the observability report like the other experiment
+// tables.
+func FormatObs(rep *ObsReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observability tier (%d×%d warm requests per side, %.0f ms spike vs %.0f ms p99 objective)\n",
+		rep.WarmBatches, rep.WarmRequests, rep.SpikeLatencyMS, rep.SLOTargetP99MS)
+	fmt.Fprintf(&b, "warm path: baseline %.0f us, instrumented %.0f us — overhead %+.2f%% (budget %.1f%%)\n",
+		rep.BaselineUS, rep.InstrumentedUS, rep.OverheadPercent, rep.BudgetPercent)
+	fmt.Fprintf(&b, "trace id: %s returned via X-MSite-Trace, found in ring: %v\n", rep.TraceID, rep.TraceInRingOK)
+	fmt.Fprintf(&b, "incident: %s (%s) detected %.0f ms after spike start\n",
+		rep.IncidentName, rep.IncidentReason, rep.DetectMS)
+	fmt.Fprintf(&b, "bundle: goroutines %d B, heap %d B, cpu %d B; slowest tail trace %.0f ms; alerting: %v\n",
+		rep.GoroutineDumpB, rep.HeapProfileB, rep.CPUProfileB, rep.TailTraceMaxMS, rep.Alerting)
+	if len(rep.Violations) == 0 {
+		fmt.Fprintf(&b, "invariants: all held\n")
+	} else {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(&b, "VIOLATION: %s\n", v)
+		}
+	}
+	return b.String()
+}

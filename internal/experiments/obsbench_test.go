@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObsScenario(t *testing.T) {
+	rep, err := Obs(ObsConfig{
+		WarmBatches:  2,
+		WarmRequests: 20,
+		// The overhead invariant is exercised properly by the full bench
+		// run; under -race the budget is loosened so scheduler noise
+		// can't flake the scenario test.
+		OverheadBudget: 0.5,
+		SpikeRequests:  6,
+		DetectBudget:   15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if len(rep.TraceID) != 16 || !rep.TraceInRingOK {
+		t.Fatalf("trace id = %q, in ring %v", rep.TraceID, rep.TraceInRingOK)
+	}
+	if !strings.HasPrefix(rep.IncidentReason, "slo_burn_") {
+		t.Fatalf("incident reason = %q", rep.IncidentReason)
+	}
+	if rep.DetectMS <= 0 || rep.DetectMS > 15000 {
+		t.Fatalf("detect ms = %v", rep.DetectMS)
+	}
+	if rep.CPUProfileB == 0 || rep.HeapProfileB == 0 || rep.GoroutineDumpB == 0 {
+		t.Fatalf("bundle sizes: cpu=%d heap=%d goroutines=%d",
+			rep.CPUProfileB, rep.HeapProfileB, rep.GoroutineDumpB)
+	}
+	if rep.TailTraceMaxMS < rep.SpikeLatencyMS {
+		t.Fatalf("tail trace max %.0f ms < spike %.0f ms", rep.TailTraceMaxMS, rep.SpikeLatencyMS)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not serializable: %v", err)
+	}
+	if FormatObs(rep) == "" {
+		t.Fatal("empty format")
+	}
+}

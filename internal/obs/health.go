@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"runtime"
+	runtimemetrics "runtime/metrics"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// DefaultHealthInterval is how often the runtime health sampler polls
+// the Go runtime.
+const DefaultHealthInterval = 10 * time.Second
+
+// HealthSampler polls the Go runtime on a ticker and exports gauges for
+// the things that go wrong in a long-lived proxy: heap growth, GC pause
+// behaviour, goroutine leaks, and scheduler latency. Create with
+// NewHealthSampler, start with Start, stop with Stop. Sample may also be
+// called directly (tests, pre-capture refresh in the flight recorder).
+type HealthSampler struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu            sync.Mutex
+	lastSched     *runtimemetrics.Float64Histogram
+	lastNumGC     uint32
+	lastPauseTot  uint64
+	lastGoroutine int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// schedLatencyMetric is the runtime/metrics sample for time goroutines
+// spend runnable before running — the node-local signal for CPU
+// saturation.
+const schedLatencyMetric = "/sched/latencies:seconds"
+
+// NewHealthSampler builds a sampler over reg. interval ≤ 0 uses
+// DefaultHealthInterval.
+func NewHealthSampler(reg *Registry, interval time.Duration) *HealthSampler {
+	if interval <= 0 {
+		interval = DefaultHealthInterval
+	}
+	return &HealthSampler{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the sampling ticker (taking one sample immediately).
+func (h *HealthSampler) Start() {
+	go func() {
+		defer close(h.done)
+		ticker := time.NewTicker(h.interval)
+		defer ticker.Stop()
+		h.Sample()
+		for {
+			select {
+			case <-ticker.C:
+				h.Sample()
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the ticker. Safe to call more than once; only the first
+// call blocks for the goroutine.
+func (h *HealthSampler) Stop() {
+	h.stopOnce.Do(func() {
+		close(h.stop)
+		<-h.done
+	})
+}
+
+// Goroutines returns the goroutine count from the most recent sample
+// (0 before the first).
+func (h *HealthSampler) Goroutines() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastGoroutine
+}
+
+// Sample takes one runtime reading and updates the msite_runtime_*
+// gauges. Safe for concurrent use.
+func (h *HealthSampler) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	goroutines := runtime.NumGoroutine()
+
+	samples := []runtimemetrics.Sample{{Name: schedLatencyMetric}}
+	runtimemetrics.Read(samples)
+
+	h.mu.Lock()
+	var schedP99 float64
+	if samples[0].Value.Kind() == runtimemetrics.KindFloat64Histogram {
+		cur := samples[0].Value.Float64Histogram()
+		schedP99 = histogramDeltaP99(h.lastSched, cur)
+		h.lastSched = cloneFloat64Histogram(cur)
+	}
+	h.lastNumGC = ms.NumGC
+	h.lastPauseTot = ms.PauseTotalNs
+	h.lastGoroutine = goroutines
+	h.mu.Unlock()
+
+	r := h.reg
+	r.Gauge("msite_runtime_goroutines").Set(float64(goroutines))
+	r.Gauge("msite_runtime_threads").Set(float64(pprof.Lookup("threadcreate").Count()))
+	r.Gauge("msite_runtime_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	r.Gauge("msite_runtime_heap_sys_bytes").Set(float64(ms.HeapSys))
+	r.Gauge("msite_runtime_heap_objects").Set(float64(ms.HeapObjects))
+	r.Gauge("msite_runtime_gc_cycles_total").Set(float64(ms.NumGC))
+	r.Gauge("msite_runtime_gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	if ms.NumGC > 0 {
+		last := ms.PauseNs[(ms.NumGC+255)%256]
+		r.Gauge("msite_runtime_gc_pause_last_seconds").Set(float64(last) / 1e9)
+	}
+	r.Gauge("msite_runtime_sched_latency_p99_seconds").Set(schedP99)
+}
+
+// cloneFloat64Histogram deep-copies a runtime/metrics histogram so the
+// next Read doesn't overwrite our baseline.
+func cloneFloat64Histogram(src *runtimemetrics.Float64Histogram) *runtimemetrics.Float64Histogram {
+	if src == nil {
+		return nil
+	}
+	out := &runtimemetrics.Float64Histogram{
+		Counts:  make([]uint64, len(src.Counts)),
+		Buckets: make([]float64, len(src.Buckets)),
+	}
+	copy(out.Counts, src.Counts)
+	copy(out.Buckets, src.Buckets)
+	return out
+}
+
+// histogramDeltaP99 estimates the p99 of the observations added between
+// prev and cur (runtime/metrics histograms are cumulative since process
+// start; the delta isolates the last interval). Returns 0 when nothing
+// was added. Bucket i of Counts spans Buckets[i] to Buckets[i+1].
+func histogramDeltaP99(prev, cur *runtimemetrics.Float64Histogram) float64 {
+	if cur == nil || len(cur.Counts) == 0 {
+		return 0
+	}
+	deltas := make([]uint64, len(cur.Counts))
+	var total uint64
+	for i, c := range cur.Counts {
+		d := c
+		if prev != nil && i < len(prev.Counts) && prev.Counts[i] <= c {
+			d = c - prev.Counts[i]
+		}
+		deltas[i] = d
+		total += d
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(float64(total) * 0.99)
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, d := range deltas {
+		cum += d
+		if cum >= rank {
+			// Report the bucket's upper edge; the final bucket's edge may
+			// be +Inf, in which case fall back to its lower edge.
+			hi := i + 1
+			if hi < len(cur.Buckets) && !isInf(cur.Buckets[hi]) {
+				return cur.Buckets[hi]
+			}
+			if i < len(cur.Buckets) {
+				return cur.Buckets[i]
+			}
+			return 0
+		}
+	}
+	return 0
+}
+
+func isInf(v float64) bool { return v > 1e308 || v < -1e308 }

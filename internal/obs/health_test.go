@@ -1,0 +1,74 @@
+package obs
+
+import (
+	runtimemetrics "runtime/metrics"
+	"testing"
+	"time"
+)
+
+func TestHealthSample(t *testing.T) {
+	r := NewRegistry()
+	h := NewHealthSampler(r, 0)
+	h.Sample()
+
+	snap := r.Snapshot()
+	if gaugeValue(t, snap, "msite_runtime_goroutines") < 1 {
+		t.Fatal("goroutine gauge not positive")
+	}
+	if gaugeValue(t, snap, "msite_runtime_heap_alloc_bytes") <= 0 {
+		t.Fatal("heap alloc gauge not positive")
+	}
+	if gaugeValue(t, snap, "msite_runtime_heap_sys_bytes") <= 0 {
+		t.Fatal("heap sys gauge not positive")
+	}
+	if gaugeValue(t, snap, "msite_runtime_threads") < 1 {
+		t.Fatal("thread gauge not positive")
+	}
+	// Present even when zero.
+	gaugeValue(t, snap, "msite_runtime_gc_cycles_total")
+	gaugeValue(t, snap, "msite_runtime_gc_pause_total_seconds")
+	gaugeValue(t, snap, "msite_runtime_sched_latency_p99_seconds")
+
+	if h.Goroutines() < 1 {
+		t.Fatal("Goroutines() not populated from the sample")
+	}
+}
+
+func TestHealthStartStop(t *testing.T) {
+	r := NewRegistry()
+	h := NewHealthSampler(r, 5*time.Millisecond)
+	h.Start()
+	time.Sleep(20 * time.Millisecond)
+	h.Stop()
+	h.Stop() // idempotent
+	if h.Goroutines() < 1 {
+		t.Fatal("ticker never sampled")
+	}
+}
+
+func schedHist(counts []uint64, buckets []float64) *runtimemetrics.Float64Histogram {
+	return &runtimemetrics.Float64Histogram{Counts: counts, Buckets: buckets}
+}
+
+func TestHistogramDeltaP99(t *testing.T) {
+	buckets := []float64{0, 0.001, 0.01}
+	// Nil baseline: the whole cumulative histogram is the delta. 10 of
+	// 100 observations sit in the slow bucket, so the p99 lands there.
+	cur := schedHist([]uint64{90, 10}, buckets)
+	if got := histogramDeltaP99(nil, cur); got != 0.01 {
+		t.Fatalf("p99 = %v, want 0.01", got)
+	}
+	// With a baseline, only the growth counts: 100 new fast observations
+	// and nothing slow pulls the p99 into the first bucket.
+	next := schedHist([]uint64{190, 10}, buckets)
+	if got := histogramDeltaP99(cur, next); got != 0.001 {
+		t.Fatalf("delta p99 = %v, want 0.001", got)
+	}
+	// No growth at all: zero.
+	if got := histogramDeltaP99(next, next); got != 0 {
+		t.Fatalf("flat delta p99 = %v, want 0", got)
+	}
+	if got := histogramDeltaP99(nil, nil); got != 0 {
+		t.Fatalf("nil p99 = %v, want 0", got)
+	}
+}

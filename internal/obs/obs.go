@@ -38,21 +38,159 @@ type Label struct {
 	Value string `json:"value"`
 }
 
-// Registry holds named metrics and the ring buffer of recent traces.
+// DefaultLabelCardinality bounds how many distinct values one label key
+// of one metric family may take. The 65th and later values collapse
+// into OverflowLabelValue, so an open-ended label source (a crawler
+// hitting many sites, a botnet of origins) cannot grow /metrics without
+// bound.
+const DefaultLabelCardinality = 64
+
+// OverflowLabelValue is the bucket label values collapse into past the
+// cardinality cap.
+const OverflowLabelValue = "other"
+
+// Event is one notable runtime occurrence emitted by an instrumented
+// subsystem — the push-side complement to the pull-side metrics. The
+// flight recorder subscribes to these to trip incident captures.
+type Event struct {
+	// Kind is one of the Event* constants.
+	Kind string
+	// Detail carries the specifics (origin host, shed reason, store key).
+	Detail string
+	// Time is when the event happened.
+	Time time.Time
+}
+
+// Event kinds emitted by the instrumented subsystems.
+const (
+	// EventBreakerOpen: a per-origin circuit breaker tripped open.
+	EventBreakerOpen = "breaker_open"
+	// EventShed: admission control refused a request (detail = reason).
+	EventShed = "shed"
+	// EventStoreCorrupt: the durable store dropped a corrupt record.
+	EventStoreCorrupt = "store_corrupt"
+)
+
+// Registry holds named metrics, the ring buffer of recent traces, the
+// tail-biased slow/error trace reservoir, and the event subscribers.
 // All methods are safe for concurrent use; metric handles returned by
 // Counter/Gauge/Histogram may be cached and used lock-free.
 type Registry struct {
-	mu      sync.RWMutex
-	metrics map[string]any // *Counter, *Gauge, *gaugeFunc, *Histogram
-	traces  *traceRing
+	mu        sync.RWMutex
+	metrics   map[string]any // *Counter, *Gauge, *gaugeFunc, *Histogram
+	cardLimit int
+	// labelSeen tracks the distinct values per (family, label key) for
+	// the cardinality cap; keys are name+"\x00"+labelKey.
+	labelSeen map[string]map[string]struct{}
+	traces    *traceRing
+	tail      *tailReservoir
+
+	// subs is the event-subscriber list. It is copy-on-write behind an
+	// atomic pointer so Emit on a hot path is one load and (with no
+	// subscribers, the common case) nothing else.
+	subs atomic.Pointer[[]func(Event)]
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		metrics: make(map[string]any),
-		traces:  newTraceRing(DefaultTraceCapacity),
+		metrics:   make(map[string]any),
+		cardLimit: DefaultLabelCardinality,
+		labelSeen: make(map[string]map[string]struct{}),
+		traces:    newTraceRing(DefaultTraceCapacity),
+		tail:      newTailReservoir(DefaultTailCapacity, DefaultTailSlow),
 	}
+}
+
+// Subscribe registers fn to receive every subsequent Emit. fn must be
+// fast and must not call back into metric registration while handling
+// an event from a registration path.
+func (r *Registry) Subscribe(fn func(Event)) {
+	for {
+		old := r.subs.Load()
+		var next []func(Event)
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, fn)
+		if r.subs.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+// Emit publishes an event to every subscriber, synchronously. With no
+// subscribers it is a single atomic load.
+func (r *Registry) Emit(kind, detail string) {
+	subs := r.subs.Load()
+	if subs == nil || len(*subs) == 0 {
+		return
+	}
+	ev := Event{Kind: kind, Detail: detail, Time: time.Now()}
+	for _, fn := range *subs {
+		fn(ev)
+	}
+}
+
+// SetLabelCardinality adjusts the per-(family, key) distinct-value cap.
+// 0 restores DefaultLabelCardinality; negative disables the cap.
+func (r *Registry) SetLabelCardinality(n int) {
+	if n == 0 {
+		n = DefaultLabelCardinality
+	}
+	r.mu.Lock()
+	r.cardLimit = n
+	r.mu.Unlock()
+}
+
+// capLabels enforces the cardinality cap: label values beyond the
+// per-(family, key) limit are replaced with OverflowLabelValue. The
+// fast path (every value already seen) takes only the read lock.
+func (r *Registry) capLabels(name string, labels []Label) []Label {
+	if len(labels) == 0 {
+		return labels
+	}
+	r.mu.RLock()
+	limit := r.cardLimit
+	allSeen := limit >= 0
+	if allSeen {
+		for _, l := range labels {
+			if _, ok := r.labelSeen[name+"\x00"+l.Key][l.Value]; !ok {
+				allSeen = false
+				break
+			}
+		}
+	}
+	r.mu.RUnlock()
+	if limit < 0 || allSeen {
+		return labels
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	capped := labels
+	for i, l := range labels {
+		famKey := name + "\x00" + l.Key
+		seen := r.labelSeen[famKey]
+		if seen == nil {
+			seen = make(map[string]struct{})
+			r.labelSeen[famKey] = seen
+		}
+		if _, ok := seen[l.Value]; ok {
+			continue
+		}
+		if len(seen) < r.cardLimit {
+			seen[l.Value] = struct{}{}
+			continue
+		}
+		// Over the cap: rewrite this pair to the overflow bucket (on a
+		// copy, the caller's slice may be shared).
+		if &capped[0] == &labels[0] {
+			capped = make([]Label, len(labels))
+			copy(capped, labels)
+		}
+		capped[i].Value = OverflowLabelValue
+	}
+	return capped
 }
 
 // metricID canonicalizes a name plus label pairs into a map key (and the
@@ -108,9 +246,10 @@ func (r *Registry) lookup(id string, make func() any) any {
 }
 
 // Counter returns (creating on first use) the counter for name and label
-// pairs ("k1", "v1", ...).
+// pairs ("k1", "v1", ...). Label values past the cardinality cap
+// collapse into OverflowLabelValue.
 func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
-	labels := makeLabels(labelPairs)
+	labels := r.capLabels(name, makeLabels(labelPairs))
 	id := metricID(name, labels)
 	m := r.lookup(id, func() any { return &Counter{name: name, labels: labels} })
 	c, ok := m.(*Counter)
@@ -123,7 +262,7 @@ func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
 // Gauge returns (creating on first use) the settable gauge for name and
 // label pairs.
 func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
-	labels := makeLabels(labelPairs)
+	labels := r.capLabels(name, makeLabels(labelPairs))
 	id := metricID(name, labels)
 	m := r.lookup(id, func() any { return &Gauge{name: name, labels: labels} })
 	g, ok := m.(*Gauge)
@@ -136,7 +275,7 @@ func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
 // GaugeFunc registers (or replaces) a gauge whose value is read from fn
 // at snapshot time — e.g. the live-session count.
 func (r *Registry) GaugeFunc(name string, fn func() float64, labelPairs ...string) {
-	labels := makeLabels(labelPairs)
+	labels := r.capLabels(name, makeLabels(labelPairs))
 	id := metricID(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -157,7 +296,7 @@ func (r *Registry) Histogram(name string, labelPairs ...string) *Histogram {
 // HistogramBuckets is Histogram with explicit upper bounds (sorted
 // ascending; an implicit +Inf bucket is appended).
 func (r *Registry) HistogramBuckets(name string, bounds []float64, labelPairs ...string) *Histogram {
-	labels := makeLabels(labelPairs)
+	labels := r.capLabels(name, makeLabels(labelPairs))
 	id := metricID(name, labels)
 	m := r.lookup(id, func() any { return newHistogram(name, labels, bounds) })
 	h, ok := m.(*Histogram)

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -190,5 +192,163 @@ func TestConcurrentWritesAndSnapshots(t *testing.T) {
 	h, ok := snap.Histogram("msite_stage_seconds", "stage", "fetch")
 	if !ok || h.Count != workers*iters {
 		t.Fatalf("histogram count = %d, want %d", h.Count, workers*iters)
+	}
+}
+
+func TestLabelCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabelCardinality(3)
+	for i := 0; i < 10; i++ {
+		r.Counter("msite_origin_requests_total", "origin", fmt.Sprintf("site-%d", i)).Inc()
+	}
+	snap := r.Snapshot()
+	values := map[string]uint64{}
+	for _, c := range snap.Counters {
+		if c.Name == "msite_origin_requests_total" {
+			values[c.Label("origin")] += c.Value
+		}
+	}
+	if len(values) != 4 {
+		t.Fatalf("series values = %v, want 3 distinct + %q", values, OverflowLabelValue)
+	}
+	if values[OverflowLabelValue] != 7 {
+		t.Fatalf("overflow bucket = %d, want 7", values[OverflowLabelValue])
+	}
+	for i := 0; i < 3; i++ {
+		if values[fmt.Sprintf("site-%d", i)] != 1 {
+			t.Fatalf("pre-cap value site-%d = %v", i, values)
+		}
+	}
+}
+
+func TestLabelCardinalityPerKeyAndFamily(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabelCardinality(2)
+	// The cap is per (family, key): a second family gets its own budget.
+	r.Counter("fam_a", "k", "v1").Inc()
+	r.Counter("fam_a", "k", "v2").Inc()
+	r.Counter("fam_a", "k", "v3").Inc() // over fam_a's budget
+	r.Counter("fam_b", "k", "v3").Inc() // fresh budget
+	snap := r.Snapshot()
+	var aOther, bOther bool
+	for _, c := range snap.Counters {
+		if c.Name == "fam_a" && c.Label("k") == OverflowLabelValue {
+			aOther = true
+		}
+		if c.Name == "fam_b" && c.Label("k") == OverflowLabelValue {
+			bOther = true
+		}
+	}
+	if !aOther {
+		t.Fatal("fam_a's third value not bucketed as overflow")
+	}
+	if bOther {
+		t.Fatal("fam_b's first value wrongly bucketed")
+	}
+}
+
+func TestLabelCardinalityUnlimited(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabelCardinality(-1)
+	for i := 0; i < DefaultLabelCardinality+10; i++ {
+		r.Counter("m", "k", fmt.Sprintf("v%d", i)).Inc()
+	}
+	snap := r.Snapshot()
+	n := 0
+	for _, c := range snap.Counters {
+		if c.Name == "m" {
+			n++
+			if c.Label("k") == OverflowLabelValue {
+				t.Fatal("unlimited registry bucketed a value")
+			}
+		}
+	}
+	if n != DefaultLabelCardinality+10 {
+		t.Fatalf("series = %d, want %d", n, DefaultLabelCardinality+10)
+	}
+}
+
+func TestLabelCardinalityConcurrent(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabelCardinality(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("m", "k", fmt.Sprintf("v%d", i%20)).Inc()
+				r.Gauge("g", "k", fmt.Sprintf("v%d", i%20)).Set(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total uint64
+	distinct := map[string]bool{}
+	for _, c := range snap.Counters {
+		if c.Name == "m" {
+			total += c.Value
+			distinct[c.Label("k")] = true
+		}
+	}
+	if total != 8*100 {
+		t.Fatalf("total = %d, want %d (no increments lost to capping)", total, 8*100)
+	}
+	if len(distinct) > 9 {
+		t.Fatalf("distinct values = %d, want <= cap+overflow", len(distinct))
+	}
+}
+
+func TestEventBus(t *testing.T) {
+	r := NewRegistry()
+	r.Emit(EventShed, "nobody listening") // must not panic or allocate subscribers
+
+	var mu sync.Mutex
+	var got []Event
+	r.Subscribe(func(ev Event) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	})
+	r.Emit(EventBreakerOpen, "origin-1")
+	r.Emit(EventStoreCorrupt, "seg-3")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("events = %d, want 2", len(got))
+	}
+	if got[0].Kind != EventBreakerOpen || got[0].Detail != "origin-1" {
+		t.Fatalf("event = %+v", got[0])
+	}
+	if got[1].Time.IsZero() {
+		t.Fatal("event time not stamped")
+	}
+}
+
+func TestEventBusConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var count atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Subscribe(func(Event) { count.Add(1) })
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(EventShed, "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := count.Load(); got != 4*4*100 {
+		t.Fatalf("deliveries = %d, want %d", got, 4*4*100)
 	}
 }

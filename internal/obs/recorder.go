@@ -1,0 +1,538 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder: a watchdog that notices the node is in trouble —
+// burn-rate alerts, shed storms, breakers opening, store corruption,
+// goroutine growth — and captures an incident bundle to disk *at that
+// moment*, while the evidence (goroutine stacks, CPU time, slow traces)
+// still exists. Bundles are directories under RecorderConfig.Dir,
+// written atomically (tmp dir + rename) and retained as a ring on disk.
+
+// Defaults for RecorderConfig.
+const (
+	DefaultIncidentMax      = 16
+	DefaultCPUProfile       = 5 * time.Second
+	DefaultIncidentCooldown = time.Minute
+	DefaultWatchInterval    = 5 * time.Second
+	// DefaultShedStorm is the shed-events-per-watch-tick count treated
+	// as a storm.
+	DefaultShedStorm = 50
+	// DefaultGoroutineLimit trips the watchdog when the sampled
+	// goroutine count exceeds it (leak detection).
+	DefaultGoroutineLimit = 10000
+)
+
+// incidentPrefix names bundle directories: incident-<unixms>-<reason>.
+const incidentPrefix = "incident-"
+
+// RecorderConfig tunes a Recorder. Dir is required; everything else
+// zero-defaults.
+type RecorderConfig struct {
+	// Dir is where incident bundles live.
+	Dir string
+	// MaxIncidents bounds the on-disk ring (oldest deleted first).
+	MaxIncidents int
+	// CPUProfile is how long the capture's CPU profile runs.
+	CPUProfile time.Duration
+	// Cooldown suppresses repeat captures for the same reason.
+	Cooldown time.Duration
+	// Interval is the watchdog tick.
+	Interval time.Duration
+	// ShedStorm is the shed count per tick that counts as a storm.
+	ShedStorm int
+	// GoroutineLimit trips on goroutine counts above it (0 uses the
+	// default; negative disables).
+	GoroutineLimit int
+	// Health, when set, supplies goroutine counts without an extra
+	// runtime poll and is refreshed before each capture.
+	Health *HealthSampler
+	// Clock is the time source (tests inject a fake one). Nil uses
+	// time.Now.
+	Clock func() time.Time
+}
+
+func (c RecorderConfig) withDefaults() RecorderConfig {
+	if c.MaxIncidents <= 0 {
+		c.MaxIncidents = DefaultIncidentMax
+	}
+	if c.CPUProfile <= 0 {
+		c.CPUProfile = DefaultCPUProfile
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultIncidentCooldown
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefaultWatchInterval
+	}
+	if c.ShedStorm <= 0 {
+		c.ShedStorm = DefaultShedStorm
+	}
+	if c.GoroutineLimit == 0 {
+		c.GoroutineLimit = DefaultGoroutineLimit
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// IncidentMeta is a bundle's meta.json.
+type IncidentMeta struct {
+	Name     string    `json:"name"`
+	Reason   string    `json:"reason"`
+	Detail   string    `json:"detail"`
+	Time     time.Time `json:"time"`
+	Hostname string    `json:"hostname,omitempty"`
+	// Goroutines is the count at capture time.
+	Goroutines int `json:"goroutines"`
+	// Files lists the bundle's contents.
+	Files []string `json:"files"`
+	// CPUProfileErr records why cpu.pprof is missing, if it is (e.g.
+	// another profiler already running).
+	CPUProfileErr string `json:"cpu_profile_err,omitempty"`
+}
+
+// Recorder is the watchdog + capturer. Create with NewRecorder, start
+// with Start, stop with Stop. Trip may be called directly (the SLO
+// engine's OnAlert does).
+type Recorder struct {
+	reg *Registry
+	cfg RecorderConfig
+
+	// Event counters fed by the registry bus.
+	sheds    atomic.Uint64
+	breakers atomic.Uint64
+	corrupts atomic.Uint64
+
+	// Watchdog baselines (only touched by the run loop).
+	lastBreakers uint64
+	lastCorrupts uint64
+	lastSheds    uint64
+
+	mu       sync.Mutex
+	lastTrip map[string]time.Time // reason → last capture, for cooldown
+	prevSnap Snapshot             // baseline for metrics_delta.json
+
+	trips    chan tripRequest
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+type tripRequest struct {
+	reason string
+	detail string
+}
+
+// NewRecorder builds a recorder over reg, subscribing to its event bus.
+// The Dir is created eagerly so a missing parent fails fast.
+func NewRecorder(reg *Registry, cfg RecorderConfig) (*Recorder, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("recorder: Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recorder: %w", err)
+	}
+	r := &Recorder{
+		reg:      reg,
+		cfg:      cfg,
+		lastTrip: make(map[string]time.Time),
+		trips:    make(chan tripRequest, 8),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	r.prevSnap = reg.Snapshot()
+	reg.Subscribe(func(ev Event) {
+		switch ev.Kind {
+		case EventShed:
+			r.sheds.Add(1)
+		case EventBreakerOpen:
+			r.breakers.Add(1)
+		case EventStoreCorrupt:
+			r.corrupts.Add(1)
+		}
+	})
+	return r, nil
+}
+
+// Dir returns the bundle directory.
+func (r *Recorder) Dir() string { return r.cfg.Dir }
+
+// Start launches the watchdog/capture loop.
+func (r *Recorder) Start() {
+	go r.run()
+}
+
+// Stop ends the loop. Safe to call more than once; only the first call
+// blocks for the goroutine (including any in-flight capture).
+func (r *Recorder) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		<-r.done
+	})
+}
+
+// Trip requests an incident capture. Non-blocking: if a capture is
+// already queued the request is dropped (the node is in trouble either
+// way, and one bundle is enough). Cooldown per reason is applied at
+// capture time.
+func (r *Recorder) Trip(reason, detail string) {
+	select {
+	case r.trips <- tripRequest{reason: reason, detail: detail}:
+	default:
+	}
+}
+
+// run is the single goroutine that both watches and captures; captures
+// are serialized because CPU profiles cannot overlap.
+func (r *Recorder) run() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case req := <-r.trips:
+			r.capture(req)
+		case <-ticker.C:
+			r.watch()
+		}
+	}
+}
+
+// watch is one watchdog tick: inspect the event deltas since the last
+// tick and trip on anything alarming.
+func (r *Recorder) watch() {
+	if b := r.breakers.Load(); b > r.lastBreakers {
+		r.lastBreakers = b
+		r.Trip("breaker_open", "origin circuit breaker opened")
+	}
+	if c := r.corrupts.Load(); c > r.lastCorrupts {
+		r.lastCorrupts = c
+		r.Trip("store_corrupt", "durable store detected corruption")
+	}
+	s := r.sheds.Load()
+	if delta := s - r.lastSheds; delta >= uint64(r.cfg.ShedStorm) {
+		r.Trip("shed_storm", fmt.Sprintf("%d requests shed in one watch interval", delta))
+	}
+	r.lastSheds = s
+	if r.cfg.GoroutineLimit > 0 {
+		n := runtime.NumGoroutine()
+		if r.cfg.Health != nil {
+			if g := r.cfg.Health.Goroutines(); g > 0 {
+				n = g
+			}
+		}
+		if n > r.cfg.GoroutineLimit {
+			r.Trip("goroutine_growth", fmt.Sprintf("%d goroutines (limit %d)", n, r.cfg.GoroutineLimit))
+		}
+	}
+	// Drain any trips queued while we were inspecting, so a trip raised
+	// this tick is captured before the next tick.
+	for {
+		select {
+		case req := <-r.trips:
+			r.capture(req)
+		default:
+			return
+		}
+	}
+}
+
+// capture writes one incident bundle, honoring the per-reason cooldown.
+func (r *Recorder) capture(req tripRequest) {
+	now := r.cfg.Clock()
+	r.mu.Lock()
+	if last, ok := r.lastTrip[req.reason]; ok && now.Sub(last) < r.cfg.Cooldown {
+		r.mu.Unlock()
+		r.reg.Counter("msite_incidents_suppressed_total", "reason", req.reason).Inc()
+		return
+	}
+	r.lastTrip[req.reason] = now
+	prev := r.prevSnap
+	r.mu.Unlock()
+
+	if r.cfg.Health != nil {
+		r.cfg.Health.Sample() // fresh runtime gauges in the snapshot
+	}
+
+	name := fmt.Sprintf("%s%d-%s", incidentPrefix, now.UnixMilli(), sanitizeReason(req.reason))
+	tmp, err := os.MkdirTemp(r.cfg.Dir, ".tmp-")
+	if err != nil {
+		r.captureError(req.reason, err)
+		return
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+
+	meta := IncidentMeta{
+		Name:       name,
+		Reason:     req.reason,
+		Detail:     req.detail,
+		Time:       now,
+		Goroutines: runtime.NumGoroutine(),
+	}
+	meta.Hostname, _ = os.Hostname()
+
+	write := func(file string, fn func(f *os.File) error) {
+		f, err := os.Create(filepath.Join(tmp, file))
+		if err != nil {
+			return
+		}
+		werr := fn(f)
+		cerr := f.Close()
+		if werr == nil && cerr == nil {
+			meta.Files = append(meta.Files, file)
+		}
+	}
+
+	// Goroutine stacks (debug=2 gives full stacks with states).
+	write("goroutines.txt", func(f *os.File) error {
+		return pprof.Lookup("goroutine").WriteTo(f, 2)
+	})
+	// Heap profile.
+	write("heap.pprof", func(f *os.File) error {
+		runtime.GC() // up-to-date allocation data
+		return pprof.Lookup("heap").WriteTo(f, 0)
+	})
+	// Timed CPU profile; fails if another profile is running — recorded
+	// in meta rather than aborting the bundle.
+	write("cpu.pprof", func(f *os.File) error {
+		if err := pprof.StartCPUProfile(f); err != nil {
+			meta.CPUProfileErr = err.Error()
+			return err
+		}
+		select {
+		case <-time.After(r.cfg.CPUProfile):
+		case <-r.stop:
+		}
+		pprof.StopCPUProfile()
+		return nil
+	})
+	// Slow/error traces from the tail reservoir plus the recent ring.
+	write("traces.json", func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{
+			"tail":   r.reg.TailTraces(),
+			"recent": r.reg.RecentTraces(),
+		})
+	})
+	// Metrics snapshot + delta since the previous capture (or recorder
+	// start), so "what changed" is one file.
+	cur := r.reg.Snapshot()
+	write("metrics_delta.json", func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{
+			"current":        cur,
+			"counter_deltas": counterDeltas(prev, cur),
+		})
+	})
+	write("meta.json", func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(meta)
+	})
+
+	if err := os.Rename(tmp, filepath.Join(r.cfg.Dir, name)); err != nil {
+		r.captureError(req.reason, err)
+		return
+	}
+	r.mu.Lock()
+	r.prevSnap = cur
+	r.mu.Unlock()
+	r.reg.Counter("msite_incidents_total", "reason", req.reason).Inc()
+	r.prune()
+}
+
+func (r *Recorder) captureError(reason string, err error) {
+	_ = err
+	r.reg.Counter("msite_incident_capture_errors_total", "reason", reason).Inc()
+}
+
+// prune deletes the oldest bundles past MaxIncidents.
+func (r *Recorder) prune() {
+	names, err := listIncidents(r.cfg.Dir)
+	if err != nil {
+		return
+	}
+	for len(names) > r.cfg.MaxIncidents {
+		os.RemoveAll(filepath.Join(r.cfg.Dir, names[0]))
+		names = names[1:]
+	}
+}
+
+// counterDelta is one counter's growth between two snapshots.
+type counterDelta struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Delta  uint64  `json:"delta"`
+}
+
+// counterDeltas lists every counter that grew between prev and cur.
+func counterDeltas(prev, cur Snapshot) []counterDelta {
+	prevVal := make(map[string]uint64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		prevVal[counterKey(c)] = c.Value
+	}
+	var out []counterDelta
+	for _, c := range cur.Counters {
+		if d := c.Value - prevVal[counterKey(c)]; d > 0 {
+			out = append(out, counterDelta{Name: c.Name, Labels: c.Labels, Delta: d})
+		}
+	}
+	return out
+}
+
+func counterKey(c CounterStat) string {
+	var b strings.Builder
+	b.WriteString(c.Name)
+	for _, l := range c.Labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// sanitizeReason makes a trip reason safe as a directory-name suffix.
+func sanitizeReason(reason string) string {
+	var b strings.Builder
+	for _, r := range reason {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "unknown"
+	}
+	return b.String()
+}
+
+// listIncidents returns bundle directory names, oldest first (the
+// unix-millis prefix makes lexical order chronological for same-width
+// timestamps; sort numerically on the parsed timestamp to be safe).
+func listIncidents(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), incidentPrefix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return incidentStamp(names[i]) < incidentStamp(names[j]) ||
+			(incidentStamp(names[i]) == incidentStamp(names[j]) && names[i] < names[j])
+	})
+	return names, nil
+}
+
+// incidentStamp parses the unix-millis component of a bundle name.
+func incidentStamp(name string) int64 {
+	rest := strings.TrimPrefix(name, incidentPrefix)
+	var ms int64
+	for _, r := range rest {
+		if r < '0' || r > '9' {
+			break
+		}
+		ms = ms*10 + int64(r-'0')
+	}
+	return ms
+}
+
+// Incidents lists the on-disk bundles' metadata, newest first. Bundles
+// whose meta.json is unreadable still appear with just their name.
+func (r *Recorder) Incidents() []IncidentMeta {
+	names, err := listIncidents(r.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	out := make([]IncidentMeta, 0, len(names))
+	for i := len(names) - 1; i >= 0; i-- {
+		name := names[i]
+		meta := IncidentMeta{Name: name}
+		if raw, err := os.ReadFile(filepath.Join(r.cfg.Dir, name, "meta.json")); err == nil {
+			_ = json.Unmarshal(raw, &meta)
+			meta.Name = name
+		}
+		out = append(out, meta)
+	}
+	return out
+}
+
+// IncidentsHandler serves the bundle index as JSON at its mount point
+// (/debug/incidents) and individual bundle files at <name>/<file>.
+// Traversal is blocked: name must be a bundle directory name, file a
+// bare filename.
+func IncidentsHandler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rest := strings.Trim(strings.TrimPrefix(req.URL.Path, "/debug/incidents"), "/")
+		if rest == "" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(map[string]any{"dir": r.Dir(), "incidents": r.Incidents()})
+			return
+		}
+		parts := strings.Split(rest, "/")
+		name := parts[0]
+		if !strings.HasPrefix(name, incidentPrefix) || strings.ContainsAny(name, `\`) {
+			http.NotFound(w, req)
+			return
+		}
+		if len(parts) == 1 {
+			// List the bundle's files.
+			entries, err := os.ReadDir(filepath.Join(r.Dir(), name))
+			if err != nil {
+				http.NotFound(w, req)
+				return
+			}
+			var files []string
+			for _, e := range entries {
+				if !e.IsDir() {
+					files = append(files, e.Name())
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"name": name, "files": files})
+			return
+		}
+		if len(parts) != 2 {
+			http.NotFound(w, req)
+			return
+		}
+		file := parts[1]
+		if file != filepath.Base(file) || strings.HasPrefix(file, ".") {
+			http.NotFound(w, req)
+			return
+		}
+		http.ServeFile(w, req, filepath.Join(r.Dir(), name, file))
+	})
+}

@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestRecorder builds an unstarted recorder with a fast CPU profile
+// over a temp dir; tests drive capture/watch directly.
+func newTestRecorder(t *testing.T, r *Registry, clock *fakeClock, tweak func(*RecorderConfig)) *Recorder {
+	t.Helper()
+	cfg := RecorderConfig{
+		Dir:        t.TempDir(),
+		CPUProfile: 20 * time.Millisecond,
+		Clock:      clock.Now,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	rec, err := NewRecorder(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecorderCapturesCompleteBundle(t *testing.T) {
+	r := NewRegistry()
+	clock := newFakeClock()
+	rec := newTestRecorder(t, r, clock, nil)
+
+	// Seed some state the bundle should carry: a tail-worthy trace and a
+	// counter that will appear in the deltas.
+	r.SetTailSampling(time.Hour, 0)
+	_, tr := r.StartTrace(context.Background(), "entry")
+	tr.Annotate("error", "boom")
+	tr.End()
+	r.Counter("msite_proxy_errors_total", "site", "forum").Add(3)
+
+	rec.capture(tripRequest{reason: "slo_burn_availability", detail: "test burn"})
+
+	incidents := rec.Incidents()
+	if len(incidents) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(incidents))
+	}
+	meta := incidents[0]
+	if meta.Reason != "slo_burn_availability" || meta.Detail != "test burn" {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if meta.Goroutines < 1 {
+		t.Fatal("goroutine count not recorded")
+	}
+	for _, want := range []string{"goroutines.txt", "heap.pprof", "cpu.pprof", "traces.json", "metrics_delta.json"} {
+		found := false
+		for _, f := range meta.Files {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("bundle missing %s: %v", want, meta.Files)
+		}
+		fi, err := os.Stat(filepath.Join(rec.Dir(), meta.Name, want))
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("bundle file %s: err=%v size=%v", want, err, fi)
+		}
+	}
+
+	// traces.json carries the tail-sampled error trace.
+	raw, err := os.ReadFile(filepath.Join(rec.Dir(), meta.Name, "traces.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces struct {
+		Tail []TraceRecord `json:"tail"`
+	}
+	if err := json.Unmarshal(raw, &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces.Tail) != 1 || traces.Tail[0].Name != "entry" {
+		t.Fatalf("tail traces = %+v", traces.Tail)
+	}
+
+	// metrics_delta.json records the error counter's growth since the
+	// recorder started.
+	raw, err = os.ReadFile(filepath.Join(rec.Dir(), meta.Name, "metrics_delta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delta struct {
+		CounterDeltas []struct {
+			Name  string `json:"name"`
+			Delta uint64 `json:"delta"`
+		} `json:"counter_deltas"`
+	}
+	if err := json.Unmarshal(raw, &delta); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range delta.CounterDeltas {
+		if d.Name == "msite_proxy_errors_total" && d.Delta == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("error-counter delta missing: %+v", delta.CounterDeltas)
+	}
+
+	// No temp dirs left behind.
+	entries, _ := os.ReadDir(rec.Dir())
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("stale temp dir %s", e.Name())
+		}
+	}
+}
+
+func TestRecorderCooldownSuppression(t *testing.T) {
+	r := NewRegistry()
+	clock := newFakeClock()
+	rec := newTestRecorder(t, r, clock, func(c *RecorderConfig) {
+		c.Cooldown = time.Minute
+	})
+
+	rec.capture(tripRequest{reason: "shed_storm"})
+	clock.Advance(10 * time.Second) // inside the cooldown
+	rec.capture(tripRequest{reason: "shed_storm"})
+	if got := len(rec.Incidents()); got != 1 {
+		t.Fatalf("incidents = %d, want 1 (second suppressed)", got)
+	}
+	var suppressed uint64
+	for _, c := range r.Snapshot().Counters {
+		if c.Name == "msite_incidents_suppressed_total" {
+			suppressed += c.Value
+		}
+	}
+	if suppressed != 1 {
+		t.Fatalf("suppressed counter = %d, want 1", suppressed)
+	}
+
+	// A different reason has its own cooldown; an expired cooldown
+	// re-arms.
+	rec.capture(tripRequest{reason: "breaker_open"})
+	clock.Advance(2 * time.Minute)
+	rec.capture(tripRequest{reason: "shed_storm"})
+	if got := len(rec.Incidents()); got != 3 {
+		t.Fatalf("incidents = %d, want 3", got)
+	}
+}
+
+func TestRecorderRetentionPrunesOldest(t *testing.T) {
+	r := NewRegistry()
+	clock := newFakeClock()
+	rec := newTestRecorder(t, r, clock, func(c *RecorderConfig) {
+		c.MaxIncidents = 2
+		c.Cooldown = time.Millisecond
+	})
+
+	for i := 0; i < 4; i++ {
+		rec.capture(tripRequest{reason: "shed_storm"})
+		clock.Advance(time.Second)
+	}
+	incidents := rec.Incidents()
+	if len(incidents) != 2 {
+		t.Fatalf("retained = %d, want 2", len(incidents))
+	}
+	// Newest first; the two oldest stamps are gone.
+	if incidents[0].Name <= incidents[1].Name {
+		t.Fatalf("order = %v", []string{incidents[0].Name, incidents[1].Name})
+	}
+}
+
+func TestRecorderWatchdogTripsOnEvents(t *testing.T) {
+	r := NewRegistry()
+	clock := newFakeClock()
+	rec := newTestRecorder(t, r, clock, func(c *RecorderConfig) {
+		c.ShedStorm = 5
+		c.Cooldown = time.Millisecond
+		c.GoroutineLimit = -1 // not under test
+	})
+
+	// Below the storm threshold: no trip.
+	for i := 0; i < 4; i++ {
+		r.Emit(EventShed, "queue_full")
+	}
+	rec.watch()
+	if got := len(rec.Incidents()); got != 0 {
+		t.Fatalf("tripped on %d sheds under threshold", got)
+	}
+	clock.Advance(time.Second)
+
+	// A storm in one tick trips shed_storm.
+	for i := 0; i < 5; i++ {
+		r.Emit(EventShed, "queue_full")
+	}
+	rec.watch()
+	incidents := rec.Incidents()
+	if len(incidents) != 1 || incidents[0].Reason != "shed_storm" {
+		t.Fatalf("incidents = %+v", incidents)
+	}
+	clock.Advance(time.Second)
+
+	// A breaker opening trips immediately, and store corruption too.
+	r.Emit(EventBreakerOpen, "origin-1")
+	rec.watch()
+	clock.Advance(time.Second)
+	r.Emit(EventStoreCorrupt, "seg-0")
+	rec.watch()
+	reasons := map[string]bool{}
+	for _, m := range rec.Incidents() {
+		reasons[m.Reason] = true
+	}
+	if !reasons["breaker_open"] || !reasons["store_corrupt"] {
+		t.Fatalf("reasons = %v", reasons)
+	}
+}
+
+func TestRecorderGoroutineGrowthTrip(t *testing.T) {
+	r := NewRegistry()
+	clock := newFakeClock()
+	rec := newTestRecorder(t, r, clock, func(c *RecorderConfig) {
+		c.GoroutineLimit = 1 // any real process exceeds this
+	})
+	rec.watch()
+	incidents := rec.Incidents()
+	if len(incidents) != 1 || incidents[0].Reason != "goroutine_growth" {
+		t.Fatalf("incidents = %+v", incidents)
+	}
+}
+
+func TestRecorderStartStopAndTrip(t *testing.T) {
+	r := NewRegistry()
+	rec, err := NewRecorder(r, RecorderConfig{
+		Dir:        t.TempDir(),
+		CPUProfile: 10 * time.Millisecond,
+		Interval:   time.Hour, // watchdog out of the way
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Start()
+	rec.Trip("manual", "operator requested")
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rec.Incidents()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	rec.Stop()
+	rec.Stop() // idempotent
+	incidents := rec.Incidents()
+	if len(incidents) != 1 || incidents[0].Reason != "manual" {
+		t.Fatalf("incidents = %+v", incidents)
+	}
+}
+
+func TestRecorderRequiresDir(t *testing.T) {
+	if _, err := NewRecorder(NewRegistry(), RecorderConfig{}); err == nil {
+		t.Fatal("no error for empty Dir")
+	}
+}
+
+func TestIncidentsHandler(t *testing.T) {
+	r := NewRegistry()
+	clock := newFakeClock()
+	rec := newTestRecorder(t, r, clock, nil)
+	rec.capture(tripRequest{reason: "shed_storm", detail: "storm"})
+	name := rec.Incidents()[0].Name
+
+	h := IncidentsHandler(rec)
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		return w
+	}
+
+	// Index.
+	w := get("/debug/incidents")
+	if w.Code != 200 {
+		t.Fatalf("index = %d", w.Code)
+	}
+	var index struct {
+		Dir       string         `json:"dir"`
+		Incidents []IncidentMeta `json:"incidents"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &index); err != nil {
+		t.Fatal(err)
+	}
+	if len(index.Incidents) != 1 || index.Incidents[0].Name != name {
+		t.Fatalf("index = %+v", index)
+	}
+
+	// Bundle file list.
+	w = get("/debug/incidents/" + name)
+	var listing struct {
+		Files []string `json:"files"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Files) < 5 {
+		t.Fatalf("files = %v", listing.Files)
+	}
+
+	// Individual file.
+	w = get("/debug/incidents/" + name + "/meta.json")
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "shed_storm") {
+		t.Fatalf("meta fetch = %d: %s", w.Code, w.Body.String())
+	}
+
+	// Traversal and junk are rejected.
+	for _, path := range []string{
+		"/debug/incidents/not-a-bundle",
+		"/debug/incidents/" + name + "/.hidden",
+		"/debug/incidents/" + name + "/a/b",
+	} {
+		if w := get(path); w.Code != 404 {
+			t.Fatalf("%s = %d, want 404", path, w.Code)
+		}
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("DELETE", "/debug/incidents", nil))
+	if w.Code != 405 {
+		t.Fatalf("DELETE = %d, want 405", w.Code)
+	}
+}

@@ -109,6 +109,11 @@ type Config struct {
 // is on and no BundleTTL is configured.
 const DefaultBundleTTL = time.Hour
 
+// TraceHeader is the response header carrying the request's trace ID;
+// the same ID keys the request's /debug/traces entry and its "trace"
+// slog attribute, so client reports, traces, and logs correlate.
+const TraceHeader = "X-MSite-Trace"
+
 // SessionCapRetryAfter is the Retry-After hint sent with 503s caused by
 // the -max-sessions cap: sessions free up on the idle-GC timescale, not
 // the pipeline one.
@@ -368,6 +373,9 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ctx, tr := p.obs.StartTrace(r.Context(), kind)
 	r = r.WithContext(ctx)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	// The trace ID goes back to the client so a slow or failed request
+	// can be matched to its /debug/traces entry and log lines.
+	rec.Header().Set(TraceHeader, tr.ID())
 
 	if ok, retry := p.allowClient(r); !ok {
 		obs.TraceFrom(ctx).Annotate("shed", admission.ReasonRateLimit)
@@ -443,6 +451,11 @@ func (p *Proxy) serverError(w http.ResponseWriter, r *http.Request, status int, 
 // msite_admission_shed_total by reason.
 func (p *Proxy) shedError(w http.ResponseWriter, r *http.Request, shed *admission.ShedError, err error) {
 	p.obs.Counter("msite_admission_shed_total", "reason", shed.Reason).Inc()
+	if shed.Reason == admission.ReasonSessionCap {
+		// Limiter and rate-limiter sheds already emit from their own
+		// SetObs hooks; the session cap is shed here in the proxy.
+		p.obs.Emit(obs.EventShed, shed.Reason)
+	}
 	obs.TraceFrom(r.Context()).Annotate("shed", shed.Reason)
 	w.Header().Set("Retry-After", strconv.Itoa(admission.RetryAfterSeconds(shed.RetryAfter)))
 	status := http.StatusServiceUnavailable
@@ -462,6 +475,7 @@ func (p *Proxy) logRequest(r *http.Request, tr *obs.Trace, kind string, status i
 		level = slog.LevelError
 	}
 	attrs := []slog.Attr{
+		slog.String("trace", tr.ID()),
 		slog.String("site", p.cfg.Spec.Name),
 		slog.String("handler", kind),
 		slog.String("path", r.URL.Path),
