@@ -15,6 +15,7 @@
 //	msite-bench overload     # flash-crowd admission-control chaos run → BENCH_PR4.json
 //	msite-bench persistence  # durable store: warm restart + crash safety → BENCH_PR5.json
 //	msite-bench obs          # SLO burn-rate alerting + flight recorder → BENCH_PR6.json
+//	msite-bench streaming    # flush-early vs buffered entry serving → BENCH_PR7.json
 package main
 
 import (
@@ -53,6 +54,9 @@ func run() error {
 	persistenceOut := flag.String("persistence-out", "BENCH_PR5.json", "where the persistence bench writes its JSON record (empty = don't write)")
 	persistenceCrash := flag.Int("persistence-crash-records", 200, "records committed before the simulated crash in the persistence bench")
 	obsOut := flag.String("obs-out", "BENCH_PR6.json", "where the observability bench writes its JSON record (empty = don't write)")
+	streamingOut := flag.String("streaming-out", "BENCH_PR7.json", "where the streaming bench writes its JSON record (empty = don't write)")
+	streamingLatency := flag.Duration("streaming-latency", 120*time.Millisecond, "injected origin latency for the streaming bench")
+	streamingTrials := flag.Int("streaming-trials", 5, "cold entry loads per mode for the streaming bench")
 	obsBatches := flag.Int("obs-batches", 8, "warm batches per side for the observability bench's overhead measurement")
 	obsWarm := flag.Int("obs-warm", 150, "warm requests per batch for the observability bench")
 	obsSpike := flag.Duration("obs-spike", 400*time.Millisecond, "injected origin latency spike for the observability bench")
@@ -254,6 +258,31 @@ func run() error {
 			if len(rep.Violations) > 0 {
 				return fmt.Errorf("obs: %d invariant violation(s)", len(rep.Violations))
 			}
+		case "streaming":
+			// Runs against its own latency-injected internal origin (the
+			// -origin flag does not apply): flush-early serving only shows
+			// up against an origin with real round-trip time.
+			rep, err := experiments.Streaming(experiments.StreamingConfig{
+				Latency: *streamingLatency,
+				Trials:  *streamingTrials,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatStreaming(rep))
+			if *streamingOut != "" {
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*streamingOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n\n", *streamingOut)
+			}
+			if len(rep.Violations) > 0 {
+				return fmt.Errorf("streaming: %d invariant violation(s)", len(rep.Violations))
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -261,7 +290,7 @@ func run() error {
 	}
 
 	if what == "all" {
-		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "persistence", "obs", "stages", "fig7"} {
+		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "persistence", "obs", "streaming", "stages", "fig7"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -67,6 +67,10 @@ func run() error {
 	sloAvailability := flag.Float64("slo-availability", 0, "availability SLO: required non-5xx request fraction, e.g. 0.999 (0 = off)")
 	incidentDir := flag.String("incident-dir", "", "flight-recorder directory; the watchdog captures incident bundles there, browsable at /debug/incidents (empty = off)")
 	incidentMax := flag.Int("incident-max", 0, "incident bundles retained on disk, oldest deleted first (0 = default 16)")
+	stream := flag.Bool("stream", false, "flush-early entry serving: send the overlay head before the origin fetch and render the snapshot in the background")
+	atfHeight := flag.Int("atf-height", 0, "above-the-fold boundary in scaled snapshot pixels for the streamed entry split (0 = default 480, negative = everything above the fold)")
+	snapshotProgressive := flag.Bool("snapshot-progressive", false, "with -stream, serve a coarse snapshot immediately and upgrade in-place once the full-fidelity encode completes")
+	minimalMarkup := flag.Bool("minimal-markup", false, "force the MAML-style minimal-markup entry mode (headings, text, links only) for every site")
 	flag.Parse()
 
 	if len(specPaths) == 0 {
@@ -104,6 +108,11 @@ func run() error {
 		SLOAvailability: *sloAvailability,
 		IncidentDir:     *incidentDir,
 		IncidentMax:     *incidentMax,
+
+		Stream:              *stream,
+		ATFHeight:           *atfHeight,
+		SnapshotProgressive: *snapshotProgressive,
+		MinimalMarkup:       *minimalMarkup,
 	}
 
 	if len(specPaths) > 1 {

@@ -156,6 +156,41 @@ func TestAdmissionDocCoversEveryKnob(t *testing.T) {
 	}
 }
 
+func TestStreamingDocCoversEveryKnob(t *testing.T) {
+	doc, err := os.ReadFile("docs/PERFORMANCE.md")
+	if err != nil {
+		t.Fatalf("read docs/PERFORMANCE.md: %v", err)
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README: %v", err)
+	}
+	for _, flag := range []string{
+		"-stream", "-atf-height", "-snapshot-progressive", "-minimal-markup",
+	} {
+		if !strings.Contains(string(doc), "`"+flag+"`") {
+			t.Errorf("docs/PERFORMANCE.md does not document %s", flag)
+		}
+		if !strings.Contains(string(readme), "| `"+flag+"`") {
+			t.Errorf("README.md operator runbook is missing a row for %s", flag)
+		}
+	}
+	for _, metric := range []string{
+		"msite_proxy_ttfb_seconds", "msite_proxy_atf_seconds",
+	} {
+		if !strings.Contains(string(doc), metric) {
+			t.Errorf("docs/PERFORMANCE.md does not document metric %s", metric)
+		}
+	}
+	for _, topic := range []string{
+		"BENCH_PR7.json", "byte-identical", "msite-bench streaming",
+	} {
+		if !strings.Contains(string(doc), topic) {
+			t.Errorf("docs/PERFORMANCE.md does not cover %q", topic)
+		}
+	}
+}
+
 func TestObsDocCoversEveryKnob(t *testing.T) {
 	doc, err := os.ReadFile("docs/OBSERVABILITY.md")
 	if err != nil {

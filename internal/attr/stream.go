@@ -1,0 +1,254 @@
+package attr
+
+import (
+	"fmt"
+	"strings"
+
+	"msite/internal/dom"
+	"msite/internal/html"
+)
+
+// ATFMarker is the comment the streaming entry producer emits between
+// the above-the-fold and below-the-fold fragments. Clients ignore it;
+// the streaming experiments watch the response stream for it to measure
+// ATF-complete time without parsing HTML.
+const ATFMarker = "<!-- msite:atf -->"
+
+// OverlayStream is the entry page split into ordered fragments for
+// flush-early serving. The concatenation Head+ATF+BTF+Tail is one
+// complete overlay page; the proxy flushes each fragment as soon as the
+// pipeline can produce it (Head before adaptation even starts, ATF as
+// soon as the attribute phase has regions, the rest when the subpage
+// set is final).
+type OverlayStream struct {
+	// Head opens the document through the image map: doctype, head,
+	// body, the snapshot img, and the map's opening tag. It references
+	// only statically-known URLs, so it can be flushed before the origin
+	// fetch begins.
+	Head []byte
+	// ATF holds the image-map areas whose scaled region starts above
+	// the fold.
+	ATF []byte
+	// BTF holds the remaining areas and closes the map.
+	BTF []byte
+	// Tail holds the AJAX pane and runtime (when any subpage loads
+	// asynchronously), the snapshot upgrade script (when the overlay
+	// references a coarse-first snapshot), and the document close.
+	Tail []byte
+}
+
+// BuildOverlayStream assembles the entry page as flushable fragments.
+// The markup matches BuildOverlayHTML's, with two streaming additions:
+// the snapshot img carries an id so the upgrade script can retarget it,
+// and areas are ordered above-the-fold first. Regions whose scaled top
+// edge is above atfHeight are above the fold; atfHeight <= 0 treats
+// everything as above the fold. When ov.UpgradeURL is set, the Tail
+// swaps the snapshot to the full-fidelity artifact once it exists.
+func (a *Applier) BuildOverlayStream(ov Overlay, subpages []*Subpage, atfHeight int) OverlayStream {
+	var out OverlayStream
+
+	var head strings.Builder
+	head.WriteString("<!DOCTYPE html><html><head>")
+	titleEl := dom.NewElement("title")
+	titleEl.AppendChild(dom.NewText(ov.Title))
+	head.WriteString(html.Render(titleEl))
+	meta := dom.NewElement("meta")
+	meta.SetAttr("name", "viewport")
+	meta.SetAttr("content", "width=device-width, initial-scale=1")
+	head.WriteString(html.Render(meta))
+	head.WriteString("</head><body>")
+	img := dom.NewElement("img")
+	img.SetAttr("id", "msite-snap")
+	img.SetAttr("src", ov.SnapshotURL)
+	img.SetAttr("alt", ov.Title)
+	img.SetAttr("usemap", "#msite-map")
+	// Geometry is unknown until layout completes; a streamed head simply
+	// omits it and lets the client size the image on arrival.
+	if ov.Width > 0 && ov.Height > 0 {
+		img.SetAttr("width", itoa(ov.Width))
+		img.SetAttr("height", itoa(ov.Height))
+	}
+	img.SetAttr("style", "border: 0")
+	head.WriteString(html.Render(img))
+	head.WriteString(`<map name="msite-map">`)
+	out.Head = []byte(head.String())
+
+	var atf, btf strings.Builder
+	hasAJAX := false
+	for _, sub := range subpages {
+		if !sub.Region.Valid() || sub.Parent != "" {
+			continue
+		}
+		r := sub.Region.Scale(ov.Scale)
+		area := dom.NewElement("area")
+		area.SetAttr("shape", "rect")
+		area.SetAttr("coords", fmt.Sprintf("%d,%d,%d,%d", r.X, r.Y, r.X+r.W, r.Y+r.H))
+		area.SetAttr("alt", sub.Title)
+		url := a.subpageURL(sub.Name)
+		area.SetAttr("href", url)
+		if sub.AJAX {
+			hasAJAX = true
+			area.SetAttr("onclick", "return msiteLoad('"+url+"');")
+		}
+		if atfHeight <= 0 || r.Y < atfHeight {
+			atf.WriteString(html.Render(area))
+		} else {
+			btf.WriteString(html.Render(area))
+		}
+	}
+	btf.WriteString("</map>")
+	out.ATF = []byte(atf.String())
+	out.BTF = []byte(btf.String())
+
+	var tail strings.Builder
+	if hasAJAX {
+		pane := dom.NewElement("div")
+		pane.SetAttr("id", "msite-pane")
+		pane.SetAttr("style", "display: none; position: absolute; top: 20px; left: 5%; width: 90%; background-color: white; border: 2px solid #444444")
+		tail.WriteString(html.Render(pane))
+		script := dom.NewElement("script")
+		script.SetAttr("type", "text/javascript")
+		script.SetAttr("data-msite", "runtime")
+		script.AppendChild(dom.NewText(ajaxRuntime))
+		tail.WriteString(html.Render(script))
+	}
+	if ov.UpgradeURL != "" {
+		script := dom.NewElement("script")
+		script.SetAttr("type", "text/javascript")
+		script.SetAttr("data-msite", "upgrade")
+		script.AppendChild(dom.NewText(upgradeScript(ov.UpgradeURL)))
+		tail.WriteString(html.Render(script))
+	}
+	tail.WriteString("</body></html>")
+	out.Tail = []byte(tail.String())
+	return out
+}
+
+// upgradeScript polls the full-fidelity snapshot URL and swaps it into
+// the overlay image once the encode has completed server-side. The
+// asset handler blocks briefly for an in-flight render, so the first
+// probe usually succeeds; the retry loop covers slow encodes.
+func upgradeScript(url string) string {
+	return fmt.Sprintf(`(function () {
+  var u = %q, n = 0;
+  function probe() {
+    var p = new Image();
+    p.onload = function () {
+      var img = document.getElementById('msite-snap');
+      if (img) { img.src = u; }
+    };
+    p.onerror = function () { if (++n < 40) { setTimeout(probe, 500); } };
+    p.src = u;
+  }
+  probe();
+})();
+`, url)
+}
+
+// minimalSkip are subtrees the minimal-markup mode drops entirely:
+// graphics, scripting, styling, embeds, and the overlay machinery.
+var minimalSkip = map[string]bool{
+	"script": true, "style": true, "img": true, "picture": true,
+	"svg": true, "canvas": true, "iframe": true, "object": true,
+	"embed": true, "video": true, "audio": true, "noscript": true,
+	"map": true, "area": true, "form": true, "input": true,
+	"select": true, "textarea": true, "button": true, "link": true,
+	"meta": true, "head": true,
+}
+
+// minimalBlocks end the current text run when entered or left, so text
+// separated by block structure stays separated in the output.
+var minimalBlocks = map[string]bool{
+	"p": true, "div": true, "li": true, "tr": true, "td": true,
+	"th": true, "table": true, "ul": true, "ol": true, "dl": true,
+	"dt": true, "dd": true, "section": true, "article": true,
+	"header": true, "footer": true, "nav": true, "aside": true,
+	"blockquote": true, "pre": true, "br": true, "hr": true,
+	"figure": true, "figcaption": true, "main": true,
+}
+
+// MinimalMarkupHTML renders doc as MAML-style minimal markup: headings,
+// text runs, and links only — no images, scripts, styles, or layout
+// machinery. The output is the extreme low end of the fidelity ladder,
+// sized for 2G-class links where even the coarse snapshot is too heavy.
+func MinimalMarkupHTML(title string, doc *dom.Node) []byte {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head>")
+	titleEl := dom.NewElement("title")
+	titleEl.AppendChild(dom.NewText(title))
+	b.WriteString(html.Render(titleEl))
+	b.WriteString(`<meta name="viewport" content="width=device-width, initial-scale=1">`)
+	b.WriteString("</head><body>")
+
+	root := doc.Body()
+	if root == nil {
+		root = doc
+	}
+	var run strings.Builder
+	flush := func() {
+		if text := collapseSpace(run.String()); text != "" {
+			b.WriteString("<p>")
+			b.WriteString(html.EscapeText(text))
+			b.WriteString("</p>")
+		}
+		run.Reset()
+	}
+	var walk func(n *dom.Node)
+	walk = func(n *dom.Node) {
+		switch n.Type {
+		case dom.TextNode:
+			run.WriteString(n.Data)
+			return
+		case dom.ElementNode:
+		default:
+			for c := n.FirstChild; c != nil; c = c.NextSibling {
+				walk(c)
+			}
+			return
+		}
+		if minimalSkip[n.Tag] {
+			return
+		}
+		switch n.Tag {
+		case "h1", "h2", "h3", "h4", "h5", "h6":
+			flush()
+			if text := collapseSpace(n.Text()); text != "" {
+				b.WriteString("<" + n.Tag + ">")
+				b.WriteString(html.EscapeText(text))
+				b.WriteString("</" + n.Tag + ">")
+			}
+			return
+		case "a":
+			if href, ok := n.Attr("href"); ok && href != "" {
+				flush()
+				text := collapseSpace(n.Text())
+				if text == "" {
+					text = href
+				}
+				b.WriteString(`<p><a href="` + html.EscapeAttr(href) + `">`)
+				b.WriteString(html.EscapeText(text))
+				b.WriteString("</a></p>")
+				return
+			}
+		}
+		block := minimalBlocks[n.Tag]
+		if block {
+			flush()
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			walk(c)
+		}
+		if block {
+			flush()
+		}
+	}
+	walk(root)
+	flush()
+	b.WriteString("</body></html>")
+	return []byte(b.String())
+}
+
+// collapseSpace trims and collapses runs of whitespace to one space.
+func collapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

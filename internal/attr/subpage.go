@@ -152,6 +152,11 @@ type Overlay struct {
 	Scale float64
 	// Title is the entry page title.
 	Title string
+	// UpgradeURL, when set, is the full-fidelity snapshot location the
+	// streamed overlay trades up to once the encode completes; the
+	// SnapshotURL then points at the coarse first rung. Only the
+	// streaming builder (BuildOverlayStream) emits the upgrade script.
+	UpgradeURL string
 }
 
 // BuildOverlayHTML assembles the entry page document: the snapshot image

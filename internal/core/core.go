@@ -152,6 +152,21 @@ type Config struct {
 	// obs.DefaultHealthInterval). The sampler runs whenever the SLO
 	// engine or the flight recorder is enabled.
 	HealthInterval time.Duration
+	// Stream enables flush-early entry serving (the -stream knob): the
+	// overlay head is flushed before the origin fetch begins and the
+	// snapshot renders in the background.
+	Stream bool
+	// ATFHeight is the streaming entry's above-the-fold boundary in
+	// scaled snapshot pixels (the -atf-height knob). 0 uses
+	// proxy.DefaultATFHeight.
+	ATFHeight int
+	// SnapshotProgressive serves streamed snapshots coarse-first with a
+	// full-fidelity upgrade (the -snapshot-progressive knob).
+	SnapshotProgressive bool
+	// MinimalMarkup forces the MAML-style minimal-markup entry mode
+	// everywhere (the -minimal-markup knob); individual specs can also
+	// opt in via their minimal_markup attribute.
+	MinimalMarkup bool
 }
 
 // buildCache wires the render cache: a plain in-memory cache, or — when
@@ -364,19 +379,23 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 	sessions.InstrumentObs(reg)
 	sessions.SetLogger(cfg.Logger)
 	p, err := proxy.New(proxy.Config{
-		Spec:           sp,
-		Sessions:       sessions,
-		Cache:          sharedCache,
-		ViewportWidth:  cfg.ViewportWidth,
-		FetchOptions:   cfg.fetchOptions(reg),
-		Obs:            reg,
-		Logger:         cfg.Logger,
-		FetchWorkers:   cfg.FetchWorkers,
-		RasterWorkers:  cfg.RasterWorkers,
-		ServeStale:     cfg.ServeStale,
-		StaleFor:       cfg.StaleFor,
-		Admission:      adm,
-		PersistBundles: st != nil,
+		Spec:                sp,
+		Sessions:            sessions,
+		Cache:               sharedCache,
+		ViewportWidth:       cfg.ViewportWidth,
+		FetchOptions:        cfg.fetchOptions(reg),
+		Obs:                 reg,
+		Logger:              cfg.Logger,
+		FetchWorkers:        cfg.FetchWorkers,
+		RasterWorkers:       cfg.RasterWorkers,
+		ServeStale:          cfg.ServeStale,
+		StaleFor:            cfg.StaleFor,
+		Admission:           adm,
+		PersistBundles:      st != nil,
+		Stream:              cfg.Stream,
+		ATFHeight:           cfg.ATFHeight,
+		SnapshotProgressive: cfg.SnapshotProgressive,
+		MinimalMarkup:       cfg.MinimalMarkup,
 	})
 	if err != nil {
 		sharedCache.Close()
@@ -436,19 +455,23 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 	sessions.InstrumentObs(reg)
 	sessions.SetLogger(cfg.Logger)
 	multi, err := proxy.NewMulti(proxy.MultiConfig{
-		Specs:          specs,
-		Sessions:       sessions,
-		Cache:          sharedCache,
-		ViewportWidth:  cfg.ViewportWidth,
-		FetchOptions:   cfg.fetchOptions(reg),
-		Obs:            reg,
-		Logger:         cfg.Logger,
-		FetchWorkers:   cfg.FetchWorkers,
-		RasterWorkers:  cfg.RasterWorkers,
-		ServeStale:     cfg.ServeStale,
-		StaleFor:       cfg.StaleFor,
-		Admission:      adm,
-		PersistBundles: st != nil,
+		Specs:               specs,
+		Sessions:            sessions,
+		Cache:               sharedCache,
+		ViewportWidth:       cfg.ViewportWidth,
+		FetchOptions:        cfg.fetchOptions(reg),
+		Obs:                 reg,
+		Logger:              cfg.Logger,
+		FetchWorkers:        cfg.FetchWorkers,
+		RasterWorkers:       cfg.RasterWorkers,
+		ServeStale:          cfg.ServeStale,
+		StaleFor:            cfg.StaleFor,
+		Admission:           adm,
+		PersistBundles:      st != nil,
+		Stream:              cfg.Stream,
+		ATFHeight:           cfg.ATFHeight,
+		SnapshotProgressive: cfg.SnapshotProgressive,
+		MinimalMarkup:       cfg.MinimalMarkup,
 	})
 	if err != nil {
 		sharedCache.Close()

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"msite/internal/attr"
+	"msite/internal/cache"
+	"msite/internal/imaging"
+	"msite/internal/origin"
+	"msite/internal/proxy"
+	"msite/internal/session"
+)
+
+// StreamingConfig tunes the streaming-vs-buffered serving bench; the
+// zero value uses a 120 ms injected origin latency and 5 cold trials
+// per mode.
+type StreamingConfig struct {
+	// Latency is the injected per-request origin delay. Streaming's
+	// whole argument is that TTFB should not pay this (or the pipeline
+	// behind it), so the contrast needs a WAN-shaped origin.
+	Latency time.Duration
+	// Trials is how many cold entry loads each mode gets; percentiles
+	// come from this sample.
+	Trials int
+}
+
+// StreamingMode summarizes one serving mode's cold-entry latency
+// distribution, all in milliseconds as measured by the client.
+type StreamingMode struct {
+	// TTFB is time to the first response body byte.
+	TTFBP50MS float64 `json:"ttfb_p50_ms"`
+	TTFBP99MS float64 `json:"ttfb_p99_ms"`
+	// ATF is time until the above-the-fold content is complete at the
+	// client: the ATF marker for streamed responses, the whole page for
+	// buffered ones (buffered serving delivers everything at once).
+	ATFP50MS float64 `json:"atf_p50_ms"`
+	ATFP99MS float64 `json:"atf_p99_ms"`
+	// Total is time until the entry document is fully received.
+	TotalP50MS float64 `json:"total_p50_ms"`
+}
+
+// StreamingReport is the PR's flush-early serving record
+// (BENCH_PR7.json): cold-entry TTFB and ATF-complete percentiles for
+// buffered vs streamed serving against the same latency-injected
+// origin, plus the byte-identity check on the final full-fidelity
+// snapshot the two modes converge on.
+type StreamingReport struct {
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	OriginLatencyMS float64 `json:"origin_latency_ms"`
+	Trials          int     `json:"trials"`
+
+	Buffered  StreamingMode `json:"buffered"`
+	Streaming StreamingMode `json:"streaming"`
+
+	// TTFBSpeedupP50 and ATFSpeedupP50 are buffered/streaming ratios at
+	// the median; the acceptance bar for the PR is TTFBSpeedupP50 >= 3.
+	TTFBSpeedupP50 float64 `json:"ttfb_speedup_p50"`
+	ATFSpeedupP50  float64 `json:"atf_speedup_p50"`
+
+	// SnapshotIdentical reports whether the streamed (progressive) and
+	// buffered proxies produced byte-identical full-fidelity snapshots
+	// for the same origin content.
+	SnapshotIdentical bool `json:"snapshot_identical"`
+	SnapshotBytes     int  `json:"snapshot_bytes"`
+
+	// Violations are failed invariants; non-empty fails the bench.
+	Violations []string `json:"violations"`
+}
+
+// entryTiming is one cold entry load as the client saw it.
+type entryTiming struct {
+	ttfb  time.Duration
+	atf   time.Duration
+	total time.Duration
+}
+
+// Streaming runs the flush-early serving bench: for each mode, every
+// trial builds a fresh proxy, session root, and cache (a true cold
+// start), loads the entry page through a latency-injected origin, and
+// records client-side TTFB, ATF-complete, and total-read times.
+func Streaming(cfg StreamingConfig) (*StreamingReport, error) {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 120 * time.Millisecond
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 5
+	}
+
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	srv := httptest.NewServer(LatencyHandler(forum.Handler(), cfg.Latency))
+	defer srv.Close()
+	originURL := strings.TrimSuffix(srv.URL, "/")
+
+	rep := &StreamingReport{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		OriginLatencyMS: float64(cfg.Latency) / float64(time.Millisecond),
+		Trials:          cfg.Trials,
+	}
+
+	buffered, bufSnap, err := measureStreamingMode(originURL, proxy.Config{}, cfg.Trials)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: streaming bench, buffered mode: %w", err)
+	}
+	streamed, streamSnap, err := measureStreamingMode(originURL, proxy.Config{
+		Stream:              true,
+		SnapshotProgressive: true,
+	}, cfg.Trials)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: streaming bench, streaming mode: %w", err)
+	}
+
+	rep.Buffered = summarizeTimings(buffered)
+	rep.Streaming = summarizeTimings(streamed)
+	if rep.Streaming.TTFBP50MS > 0 {
+		rep.TTFBSpeedupP50 = rep.Buffered.TTFBP50MS / rep.Streaming.TTFBP50MS
+	}
+	if rep.Streaming.ATFP50MS > 0 {
+		rep.ATFSpeedupP50 = rep.Buffered.ATFP50MS / rep.Streaming.ATFP50MS
+	}
+
+	rep.SnapshotIdentical = bytes.Equal(bufSnap, streamSnap)
+	rep.SnapshotBytes = len(streamSnap)
+
+	if rep.Streaming.TTFBP50MS >= rep.Buffered.TTFBP50MS {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"streaming p50 TTFB (%.1f ms) not below buffered (%.1f ms)",
+			rep.Streaming.TTFBP50MS, rep.Buffered.TTFBP50MS))
+	}
+	if !rep.SnapshotIdentical {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"full-fidelity snapshot differs between modes (%d vs %d bytes)",
+			len(bufSnap), len(streamSnap)))
+	}
+	if len(bufSnap) == 0 {
+		rep.Violations = append(rep.Violations, "buffered snapshot is empty")
+	}
+	return rep, nil
+}
+
+// measureStreamingMode runs trials cold entry loads with the given
+// proxy knobs, returning per-trial timings and the full-fidelity
+// snapshot bytes from the final trial.
+func measureStreamingMode(originURL string, base proxy.Config, trials int) ([]entryTiming, []byte, error) {
+	var timings []entryTiming
+	var snapshot []byte
+	for i := 0; i < trials; i++ {
+		t, snap, err := coldStreamTrial(originURL, base)
+		if err != nil {
+			return nil, nil, err
+		}
+		timings = append(timings, t)
+		snapshot = snap
+	}
+	return timings, snapshot, nil
+}
+
+// coldStreamTrial builds a fresh proxy and measures one entry load:
+// TTFB at the first body byte, ATF-complete when the ATF marker (or,
+// for buffered serving, the whole document) has arrived, total at EOF.
+// It then fetches the full-fidelity snapshot asset — for the streamed
+// proxy this waits on the background render — so the caller can check
+// the two modes converge on identical bytes.
+func coldStreamTrial(originURL string, pcfg proxy.Config) (entryTiming, []byte, error) {
+	dir, err := os.MkdirTemp("", "msite-streaming-*")
+	if err != nil {
+		return entryTiming{}, nil, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	sessions, err := session.NewManager(dir)
+	if err != nil {
+		return entryTiming{}, nil, err
+	}
+	pcfg.Spec = SpecForForum(originURL)
+	pcfg.Sessions = sessions
+	pcfg.Cache = cache.New()
+	p, err := proxy.New(pcfg)
+	if err != nil {
+		return entryTiming{}, nil, err
+	}
+	proxySrv := httptest.NewServer(p)
+	defer proxySrv.Close()
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return entryTiming{}, nil, err
+	}
+	client := &http.Client{Jar: jar, Timeout: 2 * time.Minute}
+
+	start := time.Now()
+	resp, err := client.Get(proxySrv.URL + "/")
+	if err != nil {
+		return entryTiming{}, nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return entryTiming{}, nil, fmt.Errorf("entry status %d", resp.StatusCode)
+	}
+
+	var t entryTiming
+	var body []byte
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if t.ttfb == 0 {
+				t.ttfb = time.Since(start)
+			}
+			body = append(body, buf[:n]...)
+			if t.atf == 0 && bytes.Contains(body, []byte(attr.ATFMarker)) {
+				t.atf = time.Since(start)
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return entryTiming{}, nil, rerr
+		}
+	}
+	t.total = time.Since(start)
+	if t.atf == 0 {
+		// Buffered serving has no marker: the page is complete, and with
+		// it everything above the fold, when the last byte lands.
+		t.atf = t.total
+	}
+
+	resp, err = client.Get(proxySrv.URL + "/asset/snapshot" + imaging.FidelityLow.Ext())
+	if err != nil {
+		return entryTiming{}, nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return entryTiming{}, nil, fmt.Errorf("snapshot asset status %d", resp.StatusCode)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return entryTiming{}, nil, err
+	}
+	return t, snap, nil
+}
+
+// summarizeTimings reduces per-trial timings to the report percentiles.
+func summarizeTimings(ts []entryTiming) StreamingMode {
+	pick := func(get func(entryTiming) time.Duration, p float64) float64 {
+		if len(ts) == 0 {
+			return 0
+		}
+		vals := make([]time.Duration, len(ts))
+		for i, t := range ts {
+			vals[i] = get(t)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		i := int(p * float64(len(vals)-1))
+		return float64(vals[i]) / float64(time.Millisecond)
+	}
+	ttfb := func(t entryTiming) time.Duration { return t.ttfb }
+	atf := func(t entryTiming) time.Duration { return t.atf }
+	total := func(t entryTiming) time.Duration { return t.total }
+	return StreamingMode{
+		TTFBP50MS:  pick(ttfb, 0.50),
+		TTFBP99MS:  pick(ttfb, 0.99),
+		ATFP50MS:   pick(atf, 0.50),
+		ATFP99MS:   pick(atf, 0.99),
+		TotalP50MS: pick(total, 0.50),
+	}
+}
+
+// FormatStreaming renders the bench like the other experiment tables.
+func FormatStreaming(rep *StreamingReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Streaming vs buffered serving (origin latency %.0f ms, %d cold trials/mode; GOMAXPROCS=%d)\n",
+		rep.OriginLatencyMS, rep.Trials, rep.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %12s %12s\n",
+		"Mode", "TTFB p50", "TTFB p99", "ATF p50", "ATF p99", "total p50")
+	line := func(name string, m StreamingMode) {
+		fmt.Fprintf(&b, "%-12s %10.1fms %10.1fms %10.1fms %10.1fms %10.1fms\n",
+			name, m.TTFBP50MS, m.TTFBP99MS, m.ATFP50MS, m.ATFP99MS, m.TotalP50MS)
+	}
+	line("buffered", rep.Buffered)
+	line("streaming", rep.Streaming)
+	fmt.Fprintf(&b, "p50 speedup: TTFB %.1fx, ATF-complete %.1fx\n", rep.TTFBSpeedupP50, rep.ATFSpeedupP50)
+	if rep.SnapshotIdentical {
+		fmt.Fprintf(&b, "full-fidelity snapshot: byte-identical across modes (%d bytes)\n", rep.SnapshotBytes)
+	} else {
+		b.WriteString("full-fidelity snapshot: MISMATCH between modes\n")
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(&b, "VIOLATION: %s\n", v)
+	}
+	return b.String()
+}

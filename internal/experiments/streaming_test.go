@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full cold adaptations")
+	}
+	rep, err := Streaming(StreamingConfig{Latency: 30 * time.Millisecond, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 2 || rep.OriginLatencyMS != 30 {
+		t.Fatalf("config not recorded: %+v", rep)
+	}
+	for name, m := range map[string]StreamingMode{
+		"buffered": rep.Buffered, "streaming": rep.Streaming,
+	} {
+		if m.TTFBP50MS <= 0 || m.ATFP50MS <= 0 || m.TotalP50MS <= 0 {
+			t.Fatalf("%s mode has non-positive measurement: %+v", name, m)
+		}
+	}
+	// The flush-early head must beat the buffered pipeline, and the two
+	// modes must converge on the same full-fidelity bytes.
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if !rep.SnapshotIdentical || rep.SnapshotBytes == 0 {
+		t.Fatalf("snapshot identity not established: %+v", rep)
+	}
+	if rep.TTFBSpeedupP50 <= 1 {
+		t.Fatalf("streaming did not improve TTFB: %+v", rep)
+	}
+
+	// The JSON record must round-trip (it is committed as BENCH_PR7.json).
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StreamingReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Streaming.TTFBP50MS != rep.Streaming.TTFBP50MS {
+		t.Fatal("JSON round-trip lost measurements")
+	}
+	out := FormatStreaming(rep)
+	if !strings.Contains(out, "TTFB") || !strings.Contains(out, "byte-identical") {
+		t.Fatalf("format output incomplete:\n%s", out)
+	}
+}

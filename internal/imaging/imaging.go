@@ -12,6 +12,7 @@ import (
 	_ "image/gif" // registered for Decode: origin sites serve GIFs
 	"image/jpeg"
 	"image/png"
+	"sync"
 )
 
 // Fidelity selects an output encoding/quality point on the ladder the
@@ -80,13 +81,35 @@ func Encode(img image.Image, f Fidelity) ([]byte, error) {
 	}
 }
 
+// encBufPool recycles the scratch buffers the encoders grow into. A
+// full-page PNG repeatedly doubles its buffer to hundreds of kilobytes;
+// reusing that capacity across snapshot renders removes the dominant
+// encode-side allocation from the cold-adaptation tail (BENCH_PR2's
+// serialized-tail ceiling). The encoded bytes are copied out before the
+// buffer returns to the pool, so callers own their slices as before.
+var encBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// encodeWith runs enc against a pooled buffer and copies the result out.
+func encodeWith(enc func(*bytes.Buffer) error, kind string) ([]byte, error) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := enc(buf); err != nil {
+		encBufPool.Put(buf)
+		return nil, fmt.Errorf("imaging: encoding %s: %w", kind, err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	encBufPool.Put(buf)
+	return out, nil
+}
+
 // EncodePNG encodes img as PNG.
 func EncodePNG(img image.Image) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := png.Encode(&buf, img); err != nil {
-		return nil, fmt.Errorf("imaging: encoding png: %w", err)
-	}
-	return buf.Bytes(), nil
+	return encodeWith(func(buf *bytes.Buffer) error {
+		return png.Encode(buf, img)
+	}, "png")
 }
 
 // EncodeJPEG encodes img as JPEG at the given quality (1-100).
@@ -97,11 +120,52 @@ func EncodeJPEG(img image.Image, quality int) ([]byte, error) {
 	if quality > 100 {
 		quality = 100
 	}
-	var buf bytes.Buffer
-	if err := jpeg.Encode(&buf, img, &jpeg.Options{Quality: quality}); err != nil {
-		return nil, fmt.Errorf("imaging: encoding jpeg: %w", err)
+	return encodeWith(func(buf *bytes.Buffer) error {
+		return jpeg.Encode(buf, img, &jpeg.Options{Quality: quality})
+	}, "jpeg")
+}
+
+// pixPool recycles RGBA backing arrays for short-lived frames: the
+// rasterizer's framebuffers, pre-scaled replaced-element images, and the
+// progressive renderer's coarse accumulator. Get returns an image whose
+// every pixel the caller is expected to overwrite (pooled memory is NOT
+// zeroed); Put recycles it. Images built on a caller-provided or
+// non-recyclable buffer are simply dropped.
+var pixPool = sync.Pool{
+	New: func() any { return []uint8(nil) },
+}
+
+// GetRGBA returns a w×h RGBA whose backing array may be recycled from an
+// earlier PutRGBA. The pixel contents are undefined: the caller must
+// paint every pixel (the rasterizer's full-frame background fill, the
+// scalers' every-pixel writes).
+func GetRGBA(w, h int) *image.RGBA {
+	if w < 1 {
+		w = 1
 	}
-	return buf.Bytes(), nil
+	if h < 1 {
+		h = 1
+	}
+	need := 4 * w * h
+	buf := pixPool.Get().([]uint8)
+	if cap(buf) < need {
+		buf = make([]uint8, need)
+	}
+	return &image.RGBA{
+		Pix:    buf[:need:need],
+		Stride: 4 * w,
+		Rect:   image.Rect(0, 0, w, h),
+	}
+}
+
+// PutRGBA recycles an image obtained from GetRGBA (nil-safe). The caller
+// must not touch img afterwards. Sub-image views must not be returned —
+// only the original full allocation.
+func PutRGBA(img *image.RGBA) {
+	if img == nil || img.Rect.Min != (image.Point{}) {
+		return
+	}
+	pixPool.Put(img.Pix[:0:cap(img.Pix)]) //nolint:staticcheck // slice header reuse is the point
 }
 
 // Decode decodes PNG, JPEG, or GIF bytes.
@@ -122,18 +186,28 @@ func Scale(img image.Image, w, h int) *image.RGBA {
 	if h < 1 {
 		h = 1
 	}
-	src := img.Bounds()
 	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	ScaleInto(out, img)
+	return out
+}
+
+// ScaleInto resizes img to fill dst (whose bounds must be zero-anchored),
+// box sampling for minification and bilinear for magnification. It
+// writes every destination pixel, so dst may come from GetRGBA without
+// clearing. An empty source leaves dst zero-filled only if the caller
+// cleared it; sources are non-empty on every pipeline path.
+func ScaleInto(dst *image.RGBA, img image.Image) {
+	w, h := dst.Rect.Dx(), dst.Rect.Dy()
+	src := img.Bounds()
 	sw, sh := src.Dx(), src.Dy()
 	if sw == 0 || sh == 0 {
-		return out
+		return
 	}
 	if w < sw || h < sh {
-		boxScale(out, img, w, h)
-		return out
+		boxScale(dst, img, w, h)
+		return
 	}
-	bilinearScale(out, img, w, h)
-	return out
+	bilinearScale(dst, img, w, h)
 }
 
 // ScaleToWidth resizes preserving aspect ratio.

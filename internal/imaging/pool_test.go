@@ -1,0 +1,125 @@
+package imaging
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"testing"
+)
+
+// checker builds a varied test image distinct from imaging_test's
+// gradient: per-pixel variation in every channel exercises the box and
+// bilinear filters harder than a smooth ramp.
+func checker(w, h int) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, color.RGBA{
+				R: uint8(x * 255 / w), G: uint8(y * 255 / h),
+				B: uint8((x*7 + y*13) % 256), A: 255,
+			})
+		}
+	}
+	return img
+}
+
+func TestGetRGBAGeometry(t *testing.T) {
+	img := GetRGBA(17, 9)
+	defer PutRGBA(img)
+	if img.Rect != image.Rect(0, 0, 17, 9) {
+		t.Fatalf("rect = %v", img.Rect)
+	}
+	if img.Stride != 17*4 {
+		t.Fatalf("stride = %d", img.Stride)
+	}
+	if len(img.Pix) != 17*9*4 {
+		t.Fatalf("pix len = %d", len(img.Pix))
+	}
+	// Degenerate sizes clamp to 1 instead of panicking.
+	tiny := GetRGBA(0, -3)
+	defer PutRGBA(tiny)
+	if tiny.Rect.Dx() != 1 || tiny.Rect.Dy() != 1 {
+		t.Fatalf("clamped rect = %v", tiny.Rect)
+	}
+}
+
+func TestPutRGBARejectsOffsetImages(t *testing.T) {
+	base := checker(20, 20)
+	sub := base.SubImage(image.Rect(5, 5, 15, 15)).(*image.RGBA)
+	// Must not panic or poison the pool: a sub-image's Pix aliases the
+	// parent and its Rect.Min is non-zero.
+	PutRGBA(sub)
+	PutRGBA(nil)
+	got := GetRGBA(10, 10)
+	defer PutRGBA(got)
+	if got.Rect.Min != (image.Point{}) {
+		t.Fatalf("pooled image has offset rect %v", got.Rect)
+	}
+}
+
+// TestScaleIsDeterministicThroughPool recycles buffers between scales
+// and checks results stay identical — pooled (dirty) memory must never
+// leak into output pixels.
+func TestScaleIsDeterministicThroughPool(t *testing.T) {
+	src := checker(97, 53)
+	first := Scale(src, 31, 17)
+	want := make([]byte, len(first.Pix))
+	copy(want, first.Pix)
+	PutRGBA(first)
+	for i := 0; i < 3; i++ {
+		again := Scale(src, 31, 17)
+		if !bytes.Equal(again.Pix, want) {
+			t.Fatalf("scale pass %d differs after pool reuse", i)
+		}
+		PutRGBA(again)
+	}
+}
+
+func TestScaleIntoMatchesScale(t *testing.T) {
+	src := checker(64, 48)
+	for _, sz := range []struct{ w, h int }{
+		{16, 12},  // minify: box filter
+		{128, 96}, // magnify: bilinear
+		{64, 48},  // identity-size
+	} {
+		want := Scale(src, sz.w, sz.h)
+		dst := GetRGBA(sz.w, sz.h)
+		// Pre-dirty the destination: ScaleInto must write every pixel.
+		for i := range dst.Pix {
+			dst.Pix[i] = 0xAB
+		}
+		ScaleInto(dst, src)
+		if !bytes.Equal(dst.Pix, want.Pix) {
+			t.Fatalf("ScaleInto(%dx%d) differs from Scale", sz.w, sz.h)
+		}
+		PutRGBA(want)
+		PutRGBA(dst)
+	}
+}
+
+// TestPooledEncodeDeterministic guards the encode-buffer pool: encoded
+// bytes are copied out, so back-to-back encodes of the same image are
+// identical and earlier results are not clobbered by later encodes.
+func TestPooledEncodeDeterministic(t *testing.T) {
+	a := checker(80, 60)
+	b := checker(40, 90)
+	pngA1, err := EncodePNG(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := make([]byte, len(pngA1))
+	copy(keep, pngA1)
+	if _, err := EncodeJPEG(b, 60); err != nil {
+		t.Fatal(err)
+	}
+	pngA2, err := EncodePNG(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pngA1, keep) {
+		t.Fatal("earlier encode result was clobbered by buffer reuse")
+	}
+	if !bytes.Equal(pngA1, pngA2) {
+		t.Fatal("repeat encode differs through the pool")
+	}
+}

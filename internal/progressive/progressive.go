@@ -1,0 +1,282 @@
+// Package progressive renders the entry snapshot as a temporal fidelity
+// ladder: a coarse, heavily down-scaled JPEG the proxy can serve the
+// moment rasterization finishes, followed by the full-fidelity encode as
+// an upgrade artifact. It applies the paper's fidelity-reduction
+// attribute (§3.3 "Image fidelity") along the time axis — the client
+// paints *something* at coarse-JPEG cost and trades up when the
+// expensive encode completes — and it interleaves the down-scale work
+// with band-parallel painting via raster.StreamPaint, so the coarse
+// artifact costs almost nothing beyond the paint itself.
+package progressive
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+
+	"msite/internal/imaging"
+	"msite/internal/layout"
+	"msite/internal/raster"
+)
+
+// DefaultCoarseScale is the coarse snapshot's linear scale relative to
+// the full-fidelity output: a quarter-scale frame is 1/16th the pixels,
+// which with DefaultCoarseQuality lands the coarse artifact around 2–5%
+// of the full PNG's bytes.
+const DefaultCoarseScale = 0.25
+
+// DefaultCoarseQuality is the coarse snapshot's JPEG quality.
+const DefaultCoarseQuality = 35
+
+// Artifact is one encoded snapshot rung.
+type Artifact struct {
+	// Data is the encoded image.
+	Data []byte
+	// MIME is its content type.
+	MIME string
+	// Width and Height are the encoded pixel dimensions.
+	Width, Height int
+}
+
+// Config tunes a progressive render.
+type Config struct {
+	// Raster configures the painting pass (images, workers, antialias).
+	Raster raster.Options
+	// Fidelity selects the full-fidelity rung's encoding.
+	Fidelity imaging.Fidelity
+	// Scale is the snapshot scale factor applied to the full-fidelity
+	// output (the spec's snapshot.scale); 0 or negative means 1.
+	Scale float64
+	// CoarseScale is the coarse rung's additional linear down-scale
+	// relative to the scaled output (default DefaultCoarseScale).
+	CoarseScale float64
+	// CoarseQuality is the coarse rung's JPEG quality (default
+	// DefaultCoarseQuality).
+	CoarseQuality int
+	// OnCoarse, when non-nil, receives the coarse artifact as soon as it
+	// is encoded — before the full-fidelity scale+encode begins. The
+	// serving path uses this to publish the low-quality snapshot while
+	// the PNG encode is still running.
+	OnCoarse func(Artifact)
+}
+
+// Result carries both rungs of one progressive render.
+type Result struct {
+	// Coarse is the low-quality first rung.
+	Coarse Artifact
+	// Full is the full-fidelity upgrade; its bytes are identical to the
+	// one-shot (non-progressive) encode of the same layout.
+	Full Artifact
+}
+
+// Render paints res band-by-band, accumulating the coarse frame from
+// each band as it is delivered (the down-scale hides behind painting),
+// encodes and publishes the coarse rung, and then produces the
+// full-fidelity artifact exactly as the one-shot path would:
+// Encode(ScaleFactor(Paint(res), scale), fidelity). The full rung is
+// byte-identical to that one-shot encode — the streaming pipeline
+// changes when bytes exist, never which bytes.
+func Render(res *layout.Result, cfg Config) (*Result, error) {
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	coarseScale := cfg.CoarseScale
+	if coarseScale <= 0 || coarseScale > 1 {
+		coarseScale = DefaultCoarseScale
+	}
+	quality := cfg.CoarseQuality
+	if quality <= 0 {
+		quality = DefaultCoarseQuality
+	}
+
+	// Frame geometry mirrors raster.Paint's: the accumulator needs the
+	// final frame size before the first band arrives.
+	fw, fh := frameSize(res, cfg.Raster)
+	outW, outH := int(float64(fw)*scale), int(float64(fh)*scale)
+	if outW < 1 {
+		outW = 1
+	}
+	if outH < 1 {
+		outH = 1
+	}
+	cw, ch := int(float64(outW)*coarseScale), int(float64(outH)*coarseScale)
+	acc := newCoarseAccum(fw, fh, cw, ch)
+
+	frame := raster.StreamPaint(res, cfg.Raster, acc.addBand)
+	coarseImg := acc.finish()
+	coarseData, err := imaging.EncodeJPEG(coarseImg, quality)
+	imaging.PutRGBA(coarseImg)
+	if err != nil {
+		raster.Release(frame)
+		return nil, fmt.Errorf("progressive: coarse encode: %w", err)
+	}
+	out := &Result{Coarse: Artifact{
+		Data:   coarseData,
+		MIME:   "image/jpeg",
+		Width:  acc.w,
+		Height: acc.h,
+	}}
+	if cfg.OnCoarse != nil {
+		cfg.OnCoarse(out.Coarse)
+	}
+
+	scaled := imaging.ScaleFactor(frame, scale)
+	raster.Release(frame)
+	fullData, err := imaging.Encode(scaled, cfg.Fidelity)
+	fb := scaled.Bounds()
+	imaging.PutRGBA(scaled)
+	if err != nil {
+		return nil, fmt.Errorf("progressive: full encode: %w", err)
+	}
+	out.Full = Artifact{
+		Data:   fullData,
+		MIME:   cfg.Fidelity.MIME(),
+		Width:  fb.Dx(),
+		Height: fb.Dy(),
+	}
+	return out, nil
+}
+
+// frameSize reproduces raster.Paint's canvas sizing so the accumulator
+// can be dimensioned before painting starts.
+func frameSize(res *layout.Result, opts raster.Options) (w, h int) {
+	h = res.Height
+	if h < opts.MinHeight {
+		h = opts.MinHeight
+	}
+	if h < 1 {
+		h = 1
+	}
+	w = res.Width
+	if w < 1 {
+		w = 1
+	}
+	return w, h
+}
+
+// coarseAccum box-averages full-frame scanlines into the coarse frame
+// incrementally: each delivered band's rows fold into the coarse row
+// they map to, so by the time the last band lands the coarse frame needs
+// only the (cheap, small) JPEG encode. The arithmetic matches
+// imaging.Scale's box filter.
+type coarseAccum struct {
+	srcW, srcH int
+	w, h       int
+	out        *image.RGBA
+	// sums holds the in-progress channel sums for the current coarse
+	// row: 4 channels × w columns.
+	sums []uint64
+	// curDy is the coarse row being accumulated; nextSrcY is the next
+	// full-frame row expected (bands arrive in order, so rows do too);
+	// rowsIn counts the source rows folded into curDy so far.
+	curDy, nextSrcY, rowsIn int
+	// colRange caches each coarse column's source-column span.
+	colX0, colX1 []int
+}
+
+func newCoarseAccum(srcW, srcH, w, h int) *coarseAccum {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	// The coarse rung is strictly a minification; clamp up to the frame
+	// so the row partition below stays a partition.
+	if w > srcW {
+		w = srcW
+	}
+	if h > srcH {
+		h = srcH
+	}
+	a := &coarseAccum{
+		srcW: srcW, srcH: srcH, w: w, h: h,
+		out:   imaging.GetRGBA(w, h),
+		sums:  make([]uint64, 4*w),
+		colX0: make([]int, w),
+		colX1: make([]int, w),
+	}
+	for dx := 0; dx < w; dx++ {
+		a.colX0[dx] = dx * srcW / w
+		a.colX1[dx] = (dx + 1) * srcW / w
+		if a.colX1[dx] <= a.colX0[dx] {
+			a.colX1[dx] = a.colX0[dx] + 1
+		}
+	}
+	return a
+}
+
+// rowEnd is the exclusive last source row of coarse row dy.
+func (a *coarseAccum) rowEnd(dy int) int { return (dy + 1) * a.srcH / a.h }
+
+// addBand folds one delivered band's rows into the accumulator.
+func (a *coarseAccum) addBand(view *image.RGBA) {
+	vb := view.Bounds()
+	for y := vb.Min.Y; y < vb.Max.Y; y++ {
+		if y != a.nextSrcY || a.curDy >= a.h {
+			continue // defensive: out-of-order or trailing rows
+		}
+		a.nextSrcY++
+		a.rowsIn++
+		for dx := 0; dx < a.w; dx++ {
+			s := a.sums[4*dx : 4*dx+4]
+			for sx := a.colX0[dx]; sx < a.colX1[dx]; sx++ {
+				c := view.RGBAAt(sx, y)
+				// Accumulate at 16-bit depth, matching color.RGBA.RGBA()
+				// so the result equals imaging.Scale's box filter.
+				s[0] += uint64(c.R) * 0x101
+				s[1] += uint64(c.G) * 0x101
+				s[2] += uint64(c.B) * 0x101
+				s[3] += uint64(c.A) * 0x101
+			}
+		}
+		if a.nextSrcY == a.rowEnd(a.curDy) {
+			a.flushRow()
+		}
+	}
+}
+
+// flushRow finalizes the current coarse row's pixels and resets the sums
+// for the next one.
+func (a *coarseAccum) flushRow() {
+	for dx := 0; dx < a.w; dx++ {
+		s := a.sums[4*dx : 4*dx+4]
+		n := uint64(a.rowsIn * (a.colX1[dx] - a.colX0[dx]))
+		a.out.SetRGBA(dx, a.curDy, rgba8(s, n))
+		s[0], s[1], s[2], s[3] = 0, 0, 0, 0
+	}
+	a.curDy++
+	a.rowsIn = 0
+}
+
+// finish returns the accumulated coarse frame. Every row is written on
+// the normal path (the band partition covers the frame); if delivery
+// ended early the partial row is averaged and the remainder blanked, so
+// pooled memory never leaks stale pixels into an encode.
+func (a *coarseAccum) finish() *image.RGBA {
+	if a.rowsIn > 0 && a.curDy < a.h {
+		a.flushRow()
+	}
+	for dy := a.curDy; dy < a.h; dy++ {
+		for dx := 0; dx < a.w; dx++ {
+			a.out.SetRGBA(dx, dy, color.RGBA{R: 255, G: 255, B: 255, A: 255})
+		}
+	}
+	a.curDy = a.h
+	return a.out
+}
+
+// rgba8 converts 16-bit channel sums over n samples back to 8-bit,
+// matching imaging.Scale's box filter rounding.
+func rgba8(s []uint64, n uint64) color.RGBA {
+	if n == 0 {
+		return color.RGBA{R: 255, G: 255, B: 255, A: 255}
+	}
+	return color.RGBA{
+		R: uint8(s[0] / n >> 8),
+		G: uint8(s[1] / n >> 8),
+		B: uint8(s[2] / n >> 8),
+		A: uint8(s[3] / n >> 8),
+	}
+}

@@ -55,6 +55,12 @@ type MultiConfig struct {
 	// site (see Config).
 	ServeStale bool
 	StaleFor   time.Duration
+	// Stream, ATFHeight, SnapshotProgressive, and MinimalMarkup are the
+	// streaming-path knobs, applied to every site (see Config).
+	Stream              bool
+	ATFHeight           int
+	SnapshotProgressive bool
+	MinimalMarkup       bool
 	// Admission is the overload-protection controller, shared by every
 	// site: one concurrency budget and one per-client rate limit cover
 	// the whole server, not each page separately. Nil admits everything.
@@ -87,22 +93,26 @@ func NewMulti(cfg MultiConfig) (*MultiProxy, error) {
 			return nil, fmt.Errorf("proxy: duplicate spec name %q", name)
 		}
 		p, err := New(Config{
-			Spec:           sp,
-			Sessions:       cfg.Sessions,
-			Cache:          cfg.Cache,
-			ViewportWidth:  cfg.ViewportWidth,
-			FetchOptions:   cfg.FetchOptions,
-			PathPrefix:     "/p/" + name,
-			Obs:            reg,
-			Logger:         cfg.Logger,
-			FetchWorkers:   cfg.FetchWorkers,
-			RasterWorkers:  cfg.RasterWorkers,
-			WriteWorkers:   cfg.WriteWorkers,
-			ServeStale:     cfg.ServeStale,
-			StaleFor:       cfg.StaleFor,
-			Admission:      cfg.Admission,
-			PersistBundles: cfg.PersistBundles,
-			BundleTTL:      cfg.BundleTTL,
+			Spec:                sp,
+			Sessions:            cfg.Sessions,
+			Cache:               cfg.Cache,
+			ViewportWidth:       cfg.ViewportWidth,
+			FetchOptions:        cfg.FetchOptions,
+			PathPrefix:          "/p/" + name,
+			Obs:                 reg,
+			Logger:              cfg.Logger,
+			FetchWorkers:        cfg.FetchWorkers,
+			RasterWorkers:       cfg.RasterWorkers,
+			WriteWorkers:        cfg.WriteWorkers,
+			ServeStale:          cfg.ServeStale,
+			StaleFor:            cfg.StaleFor,
+			Admission:           cfg.Admission,
+			PersistBundles:      cfg.PersistBundles,
+			BundleTTL:           cfg.BundleTTL,
+			Stream:              cfg.Stream,
+			ATFHeight:           cfg.ATFHeight,
+			SnapshotProgressive: cfg.SnapshotProgressive,
+			MinimalMarkup:       cfg.MinimalMarkup,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("proxy: site %q: %w", name, err)

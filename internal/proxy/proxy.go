@@ -103,7 +103,31 @@ type Config struct {
 	// DefaultBundleTTL). A spec change rotates the key, so the TTL only
 	// has to cover origin-content drift.
 	BundleTTL time.Duration
+	// Stream enables flush-early entry serving: the overlay head is
+	// written and flushed before the origin fetch begins, above-the-fold
+	// image-map areas follow as soon as the attribute phase has regions,
+	// and the snapshot renders on a background goroutine the asset
+	// handler waits on. Off, the entry buffers as before.
+	Stream bool
+	// ATFHeight is the above-the-fold boundary in scaled snapshot
+	// pixels for the streaming entry's fragment split. 0 uses
+	// DefaultATFHeight; negative treats everything as above the fold.
+	ATFHeight int
+	// SnapshotProgressive serves the snapshot as a temporal fidelity
+	// ladder on the streaming path: a coarse quarter-scale JPEG the
+	// moment rasterization finishes, upgraded in-place to the
+	// full-fidelity artifact (byte-identical to the buffered encode)
+	// once it completes. Requires Stream.
+	SnapshotProgressive bool
+	// MinimalMarkup forces the MAML-style minimal-markup entry mode for
+	// every request, regardless of the spec's minimal_markup attribute.
+	MinimalMarkup bool
 }
+
+// DefaultATFHeight is the above-the-fold boundary (in scaled snapshot
+// pixels) when streaming is on and no ATFHeight is configured — a
+// typical small-screen viewport height.
+const DefaultATFHeight = 480
 
 // DefaultBundleTTL is the persisted-bundle lifetime when PersistBundles
 // is on and no BundleTTL is configured.
@@ -170,6 +194,15 @@ type Proxy struct {
 	mu       sync.Mutex
 	adapted  map[string]*adaptation // by session ID
 	inflight map[string]chan struct{}
+
+	// snapGen versions the full-fidelity snapshot URL on the streaming
+	// path, so the coarse-first overlay's upgrade reference never hits a
+	// client cache entry from a previous render generation.
+	snapGen atomic.Uint64
+	// snaps tracks per-session background snapshot renders; the asset
+	// handler waits on them instead of 404ing a not-yet-written file.
+	snapMu sync.Mutex
+	snaps  map[string]*snapState
 }
 
 // adaptation is one session's generated content.
@@ -244,6 +277,7 @@ func New(cfg Config) (*Proxy, error) {
 		coalesce:   admission.NewCoalescer[*builtAdaptation](),
 		adapted:    make(map[string]*adaptation),
 		inflight:   make(map[string]chan struct{}),
+		snaps:      make(map[string]*snapState),
 	}
 	if cfg.PersistBundles {
 		key, err := bundleKey(cfg.Spec, width)
@@ -263,6 +297,9 @@ func New(cfg Config) (*Proxy, error) {
 		p.mu.Lock()
 		delete(p.adapted, id)
 		p.mu.Unlock()
+		p.snapMu.Lock()
+		delete(p.snaps, id)
+		p.snapMu.Unlock()
 	})
 	p.applier = &attr.Applier{
 		ViewportWidth: width,
@@ -321,17 +358,39 @@ func handlerKind(path string) string {
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	// firstByte is when the response first became visible to the client
+	// (first body write, explicit header commit, or flush) — the
+	// server-side TTFB mark the streaming histograms observe.
+	firstByte time.Time
+}
+
+// markFirstByte stamps the first moment response bytes leave the
+// handler; later calls are no-ops.
+func (r *statusRecorder) markFirstByte() {
+	if r.firstByte.IsZero() {
+		r.firstByte = time.Now()
+	}
 }
 
 // WriteHeader implements http.ResponseWriter.
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.markFirstByte()
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Write implements io.Writer, stamping TTFB on the first body write.
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.markFirstByte()
+	return r.ResponseWriter.Write(b)
+}
+
 // Flush implements http.Flusher when the underlying writer does;
-// otherwise it is a no-op rather than a panic.
+// otherwise it is a no-op rather than a panic. The streaming entry
+// path depends on this passthrough: a recorder that hid Flusher would
+// buffer the early-flushed head until the handler returned.
 func (r *statusRecorder) Flush() {
+	r.markFirstByte()
 	if f, ok := r.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
@@ -341,6 +400,7 @@ func (r *statusRecorder) Flush() {
 // (sendfile on *http.response); without it io.Copy falls back to the
 // buffered loop for every recorder-wrapped response.
 func (r *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	r.markFirstByte()
 	if rf, ok := r.ResponseWriter.(io.ReaderFrom); ok {
 		return rf.ReadFrom(src)
 	}
@@ -354,6 +414,7 @@ func (r *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
 // a per-handler latency histogram, and optionally logged.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.nRequests.Add(1)
+	reqStart := time.Now()
 
 	path := r.URL.Path
 	if p.prefix != "" {
@@ -410,6 +471,10 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	d := tr.End()
 	p.obs.Histogram("msite_http_request_seconds", "handler", kind).ObserveDuration(d)
+	if !rec.firstByte.IsZero() {
+		p.obs.Histogram("msite_proxy_ttfb_seconds", "handler", kind).
+			ObserveDuration(rec.firstByte.Sub(reqStart))
+	}
 	if rec.status >= 500 {
 		p.obs.Counter("msite_proxy_errors_total", "handler", kind, "site", site).Inc()
 	}
@@ -845,6 +910,16 @@ func (p *Proxy) buildAdaptation(ctx context.Context, f *fetch.Fetcher) (*builtAd
 		data: pageHTML(result),
 		kind: "main",
 	})
+	// The MAML-style minimal page is generated unconditionally: it is a
+	// cheap DOM walk, and building it per-adaptation keeps the bundle
+	// shape identical whether the serving mode is selected by the spec
+	// attribute or the proxy flag.
+	b.files = append(b.files, buildFile{
+		dir:  "pages",
+		name: "minimal.html",
+		data: attr.MinimalMarkupHTML(p.cfg.Spec.Name, result.Doc),
+		kind: "minimal",
+	})
 	b.notes = append(result.Notes, degraded...)
 
 	p.nAdaptations.Add(1)
@@ -955,13 +1030,38 @@ func writeFiles(jobs []writeJob, workers int) error {
 }
 
 func (p *Proxy) handleEntry(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	sess, ok := p.ensureSession(w, r)
 	if !ok {
+		return
+	}
+	minimal := p.cfg.MinimalMarkup || p.cfg.Spec.MinimalMarkup
+	if p.cfg.Stream && p.cfg.Spec.Snapshot.Enabled && !minimal {
+		p.streamEntry(w, r, sess, start)
 		return
 	}
 	ad, err := p.ensureAdaptation(r.Context(), sess, r.URL.Query().Get("refresh") == "1")
 	if err != nil {
 		p.fetchError(w, r, err)
+		return
+	}
+
+	if minimal {
+		// MAML-style mode: the compact layout-only page, no snapshot
+		// work at all. Older persisted bundles predate minimal.html;
+		// degrade to the adapted main page if it is missing.
+		data, err := os.ReadFile(p.sessionFile(sess, "pages", "minimal.html"))
+		if err != nil {
+			data, err = os.ReadFile(p.sessionFile(sess, "pages", "main.html"))
+		}
+		if err != nil {
+			p.serverError(w, r, http.StatusInternalServerError, "adaptation missing", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write(data)
+		p.obs.Histogram("msite_proxy_atf_seconds", "site", p.cfg.Spec.Name, "mode", "minimal").
+			ObserveDuration(time.Since(start))
 		return
 	}
 
@@ -1007,6 +1107,10 @@ func (p *Proxy) handleEntry(w http.ResponseWriter, r *http.Request) {
 	}, subs)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = w.Write(overlay)
+	// Buffered serving completes everything at once: the whole page is
+	// the above-the-fold content.
+	p.obs.Histogram("msite_proxy_atf_seconds", "site", p.cfg.Spec.Name, "mode", "buffered").
+		ObserveDuration(time.Since(start))
 }
 
 func snapshotFidelity(s *spec.Spec) imaging.Fidelity {
@@ -1189,8 +1293,14 @@ func (p *Proxy) handleAsset(w http.ResponseWriter, r *http.Request, rawName stri
 	}
 	data, err := os.ReadFile(p.sessionFile(sess, "images", name))
 	if err != nil {
-		http.NotFound(w, r)
-		return
+		// A streaming entry references snapshot assets before the
+		// background render has written them; wait for the render
+		// instead of 404ing the race.
+		data, err = p.awaitSnapshotAsset(r, sess, name)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
 	}
 	switch {
 	case strings.HasSuffix(name, ".png"):

@@ -1,0 +1,323 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"image"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msite/internal/attr"
+	"msite/internal/cache"
+	"msite/internal/fetch"
+	"msite/internal/imaging"
+	"msite/internal/obs"
+	"msite/internal/progressive"
+	"msite/internal/raster"
+	"msite/internal/session"
+)
+
+// coarseSnapshotName is the session-directory file (and asset name) of
+// the coarse first rung of a progressive snapshot.
+const coarseSnapshotName = "snapshot-coarse.jpg"
+
+// snapState tracks one session's background snapshot render. The asset
+// handler waits on the rungs instead of 404ing a file the renderer has
+// not written yet.
+type snapState struct {
+	coarseOnce sync.Once
+	// coarse closes when the coarse rung is on disk (or the render
+	// finished without one).
+	coarse chan struct{}
+	// full closes when the render completed; err is set first.
+	full chan struct{}
+	err  error
+}
+
+func newSnapState() *snapState {
+	return &snapState{coarse: make(chan struct{}), full: make(chan struct{})}
+}
+
+func (st *snapState) closeCoarse() { st.coarseOnce.Do(func() { close(st.coarse) }) }
+
+func flushNow(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// streamEntry serves the entry page flush-early: the overlay head (all
+// statically-known markup, including the snapshot img reference) is on
+// the wire before the origin fetch begins, above-the-fold image-map
+// areas follow the attribute phase, and the snapshot renders on a
+// background goroutine the asset handler waits on. Perceived latency
+// (DRIVESHAFT's argument) tracks the first flush, not the pipeline.
+func (p *Proxy) streamEntry(w http.ResponseWriter, r *http.Request, sess *session.Session, start time.Time) {
+	site := p.cfg.Spec.Name
+	fid := snapshotFidelity(p.cfg.Spec)
+	scale := p.cfg.Spec.Snapshot.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	ov := attr.Overlay{
+		SnapshotURL: p.prefix + "/asset/snapshot" + fid.Ext(),
+		Scale:       scale,
+		Title:       site,
+	}
+	if p.cfg.SnapshotProgressive {
+		// The overlay paints the coarse rung first and trades up to the
+		// versioned full-fidelity URL once its encode completes.
+		gen := p.snapGen.Add(1)
+		ov.UpgradeURL = fmt.Sprintf("%s?v=%d", ov.SnapshotURL, gen)
+		ov.SnapshotURL = p.prefix + "/asset/" + coarseSnapshotName
+	}
+	atfHeight := p.cfg.ATFHeight
+	if atfHeight == 0 {
+		atfHeight = DefaultATFHeight
+	}
+
+	// Commit the response and flush the head before any origin work:
+	// TTFB decouples from the adaptation pipeline entirely.
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	frags := p.applier.BuildOverlayStream(ov, nil, atfHeight)
+	_, _ = w.Write(frags.Head)
+	flushNow(w)
+	obs.TraceFrom(r.Context()).Annotate("stream", "head_flushed")
+
+	ad, err := p.ensureAdaptation(r.Context(), sess, r.URL.Query().Get("refresh") == "1")
+	if err != nil {
+		p.streamAbort(w, r, err)
+		return
+	}
+
+	// Kick the snapshot render off now: it overlaps with the client
+	// receiving and parsing the map fragments below.
+	p.ensureSnapshotAsync(sess)
+
+	var subs []*attr.Subpage
+	for _, sub := range ad.subpages {
+		subs = append(subs, sub)
+	}
+	frags = p.applier.BuildOverlayStream(ov, subs, atfHeight)
+	_, _ = w.Write(frags.ATF)
+	_, _ = io.WriteString(w, attr.ATFMarker)
+	flushNow(w)
+	p.obs.Histogram("msite_proxy_atf_seconds", "site", site, "mode", "streaming").
+		ObserveDuration(time.Since(start))
+	_, _ = w.Write(frags.BTF)
+	_, _ = w.Write(frags.Tail)
+}
+
+// streamAbort degrades a streamed entry whose adaptation failed after
+// the 200 and head were already on the wire: the document is closed
+// in-band with a human-usable message (and an auth link for origin
+// challenges) instead of a broken status.
+func (p *Proxy) streamAbort(w http.ResponseWriter, r *http.Request, err error) {
+	obs.TraceFrom(r.Context()).Annotate("error", err.Error())
+	_ = p.degrade(r.Context(), "stream_entry", err)
+	msg := "origin unavailable; retry shortly"
+	var authErr *fetch.AuthRequiredError
+	if errors.As(err, &authErr) {
+		back := url.QueryEscape(r.URL.RequestURI())
+		msg = fmt.Sprintf(`<a href="%s/auth?back=%s">authentication required</a>`, p.prefix, back)
+	}
+	fmt.Fprintf(w, "</map><p>%s</p></body></html>", msg)
+}
+
+// ensureSnapshotAsync starts (or joins) this session's background
+// snapshot render. A completed successful render is reused; a failed
+// one is retried.
+func (p *Proxy) ensureSnapshotAsync(sess *session.Session) *snapState {
+	p.snapMu.Lock()
+	defer p.snapMu.Unlock()
+	if st, ok := p.snaps[sess.ID]; ok {
+		select {
+		case <-st.full:
+			if st.err == nil {
+				return st
+			}
+			// A failed render is retried below.
+		default:
+			return st // in flight
+		}
+	}
+	st := newSnapState()
+	p.snaps[sess.ID] = st
+	go p.runSnapshotAsync(sess, st)
+	return st
+}
+
+// runSnapshotAsync executes one background snapshot render. The context
+// is detached deliberately: the render is shared, cached work, and a
+// client disconnecting mid-stream must not abort it for the session's
+// (or, through the shared cache, every session's) next request.
+func (p *Proxy) runSnapshotAsync(sess *session.Session, st *snapState) {
+	ctx := context.Background()
+	var err error
+	if p.cfg.SnapshotProgressive {
+		err = p.snapshotProgressive(ctx, sess, st)
+	} else {
+		_, _, _, _, err = p.snapshot(ctx, sess)
+	}
+	st.err = err
+	st.closeCoarse()
+	close(st.full)
+}
+
+// snapshotProgressive renders the session's snapshot as a temporal
+// fidelity ladder: the coarse rung is published (written to the session
+// directory and the shared cache) the moment rasterization finishes,
+// while the full-fidelity encode — byte-identical to the buffered
+// path's — is still running. The full artifact lands in the shared
+// cache under the same key the buffered path uses, so streaming and
+// buffered proxies interoperate across restarts.
+func (p *Proxy) snapshotProgressive(ctx context.Context, sess *session.Session, st *snapState) error {
+	fid := snapshotFidelity(p.cfg.Spec)
+	scale := p.cfg.Spec.Snapshot.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	ttl := time.Duration(p.cfg.Spec.Snapshot.CacheTTLSeconds) * time.Second
+	site := p.cfg.Spec.Name
+
+	p.mu.Lock()
+	var snapImages map[string]image.Image
+	if ad, ok := p.adapted[sess.ID]; ok {
+		snapImages = ad.images
+	}
+	p.mu.Unlock()
+
+	var filled atomic.Bool
+	fill := func() (cache.Entry, error) {
+		filled.Store(true)
+		p.nSnapshotRenders.Add(1)
+		p.obs.Counter("msite_proxy_snapshot_renders_total", "site", site).Inc()
+		src, err := os.ReadFile(p.sessionFile(sess, "pages", "main.html"))
+		if err != nil {
+			return cache.Entry{}, fmt.Errorf("proxy: reading adapted main: %w", err)
+		}
+		sp := obs.StartSpan(ctx, "layout")
+		doc := tidyDoc(string(src))
+		res := layoutForDoc(doc, p.width)
+		sp.End()
+		// Raster and coarse encode interleave inside progressive.Render;
+		// one span covers the ladder.
+		sp = obs.StartSpan(ctx, "raster_encode")
+		out, err := progressive.Render(res, progressive.Config{
+			Raster:   raster.Options{Images: snapImages, Workers: p.rasterWork},
+			Fidelity: fid,
+			Scale:    scale,
+			OnCoarse: func(a progressive.Artifact) {
+				if p.cfg.Spec.Snapshot.Shared && ttl > 0 {
+					p.cfg.Cache.Put("snapshot-coarse:"+site,
+						cache.Entry{Data: a.Data, MIME: a.MIME}, ttl)
+				}
+				p.writeCoarse(sess, st, a.Data)
+			},
+		})
+		sp.End()
+		if err != nil {
+			return cache.Entry{}, err
+		}
+		meta := fmt.Sprintf("%d,%d", out.Full.Width, out.Full.Height)
+		return cache.Entry{Data: out.Full.Data, MIME: fid.MIME() + ";" + meta}, nil
+	}
+
+	var entry cache.Entry
+	var err error
+	if p.cfg.Spec.Snapshot.Shared && ttl > 0 {
+		entry, err = p.cfg.Cache.GetOrFill("snapshot:"+site, ttl, fill)
+		if err == nil && !filled.Load() {
+			p.nSnapshotHits.Add(1)
+			p.obs.Counter("msite_proxy_snapshot_hits_total", "site", site).Inc()
+		}
+	} else {
+		entry, err = fill()
+	}
+	if err != nil {
+		return err
+	}
+	if !filled.Load() {
+		// The full artifact came out of the shared cache, so this
+		// session has no coarse rung yet. Reuse a cached one, or derive
+		// it from the full bytes (cheap relative to a render).
+		if e, ok := p.cfg.Cache.Get("snapshot-coarse:" + site); ok {
+			p.writeCoarse(sess, st, e.Data)
+		} else if data, derr := coarseFromFull(entry.Data); derr == nil {
+			if p.cfg.Spec.Snapshot.Shared && ttl > 0 {
+				p.cfg.Cache.Put("snapshot-coarse:"+site,
+					cache.Entry{Data: data, MIME: "image/jpeg"}, ttl)
+			}
+			p.writeCoarse(sess, st, data)
+		}
+	}
+	imagesDir, derr := sess.ImageDir()
+	if derr != nil {
+		return derr
+	}
+	name := "snapshot" + fid.Ext()
+	if werr := os.WriteFile(filepath.Join(imagesDir, name), entry.Data, 0o600); werr != nil {
+		return fmt.Errorf("proxy: writing snapshot: %w", werr)
+	}
+	return nil
+}
+
+// writeCoarse lands the coarse rung in the session's image directory
+// and unblocks asset requests waiting on it.
+func (p *Proxy) writeCoarse(sess *session.Session, st *snapState, data []byte) {
+	imagesDir, err := sess.ImageDir()
+	if err != nil {
+		return
+	}
+	if err := os.WriteFile(filepath.Join(imagesDir, coarseSnapshotName), data, 0o600); err != nil {
+		return
+	}
+	st.closeCoarse()
+}
+
+// coarseFromFull derives the coarse rung from an already-encoded full
+// snapshot — the shared-cache-hit path, where no paint ran to feed the
+// incremental accumulator.
+func coarseFromFull(full []byte) ([]byte, error) {
+	img, err := imaging.Decode(full)
+	if err != nil {
+		return nil, err
+	}
+	coarse := imaging.ScaleFactor(img, progressive.DefaultCoarseScale)
+	data, err := imaging.EncodeJPEG(coarse, progressive.DefaultCoarseQuality)
+	imaging.PutRGBA(coarse)
+	return data, err
+}
+
+// awaitSnapshotAsset blocks an asset request for a snapshot file the
+// background renderer has not written yet, bounded by the request
+// context. Non-snapshot assets never wait.
+func (p *Proxy) awaitSnapshotAsset(r *http.Request, sess *session.Session, name string) ([]byte, error) {
+	if !strings.HasPrefix(name, "snapshot") {
+		return nil, os.ErrNotExist
+	}
+	p.snapMu.Lock()
+	st := p.snaps[sess.ID]
+	p.snapMu.Unlock()
+	if st == nil {
+		return nil, os.ErrNotExist
+	}
+	ch := st.full
+	if name == coarseSnapshotName {
+		ch = st.coarse
+	}
+	select {
+	case <-ch:
+	case <-r.Context().Done():
+		return nil, r.Context().Err()
+	}
+	return os.ReadFile(p.sessionFile(sess, "images", name))
+}

@@ -1,6 +1,7 @@
 package raster
 
 import (
+	"image"
 	"strings"
 	"testing"
 
@@ -30,6 +31,33 @@ func BenchmarkPaint(b *testing.B) {
 		if Paint(res, Options{}) == nil {
 			b.Fatal("nil image")
 		}
+	}
+}
+
+// BenchmarkPaintPooled is the steady-state serving profile: the frame
+// returns to the pool after each paint, the way the snapshot pipeline
+// releases it after encoding. Compare against BenchmarkPaint (which
+// keeps every frame) to see the pool's effect on B/op.
+func BenchmarkPaintPooled(b *testing.B) {
+	res := benchLayout(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img := Paint(res, Options{})
+		if img == nil {
+			b.Fatal("nil image")
+		}
+		Release(img)
+	}
+}
+
+// BenchmarkStreamPaint is StreamPaint with a consuming band callback —
+// the progressive pipeline's paint cost.
+func BenchmarkStreamPaint(b *testing.B) {
+	res := benchLayout(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img := StreamPaint(res, Options{}, func(*image.RGBA) {})
+		Release(img)
 	}
 }
 

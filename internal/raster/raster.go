@@ -48,8 +48,36 @@ type Options struct {
 	Workers int
 }
 
-// Paint rasterizes a layout result into a new RGBA image.
+// Paint rasterizes a layout result into a new RGBA image. The frame's
+// backing array may come from a recycled pool; callers that are done
+// with the image can hand it back with Release.
 func Paint(res *layout.Result, opts Options) *image.RGBA {
+	img := newFrame(res, opts)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if res.Root != nil {
+		// Replaced-element images are scaled once up front: a box
+		// spanning several bands must not re-run the (expensive) scale
+		// per band, and the shared read-only map keeps bands
+		// independent.
+		scaled := prescaleImages(res.Root, opts, nil)
+		forEachBand(img, workers, func(view *image.RGBA) {
+			paintBox(view, res.Root, opts, scaled)
+		})
+		releaseScaled(scaled)
+	}
+	if opts.Antialias {
+		forEachBand(img, workers, applyAntialiasJitter)
+	}
+	return img
+}
+
+// newFrame allocates the framebuffer (from the shared pixel pool) and
+// fills it edge-to-edge with the page background, so the pooled
+// memory's stale contents never show through.
+func newFrame(res *layout.Result, opts Options) *image.RGBA {
 	bg := opts.Background
 	if bg.A == 0 {
 		bg = color.RGBA{255, 255, 255, 255}
@@ -71,27 +99,22 @@ func Paint(res *layout.Result, opts Options) *image.RGBA {
 	if w < 1 {
 		w = 1
 	}
-	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	img := imaging.GetRGBA(w, h)
 	draw.Draw(img, img.Bounds(), &image.Uniform{C: bg}, image.Point{}, draw.Src)
-
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if res.Root != nil {
-		// Replaced-element images are scaled once up front: a box
-		// spanning several bands must not re-run the (expensive) scale
-		// per band, and the shared read-only map keeps bands
-		// independent.
-		scaled := prescaleImages(res.Root, opts, nil)
-		forEachBand(img, workers, func(view *image.RGBA) {
-			paintBox(view, res.Root, opts, scaled)
-		})
-	}
-	if opts.Antialias {
-		forEachBand(img, workers, applyAntialiasJitter)
-	}
 	return img
+}
+
+// Release recycles a frame returned by Paint or StreamPaint once the
+// caller has encoded or copied it. Nil-safe; the frame must not be used
+// afterwards.
+func Release(img *image.RGBA) { imaging.PutRGBA(img) }
+
+// releaseScaled recycles the pre-scaled replaced-element scratch images
+// once painting no longer references them.
+func releaseScaled(scaled map[*layout.Box]*image.RGBA) {
+	for _, img := range scaled {
+		imaging.PutRGBA(img)
+	}
 }
 
 // forEachBand partitions img into up to workers horizontal strips and
@@ -168,7 +191,11 @@ func prescaleImages(b *layout.Box, opts Options, out map[*layout.Box]*image.RGBA
 					if out == nil {
 						out = make(map[*layout.Box]*image.RGBA)
 					}
-					out[b] = imaging.Scale(decoded, w, h)
+					// Pooled scratch: ScaleInto writes every pixel, and
+					// releaseScaled recycles the buffer after painting.
+					dst := imaging.GetRGBA(w, h)
+					imaging.ScaleInto(dst, decoded)
+					out[b] = dst
 				}
 			}
 		}

@@ -208,10 +208,15 @@ type Spec struct {
 	Origin        string       `json:"origin"`
 	ViewportWidth int          `json:"viewport_width,omitempty"`
 	Snapshot      SnapshotSpec `json:"snapshot"`
-	Login         LoginSpec    `json:"login,omitempty"`
-	Objects       []Object     `json:"objects,omitempty"`
-	Filters       []Filter     `json:"filters,omitempty"`
-	Actions       []Action     `json:"actions,omitempty"`
+	// MinimalMarkup selects the MAML-style output mode: the entry page is
+	// served as compact layout-only markup (headings, text, links — no
+	// images, scripts, or styling) for 2G-class links, instead of the
+	// graphical snapshot overlay.
+	MinimalMarkup bool      `json:"minimal_markup,omitempty"`
+	Login         LoginSpec `json:"login,omitempty"`
+	Objects       []Object  `json:"objects,omitempty"`
+	Filters       []Filter  `json:"filters,omitempty"`
+	Actions       []Action  `json:"actions,omitempty"`
 }
 
 // FindObject returns the named object.
