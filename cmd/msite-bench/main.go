@@ -16,6 +16,7 @@
 //	msite-bench persistence  # durable store: warm restart + crash safety → BENCH_PR5.json
 //	msite-bench obs          # SLO burn-rate alerting + flight recorder → BENCH_PR6.json
 //	msite-bench streaming    # flush-early vs buffered entry serving → BENCH_PR7.json
+//	msite-bench prefetch     # speculative pre-adaptation crawler + revalidation → BENCH_PR8.json
 package main
 
 import (
@@ -57,6 +58,9 @@ func run() error {
 	streamingOut := flag.String("streaming-out", "BENCH_PR7.json", "where the streaming bench writes its JSON record (empty = don't write)")
 	streamingLatency := flag.Duration("streaming-latency", 120*time.Millisecond, "injected origin latency for the streaming bench")
 	streamingTrials := flag.Int("streaming-trials", 5, "cold entry loads per mode for the streaming bench")
+	prefetchOut := flag.String("prefetch-out", "BENCH_PR8.json", "where the prefetch bench writes its JSON record (empty = don't write)")
+	prefetchSites := flag.Int("prefetch-sites", 5, "hosted sites for the prefetch bench's fleet")
+	prefetchReqs := flag.Int("prefetch-requests", 300, "zipfian trace length for the prefetch bench's steady-state phase")
 	obsBatches := flag.Int("obs-batches", 8, "warm batches per side for the observability bench's overhead measurement")
 	obsWarm := flag.Int("obs-warm", 150, "warm requests per batch for the observability bench")
 	obsSpike := flag.Duration("obs-spike", 400*time.Millisecond, "injected origin latency spike for the observability bench")
@@ -283,6 +287,31 @@ func run() error {
 			if len(rep.Violations) > 0 {
 				return fmt.Errorf("streaming: %d invariant violation(s)", len(rep.Violations))
 			}
+		case "prefetch":
+			// Runs against its own fleet of internal origins (the -origin
+			// flag does not apply): the scenario churns origin content and
+			// counts per-origin bytes to prove revalidation is cheap.
+			rep, err := experiments.Prefetch(experiments.PrefetchConfig{
+				Sites:    *prefetchSites,
+				Requests: *prefetchReqs,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatPrefetch(rep))
+			if *prefetchOut != "" {
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*prefetchOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n\n", *prefetchOut)
+			}
+			if len(rep.Violations) > 0 {
+				return fmt.Errorf("prefetch: %d invariant violation(s)", len(rep.Violations))
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -290,7 +319,7 @@ func run() error {
 	}
 
 	if what == "all" {
-		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "persistence", "obs", "streaming", "stages", "fig7"} {
+		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "persistence", "obs", "streaming", "prefetch", "stages", "fig7"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

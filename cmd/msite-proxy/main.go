@@ -71,6 +71,10 @@ func run() error {
 	atfHeight := flag.Int("atf-height", 0, "above-the-fold boundary in scaled snapshot pixels for the streamed entry split (0 = default 480, negative = everything above the fold)")
 	snapshotProgressive := flag.Bool("snapshot-progressive", false, "with -stream, serve a coarse snapshot immediately and upgrade in-place once the full-fidelity encode completes")
 	minimalMarkup := flag.Bool("minimal-markup", false, "force the MAML-style minimal-markup entry mode (headings, text, links only) for every site")
+	prefetchOn := flag.Bool("prefetch", false, "speculative pre-adaptation: a background crawler pre-builds demanded bundles and keeps them fresh with conditional revalidation")
+	prefetchTopN := flag.Int("prefetch-top-n", 0, "sites the crawler builds or revalidates per cycle (0 = default 4)")
+	prefetchInterval := flag.Duration("prefetch-interval", 0, "nominal gap between crawler cycles, jittered ±20% (0 = default 30s)")
+	prefetchDepth := flag.Int("prefetch-depth", 0, "links deep the crawler walks from each entry page when ranking by proximity (0 = default 1)")
 	flag.Parse()
 
 	if len(specPaths) == 0 {
@@ -113,6 +117,11 @@ func run() error {
 		ATFHeight:           *atfHeight,
 		SnapshotProgressive: *snapshotProgressive,
 		MinimalMarkup:       *minimalMarkup,
+
+		Prefetch:         *prefetchOn,
+		PrefetchTopN:     *prefetchTopN,
+		PrefetchInterval: *prefetchInterval,
+		PrefetchDepth:    *prefetchDepth,
 	}
 
 	if len(specPaths) > 1 {

@@ -191,6 +191,110 @@ func TestStreamingDocCoversEveryKnob(t *testing.T) {
 	}
 }
 
+func TestPrefetchDocCoversEveryKnob(t *testing.T) {
+	doc, err := os.ReadFile("docs/PREFETCH.md")
+	if err != nil {
+		t.Fatalf("read docs/PREFETCH.md: %v", err)
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README: %v", err)
+	}
+	for _, flag := range []string{
+		"-prefetch", "-prefetch-top-n", "-prefetch-interval", "-prefetch-depth",
+	} {
+		if !strings.Contains(string(doc), "`"+flag+"`") {
+			t.Errorf("docs/PREFETCH.md does not document %s", flag)
+		}
+		if !strings.Contains(string(readme), "| `"+flag+"`") {
+			t.Errorf("README.md operator runbook is missing a row for %s", flag)
+		}
+	}
+	obsDoc, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read docs/OBSERVABILITY.md: %v", err)
+	}
+	for _, metric := range []string{
+		"msite_prefetch_built_total", "msite_prefetch_revalidated_total",
+		"msite_prefetch_not_modified_total", "msite_prefetch_skipped_busy_total",
+		"msite_prefetch_queue",
+	} {
+		if !strings.Contains(string(doc), metric) {
+			t.Errorf("docs/PREFETCH.md does not document metric %s", metric)
+		}
+		if !strings.Contains(string(obsDoc), metric) {
+			t.Errorf("docs/OBSERVABILITY.md does not list metric %s", metric)
+		}
+	}
+	for _, topic := range []string{
+		"ETag", "Last-Modified", "304", "demand", "background lane",
+		"helping", "stealing", "BENCH_PR8.json", "msite-bench prefetch",
+	} {
+		if !strings.Contains(string(doc), topic) {
+			t.Errorf("docs/PREFETCH.md does not cover %q", topic)
+		}
+	}
+}
+
+// coreConfigFields extracts the exported field names of core.Config
+// from its source, so the lint cannot drift from the struct.
+func coreConfigFields(t *testing.T) []string {
+	t.Helper()
+	src, err := os.ReadFile("internal/core/core.go")
+	if err != nil {
+		t.Fatalf("read core source: %v", err)
+	}
+	structRe := regexp.MustCompile(`(?s)type Config struct \{.*?\n\}`)
+	body := structRe.FindString(string(src))
+	if body == "" {
+		t.Fatal("could not locate the core.Config struct — lint regexp out of date?")
+	}
+	field := regexp.MustCompile(`(?m)^\t([A-Z][A-Za-z0-9]*) `)
+	var names []string
+	for _, m := range field.FindAllStringSubmatch(body, -1) {
+		names = append(names, m[1])
+	}
+	if len(names) < 20 {
+		t.Fatalf("field extraction found only %d fields (%v) — regexp out of date?", len(names), names)
+	}
+	return names
+}
+
+// TestDocsCoverConfigAndFlags is the docs-lint gate CI runs: every
+// core.Config field and every msite-proxy flag must be mentioned
+// somewhere under docs/ (the docs/README.md reference table satisfies
+// fields; subsystem docs satisfy flags). A new knob without
+// documentation fails the build.
+func TestDocsCoverConfigAndFlags(t *testing.T) {
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatalf("read docs/: %v", err)
+	}
+	var all strings.Builder
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".md") {
+			continue
+		}
+		data, err := os.ReadFile("docs/" + e.Name())
+		if err != nil {
+			t.Fatalf("read docs/%s: %v", e.Name(), err)
+		}
+		all.Write(data)
+		all.WriteByte('\n')
+	}
+	docs := all.String()
+	for _, field := range coreConfigFields(t) {
+		if !strings.Contains(docs, "`"+field+"`") {
+			t.Errorf("core.Config field %s is not documented anywhere under docs/ (add it to docs/README.md's reference table)", field)
+		}
+	}
+	for _, name := range proxyFlagNames(t) {
+		if !strings.Contains(docs, "`-"+name+"`") {
+			t.Errorf("msite-proxy flag -%s is not documented anywhere under docs/", name)
+		}
+	}
+}
+
 func TestObsDocCoversEveryKnob(t *testing.T) {
 	doc, err := os.ReadFile("docs/OBSERVABILITY.md")
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"msite/internal/fetch"
 	"msite/internal/gen"
 	"msite/internal/obs"
+	"msite/internal/prefetch"
 	"msite/internal/proxy"
 	"msite/internal/session"
 	"msite/internal/spec"
@@ -167,6 +168,24 @@ type Config struct {
 	// everywhere (the -minimal-markup knob); individual specs can also
 	// opt in via their minimal_markup attribute.
 	MinimalMarkup bool
+	// Prefetch enables the speculative pre-adaptation crawler (the
+	// -prefetch knob): a background loop that walks the origin link
+	// graph, ranks sites by live demand plus link proximity, pre-builds
+	// their bundles through the admission controller's background lane,
+	// and keeps them fresh with conditional (ETag/Last-Modified)
+	// revalidation. Enabling it also enables bundle persistence even
+	// without a StoreDir (bundles then live in the in-memory tier only).
+	Prefetch bool
+	// PrefetchTopN caps how many sites the crawler builds or revalidates
+	// per cycle (the -prefetch-top-n knob; default 4).
+	PrefetchTopN int
+	// PrefetchInterval is the nominal gap between crawler cycles,
+	// jittered ±20% (the -prefetch-interval knob; default 30s).
+	PrefetchInterval time.Duration
+	// PrefetchDepth is how many links deep the crawler walks from each
+	// entry page when ranking by proximity (the -prefetch-depth knob;
+	// default 1).
+	PrefetchDepth int
 }
 
 // buildCache wires the render cache: a plain in-memory cache, or — when
@@ -333,6 +352,23 @@ func (cfg Config) fetchOptions(reg *obs.Registry) []fetch.Option {
 	return append(opts, fetch.WithObs(reg))
 }
 
+// buildPrefetch maps the Prefetch knobs onto a crawler; nil when the
+// feature is off. The crawler is created before the proxies so its
+// RecordHit can be wired as their demand feed, pointed at the sites
+// after they exist, and only then started.
+func (cfg Config) buildPrefetch(reg *obs.Registry) *prefetch.Crawler {
+	if !cfg.Prefetch {
+		return nil
+	}
+	return prefetch.New(prefetch.Config{
+		TopN:     cfg.PrefetchTopN,
+		Interval: cfg.PrefetchInterval,
+		Depth:    cfg.PrefetchDepth,
+		Obs:      reg,
+		Logger:   cfg.Logger,
+	})
+}
+
 // Framework is a running m.Site instance for one adaptation spec.
 type Framework struct {
 	sp       *spec.Spec
@@ -341,7 +377,8 @@ type Framework struct {
 	store    *store.Store // nil without StoreDir
 	proxy    *proxy.Proxy
 	obs      *obs.Registry
-	tier     *obsTier // nil without SLO/incident knobs
+	tier     *obsTier          // nil without SLO/incident knobs
+	crawler  *prefetch.Crawler // nil without Prefetch
 }
 
 // New builds a Framework from a validated spec.
@@ -378,6 +415,11 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 	}
 	sessions.InstrumentObs(reg)
 	sessions.SetLogger(cfg.Logger)
+	crawler := cfg.buildPrefetch(reg)
+	var demand func(string)
+	if crawler != nil {
+		demand = crawler.RecordHit
+	}
 	p, err := proxy.New(proxy.Config{
 		Spec:                sp,
 		Sessions:            sessions,
@@ -391,11 +433,12 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 		ServeStale:          cfg.ServeStale,
 		StaleFor:            cfg.StaleFor,
 		Admission:           adm,
-		PersistBundles:      st != nil,
+		PersistBundles:      st != nil || cfg.Prefetch,
 		Stream:              cfg.Stream,
 		ATFHeight:           cfg.ATFHeight,
 		SnapshotProgressive: cfg.SnapshotProgressive,
 		MinimalMarkup:       cfg.MinimalMarkup,
+		Demand:              demand,
 	})
 	if err != nil {
 		sharedCache.Close()
@@ -412,7 +455,11 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 		}
 		return nil, err
 	}
-	return &Framework{sp: sp, sessions: sessions, cache: sharedCache, store: st, proxy: p, obs: reg, tier: tier}, nil
+	if crawler != nil {
+		crawler.SetSites([]prefetch.Site{p})
+		crawler.Start()
+	}
+	return &Framework{sp: sp, sessions: sessions, cache: sharedCache, store: st, proxy: p, obs: reg, tier: tier, crawler: crawler}, nil
 }
 
 // MultiFramework hosts the proxies for several adapted pages under one
@@ -423,7 +470,8 @@ type MultiFramework struct {
 	store    *store.Store // nil without StoreDir
 	multi    *proxy.MultiProxy
 	obs      *obs.Registry
-	tier     *obsTier // nil without SLO/incident knobs
+	tier     *obsTier          // nil without SLO/incident knobs
+	crawler  *prefetch.Crawler // nil without Prefetch
 }
 
 // NewMulti wires several specs into one composite handler.
@@ -454,6 +502,11 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 	}
 	sessions.InstrumentObs(reg)
 	sessions.SetLogger(cfg.Logger)
+	crawler := cfg.buildPrefetch(reg)
+	var demand func(string)
+	if crawler != nil {
+		demand = crawler.RecordHit
+	}
 	multi, err := proxy.NewMulti(proxy.MultiConfig{
 		Specs:               specs,
 		Sessions:            sessions,
@@ -467,11 +520,12 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 		ServeStale:          cfg.ServeStale,
 		StaleFor:            cfg.StaleFor,
 		Admission:           adm,
-		PersistBundles:      st != nil,
+		PersistBundles:      st != nil || cfg.Prefetch,
 		Stream:              cfg.Stream,
 		ATFHeight:           cfg.ATFHeight,
 		SnapshotProgressive: cfg.SnapshotProgressive,
 		MinimalMarkup:       cfg.MinimalMarkup,
+		Demand:              demand,
 	})
 	if err != nil {
 		sharedCache.Close()
@@ -488,7 +542,17 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 		}
 		return nil, err
 	}
-	return &MultiFramework{sessions: sessions, cache: sharedCache, store: st, multi: multi, obs: reg, tier: tier}, nil
+	if crawler != nil {
+		var sites []prefetch.Site
+		for _, name := range multi.Names() {
+			if p, ok := multi.Site(name); ok {
+				sites = append(sites, p)
+			}
+		}
+		crawler.SetSites(sites)
+		crawler.Start()
+	}
+	return &MultiFramework{sessions: sessions, cache: sharedCache, store: st, multi: multi, obs: reg, tier: tier, crawler: crawler}, nil
 }
 
 // Handler returns the composite handler.
@@ -515,6 +579,21 @@ func (m *MultiFramework) Sessions() *session.Manager { return m.sessions }
 
 // Sites lists the mounted site names.
 func (m *MultiFramework) Sites() []string { return m.multi.Names() }
+
+// ProxyStats sums the per-site proxy work counters.
+func (m *MultiFramework) ProxyStats() proxy.Stats {
+	var total proxy.Stats
+	for _, name := range m.multi.Names() {
+		if p, ok := m.multi.Site(name); ok {
+			s := p.Stats()
+			total.Requests += s.Requests
+			total.Adaptations += s.Adaptations
+			total.SnapshotRenders += s.SnapshotRenders
+			total.SnapshotHits += s.SnapshotHits
+		}
+	}
+	return total
+}
 
 // ListenAndServe serves the composite proxy with the observability
 // surface mounted at /metrics and /debug/traces.
@@ -629,17 +708,25 @@ func mountMetrics(h http.Handler, reg *obs.Registry, tier *obsTier) http.Handler
 // CacheStats returns the shared cache counters.
 func (f *Framework) CacheStats() cache.Stats { return f.cache.Stats() }
 
-// Close releases background resources: the cache's expiry sweeper, and
-// — when a durable store is configured — the write-through pool (drained
-// first, so queued persists land) and the store itself. Safe to call
-// more than once.
+// Close releases background resources: the prefetch crawler (stopped
+// first, so no cycle races the teardown), the cache's expiry sweeper,
+// and — when a durable store is configured — the write-through pool
+// (drained first, so queued persists land) and the store itself. Safe
+// to call more than once.
 func (f *Framework) Close() {
+	if f.crawler != nil {
+		f.crawler.Close()
+	}
 	f.tier.stop()
 	f.cache.Close()
 	if f.store != nil {
 		_ = f.store.Close()
 	}
 }
+
+// Prefetcher exposes the speculative pre-adaptation crawler; nil unless
+// Prefetch is enabled.
+func (f *Framework) Prefetcher() *prefetch.Crawler { return f.crawler }
 
 // Store exposes the durable render store; nil without StoreDir.
 func (m *MultiFramework) Store() *store.Store { return m.store }
@@ -660,16 +747,23 @@ func (m *MultiFramework) Recorder() *obs.Recorder {
 	return m.tier.recorder
 }
 
-// Close releases background resources (the shared cache's expiry
-// sweeper, the store write-through pool, and the store). Safe to call
-// more than once.
+// Close releases background resources (the prefetch crawler, the shared
+// cache's expiry sweeper, the store write-through pool, and the store).
+// Safe to call more than once.
 func (m *MultiFramework) Close() {
+	if m.crawler != nil {
+		m.crawler.Close()
+	}
 	m.tier.stop()
 	m.cache.Close()
 	if m.store != nil {
 		_ = m.store.Close()
 	}
 }
+
+// Prefetcher exposes the speculative pre-adaptation crawler; nil unless
+// Prefetch is enabled.
+func (m *MultiFramework) Prefetcher() *prefetch.Crawler { return m.crawler }
 
 // GenerateCode emits the standalone Go proxy source for this framework's
 // spec — the m.Site "shell code" artifact.

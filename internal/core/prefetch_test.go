@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msite/internal/origin"
+)
+
+// TestPrefetchColdBuildEndToEnd proves the whole speculative path: a
+// framework with the crawler on (and a long interval, so only explicit
+// cycles run) pre-builds the site's bundle before any request arrives,
+// and the next cycle revalidates instead of rebuilding.
+func TestPrefetchColdBuildEndToEnd(t *testing.T) {
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	t.Cleanup(originSrv.Close)
+
+	fw, err := New(testSpec(originSrv.URL), Config{
+		SessionRoot:              t.TempDir(),
+		FetchTimeout:             10 * time.Second,
+		MaxConcurrentAdaptations: 2,
+		Prefetch:                 true,
+		PrefetchInterval:         time.Hour, // cycles driven by hand below
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+
+	cr := fw.Prefetcher()
+	if cr == nil {
+		t.Fatal("Prefetcher() = nil with Prefetch on")
+	}
+
+	rep := cr.RunCycle(context.Background())
+	if len(rep.Built) != 1 || rep.Built[0] != "forum" {
+		t.Fatalf("first cycle Built = %v (errors %v), want [forum]", rep.Built, rep.Errors)
+	}
+
+	// The forum origin doesn't emit validators, so the second cycle
+	// can't 304 — but it must find the existing bundle and not rebuild.
+	rep2 := cr.RunCycle(context.Background())
+	if len(rep2.Built) != 0 {
+		t.Fatalf("second cycle rebuilt: %+v", rep2)
+	}
+
+	// Exactly one pipeline run total: the first cycle's build. No live
+	// request has arrived, and the second cycle reused the bundle.
+	if stats := fw.ProxyStats(); stats.Adaptations != 1 || stats.Requests != 0 {
+		t.Fatalf("stats = %+v, want exactly the one prefetch build and no requests", stats)
+	}
+}
+
+func TestPrefetcherNilWhenOff(t *testing.T) {
+	fw, _ := newFramework(t)
+	defer fw.Close()
+	if fw.Prefetcher() != nil {
+		t.Fatal("Prefetcher() non-nil with Prefetch off")
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrefetchBench runs a scaled-down version of the PR's acceptance
+// scenario end to end and requires a clean report.
+func TestPrefetchBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Prefetch(PrefetchConfig{
+		Sites:    3,
+		Requests: 60,
+		Clients:  3,
+		Churns:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations: %v\n%s", rep.Violations, FormatPrefetch(rep))
+	}
+	if rep.PrefetchedSites != 3 {
+		t.Fatalf("prefetched %d sites, want 3", rep.PrefetchedSites)
+	}
+	if rep.HitRatio < 0.99 {
+		t.Fatalf("hit ratio = %.3f", rep.HitRatio)
+	}
+	if rep.Reval304s == 0 || rep.RevalOriginBytes*10 >= rep.BuildOriginBytes {
+		t.Fatalf("revalidation not cheap: %d 304s, %d bytes vs %d build bytes",
+			rep.Reval304s, rep.RevalOriginBytes, rep.BuildOriginBytes)
+	}
+	out := FormatPrefetch(rep)
+	for _, want := range []string{"hit ratio", "revalidation", "first request"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package fetch
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestGetConditionalRevalidates(t *testing.T) {
+	const etag = `"v1"`
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Last-Modified", "Mon, 02 Jan 2006 15:04:05 GMT")
+		_, _ = w.Write([]byte("body"))
+	}))
+	defer srv.Close()
+
+	f := New(nil)
+	page, err := f.GetContext(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatalf("unconditional get: %v", err)
+	}
+	if page.ETag != etag || page.LastModified == "" {
+		t.Fatalf("validators not captured: etag=%q lastModified=%q", page.ETag, page.LastModified)
+	}
+	if page.NotModified {
+		t.Fatal("unconditional 200 flagged NotModified")
+	}
+
+	again, err := f.GetConditionalContext(context.Background(), srv.URL, Condition{
+		ETag: page.ETag, LastModified: page.LastModified,
+	})
+	if err != nil {
+		t.Fatalf("conditional get: %v", err)
+	}
+	if !again.NotModified || again.Status != http.StatusNotModified {
+		t.Fatalf("want 304 NotModified, got status=%d notModified=%v", again.Status, again.NotModified)
+	}
+	if len(again.Body) != 0 {
+		t.Fatalf("304 carried a body: %q", again.Body)
+	}
+
+	// Stale validators get the full body back.
+	fresh, err := f.GetConditionalContext(context.Background(), srv.URL, Condition{ETag: `"v0"`})
+	if err != nil {
+		t.Fatalf("stale conditional get: %v", err)
+	}
+	if fresh.NotModified || string(fresh.Body) != "body" {
+		t.Fatalf("stale conditional: notModified=%v body=%q", fresh.NotModified, fresh.Body)
+	}
+}

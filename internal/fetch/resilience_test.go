@@ -185,7 +185,7 @@ func TestGetRetriesTransientFailures(t *testing.T) {
 	f := New(nil, WithRetries(4), WithBackoff(time.Millisecond, 4*time.Millisecond), WithObs(reg))
 	page, err := f.Get(srv.URL)
 	if err != nil || string(page.Body) != "recovered" {
-		t.Fatalf("get = %v %q", err, page)
+		t.Fatalf("get = %v %q", err, page.Body)
 	}
 	if got := hits.Load(); got != 3 {
 		t.Fatalf("origin hits = %d, want 3", got)

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ForumConfig sizes the synthetic community.
@@ -48,8 +49,11 @@ func DefaultForumConfig() ForumConfig {
 type Forum struct {
 	cfg ForumConfig
 
-	mu    sync.Mutex
-	pages map[string][]byte // generated-content cache
+	mu         sync.Mutex
+	pages      map[string][]byte // generated-content cache
+	generation int               // entry-page revision, bumped by Bump
+
+	bytesServed atomic.Int64
 
 	forumNames  []string
 	memberNames []string
@@ -114,7 +118,9 @@ func makeMemberNames(n int, rng *rand.Rand) []string {
 	return names
 }
 
-// Handler returns the forum's HTTP handler.
+// Handler returns the forum's HTTP handler. Every response body is
+// metered into BytesServed, so experiments can compare the origin cost
+// of full rebuilds against conditional revalidation.
 func (f *Forum) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", f.serveIndex)
@@ -128,7 +134,49 @@ func (f *Forum) Handler() http.Handler {
 	mux.HandleFunc("/login.php", f.serveLogin)
 	mux.HandleFunc("/private.php", f.servePrivate)
 	mux.HandleFunc("/site.php", f.serveSite)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mux.ServeHTTP(&meteredWriter{ResponseWriter: w, total: &f.bytesServed}, r)
+	})
+}
+
+// meteredWriter counts body bytes into the forum's served-bytes total.
+type meteredWriter struct {
+	http.ResponseWriter
+	total *atomic.Int64
+}
+
+func (m *meteredWriter) Write(p []byte) (int, error) {
+	n, err := m.ResponseWriter.Write(p)
+	m.total.Add(int64(n))
+	return n, err
+}
+
+// BytesServed returns the total response-body bytes this origin has
+// sent since creation — the experiment's origin-cost meter.
+func (f *Forum) BytesServed() int64 { return f.bytesServed.Load() }
+
+// Bump advances the entry page to a new revision: the content and its
+// ETag change, so conditional revalidation sees a modified origin. This
+// is the churn lever for the prefetch experiments.
+func (f *Forum) Bump() {
+	f.mu.Lock()
+	f.generation++
+	f.mu.Unlock()
+}
+
+// Generation returns the current entry-page revision.
+func (f *Forum) Generation() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.generation
+}
+
+// indexState snapshots the revision-dependent serving state.
+func (f *Forum) indexState() (gen int, etag, key string) {
+	f.mu.Lock()
+	gen = f.generation
+	f.mu.Unlock()
+	return gen, fmt.Sprintf("\"forum-g%d\"", gen), "index:g" + strconv.Itoa(gen)
 }
 
 // cached builds a page once and replays it; the origin must be fast so
@@ -144,12 +192,21 @@ func (f *Forum) cached(key string, build func() []byte) []byte {
 	return data
 }
 
+// serveIndex serves the entry page with an ETag derived from the
+// current revision; a matching If-None-Match answers 304 with no body —
+// the response the prefetch refresher's conditional GETs rely on.
 func (f *Forum) serveIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" && r.URL.Path != "/index.php" {
 		http.NotFound(w, r)
 		return
 	}
-	data := f.cached("index", f.buildIndex)
+	gen, etag, key := f.indexState()
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	data := f.cached(key, func() []byte { return f.buildIndex(gen) })
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = w.Write(data)
 }
@@ -157,14 +214,16 @@ func (f *Forum) serveIndex(w http.ResponseWriter, r *http.Request) {
 // EntryPageBytes returns the entry page size, the §4.2 page-weight
 // denominator.
 func (f *Forum) EntryPageBytes() int {
-	return len(f.cached("index", f.buildIndex))
+	gen, _, key := f.indexState()
+	return len(f.cached(key, func() []byte { return f.buildIndex(gen) }))
 }
 
 // buildIndex generates the Fig. 4 entry page: logo + leaderboard ad, nav
 // links, login form, announcements, ~30 forum rows with latest posts,
-// who's online, statistics, birthdays, calendar, footer nav.
-func (f *Forum) buildIndex() []byte {
-	rng := rand.New(rand.NewSource(f.cfg.Seed + 1))
+// who's online, statistics, birthdays, calendar, footer nav. The
+// revision seeds the synthetic numbers, so each Bump changes the page.
+func (f *Forum) buildIndex(gen int) []byte {
+	rng := rand.New(rand.NewSource(f.cfg.Seed + 1 + int64(gen)*9973))
 	var b strings.Builder
 	b.Grow(64 << 10)
 

@@ -65,14 +65,17 @@ func TestForumIndexStructure(t *testing.T) {
 func TestForumIndexDeterministic(t *testing.T) {
 	f1 := NewForum(DefaultForumConfig())
 	f2 := NewForum(DefaultForumConfig())
-	if string(f1.buildIndex()) != string(f2.buildIndex()) {
+	if string(f1.buildIndex(0)) != string(f2.buildIndex(0)) {
 		t.Fatal("same seed should produce identical pages")
 	}
 	cfg := DefaultForumConfig()
 	cfg.Seed = 99
 	f3 := NewForum(cfg)
-	if string(f1.buildIndex()) == string(f3.buildIndex()) {
+	if string(f1.buildIndex(0)) == string(f3.buildIndex(0)) {
 		t.Fatal("different seed should differ")
+	}
+	if string(f1.buildIndex(0)) == string(f1.buildIndex(1)) {
+		t.Fatal("a content churn (generation bump) should change the page")
 	}
 }
 

@@ -1,0 +1,553 @@
+// Package prefetch implements speculative pre-adaptation: a background
+// crawler that walks the origin link graph from each configured site's
+// entry page, ranks sites by observed demand plus link proximity, and
+// pre-builds or revalidates their bundles through the proxy's coalesced
+// build path — under the admission controller's background lane, so the
+// crawler never competes with live traffic for capacity.
+//
+// Freshness is conditional: the crawler stores each origin page's ETag
+// and Last-Modified and revalidates with conditional GETs. A 304 proves
+// the adapted bundle still matches the origin, so its TTL is renewed in
+// place (a store touch, not a rebuild); only an origin that actually
+// changed pays for a pipeline run.
+package prefetch
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"math/rand"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"msite/internal/admission"
+	"msite/internal/fetch"
+	"msite/internal/html"
+
+	"msite/internal/dom"
+	"msite/internal/obs"
+	"msite/internal/proxy"
+)
+
+// Site is the per-site surface the crawler drives; *proxy.Proxy
+// implements it. The indirection keeps the crawler testable against
+// fakes without standing up full adaptation pipelines.
+type Site interface {
+	// SiteName identifies the site (the spec name).
+	SiteName() string
+	// Origin is the entry-page URL — the crawl root and the URL
+	// revalidated against the bundle's stored validator.
+	Origin() string
+	// PrefetchBuild builds the site's bundle off the live path; force
+	// true bypasses the existing bundle (the origin-changed rebuild).
+	PrefetchBuild(ctx context.Context, force bool) (bool, error)
+	// BundleValidator returns the origin validators captured by the
+	// persisted bundle's entry fetch (zero when unknown).
+	BundleValidator() proxy.BundleValidator
+	// TouchBundle renews the persisted bundle's TTL after a 304.
+	TouchBundle() bool
+	// PrefetchFetcher returns a fetcher wired like the build
+	// pipeline's, for crawl and revalidation traffic.
+	PrefetchFetcher() *fetch.Fetcher
+}
+
+// Config tunes the crawler. Zero values take the defaults noted on
+// each field.
+type Config struct {
+	// TopN caps how many sites are built or revalidated per cycle
+	// (-prefetch-top-n, default 4).
+	TopN int
+	// Interval is the nominal gap between refresh cycles
+	// (-prefetch-interval, default 30s). Start jitters each wait by
+	// ±20% so a fleet of proxies doesn't thundering-herd one origin.
+	Interval time.Duration
+	// Depth is how many links deep the crawler walks from each entry
+	// page when ranking by proximity (-prefetch-depth, default 1).
+	Depth int
+	// MaxPages bounds origin page fetches per crawl cycle (default 32).
+	MaxPages int
+	// Obs receives the msite_prefetch_* metrics. Nil disables them.
+	Obs *obs.Registry
+	// Logger, when set, gets a debug line per cycle.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.TopN <= 0 {
+		c.TopN = 4
+	}
+	if c.Interval <= 0 {
+		c.Interval = 30 * time.Second
+	}
+	if c.Depth <= 0 {
+		c.Depth = 1
+	}
+	if c.MaxPages <= 0 {
+		c.MaxPages = 32
+	}
+	return c
+}
+
+// pageEntry caches one crawled origin page across cycles: its
+// validators for the next conditional GET and the outbound links parsed
+// from the last 200. A 304 reuses the cached links, so a steady-state
+// crawl moves almost no origin bytes.
+type pageEntry struct {
+	etag         string
+	lastModified string
+	links        []string
+}
+
+// CycleReport is what one RunCycle did, for tests, benches, and logs.
+type CycleReport struct {
+	// Crawled counts origin fetches the link walk performed (conditional
+	// or not); CrawlNotModified of them came back 304.
+	Crawled          int
+	CrawlNotModified int
+	// Targets is the ranked top-N selection, best first.
+	Targets []string
+	// Built lists sites whose pipeline ran; Refreshed is the subset
+	// rebuilt because revalidation showed the origin changed.
+	Built     []string
+	Refreshed []string
+	// NotModified lists sites whose bundle was TTL-touched after a 304.
+	NotModified []string
+	// SkippedBusy lists sites skipped because the background admission
+	// lane had no spare capacity.
+	SkippedBusy []string
+	// Errors maps site name to the failure that ended its refresh.
+	Errors map[string]string
+}
+
+// Crawler is the background pre-adaptation engine. Create with New,
+// point at sites with SetSites, feed demand with RecordHit (wired as
+// the proxy's Demand callback), then Start — or call RunCycle directly
+// for deterministic tests and benches.
+type Crawler struct {
+	cfg Config
+
+	mu     sync.Mutex
+	sites  []Site
+	demand map[string]float64
+	pages  map[string]*pageEntry
+
+	queue *obs.Gauge
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New builds a crawler; it does nothing until Start (or RunCycle).
+func New(cfg Config) *Crawler {
+	c := &Crawler{
+		cfg:    cfg.withDefaults(),
+		demand: make(map[string]float64),
+		pages:  make(map[string]*pageEntry),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if c.cfg.Obs != nil {
+		c.queue = c.cfg.Obs.Gauge("msite_prefetch_queue")
+	}
+	return c
+}
+
+// SetSites replaces the crawl targets. Typically called once at boot,
+// after the proxies exist.
+func (c *Crawler) SetSites(sites []Site) {
+	c.mu.Lock()
+	c.sites = append([]Site(nil), sites...)
+	c.mu.Unlock()
+}
+
+// RecordHit feeds live demand: the proxy calls it on every entry and
+// subpage serve. It is cheap and non-blocking (one mutexed map add) as
+// Config.Demand requires.
+func (c *Crawler) RecordHit(site string) {
+	c.mu.Lock()
+	c.demand[site]++
+	c.mu.Unlock()
+}
+
+// Start launches the background refresh loop. Each wait is the
+// configured interval jittered ±20%. Close stops the loop.
+func (c *Crawler) Start() {
+	c.startOnce.Do(func() {
+		go c.loop()
+	})
+}
+
+// Close stops the background loop and waits for an in-flight cycle to
+// finish. Safe to call without Start, and more than once.
+func (c *Crawler) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.startOnce.Do(func() { close(c.done) }) // never started: nothing to wait for
+	<-c.done
+}
+
+func (c *Crawler) loop() {
+	defer close(c.done)
+	for {
+		wait := jitter(c.cfg.Interval)
+		select {
+		case <-c.stop:
+			return
+		case <-time.After(wait):
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Interval)
+		rep := c.RunCycle(ctx)
+		cancel()
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Debug("prefetch cycle",
+				"crawled", rep.Crawled,
+				"crawl_304", rep.CrawlNotModified,
+				"targets", len(rep.Targets),
+				"built", len(rep.Built),
+				"refreshed", len(rep.Refreshed),
+				"not_modified", len(rep.NotModified),
+				"skipped_busy", len(rep.SkippedBusy),
+				"errors", len(rep.Errors))
+		}
+	}
+}
+
+// jitter spreads d by ±20% so parallel deployments don't align their
+// origin probes.
+func jitter(d time.Duration) time.Duration {
+	f := 0.8 + 0.4*rand.Float64()
+	return time.Duration(float64(d) * f)
+}
+
+// RunCycle performs one full crawl-rank-refresh pass and reports what
+// happened. Exported so benches and tests can drive cycles
+// deterministically instead of waiting on the jittered ticker.
+func (c *Crawler) RunCycle(ctx context.Context) CycleReport {
+	rep := CycleReport{Errors: map[string]string{}}
+
+	c.mu.Lock()
+	sites := append([]Site(nil), c.sites...)
+	demand := make(map[string]float64, len(c.demand))
+	for name, d := range c.demand {
+		demand[name] = d
+		// Decay: each cycle halves history, so a page hot an hour ago
+		// doesn't outrank a page hot now.
+		if d /= 2; d < 0.01 {
+			delete(c.demand, name)
+		} else {
+			c.demand[name] = d
+		}
+	}
+	c.mu.Unlock()
+
+	if len(sites) == 0 {
+		return rep
+	}
+
+	depth := c.crawl(ctx, sites, demand, &rep)
+	targets := c.rank(sites, demand, depth)
+	rep.Targets = names(targets)
+
+	if c.queue != nil {
+		c.queue.Set(float64(len(targets)))
+	}
+	for i, s := range targets {
+		if ctx.Err() != nil {
+			break
+		}
+		c.refresh(ctx, s, &rep)
+		if c.queue != nil {
+			c.queue.Set(float64(len(targets) - i - 1))
+		}
+	}
+	if c.queue != nil {
+		c.queue.Set(0)
+	}
+	return rep
+}
+
+// crawl walks the origin link graph breadth-first from the entry page
+// of every site with live demand (every site, when nothing has demand
+// yet — the cold-boot bootstrap) and returns the minimal link depth at
+// which each configured origin URL was seen. Fetches are conditional
+// against the per-page validator cache; only hosts belonging to
+// configured origins are followed.
+func (c *Crawler) crawl(ctx context.Context, sites []Site, demand map[string]float64, rep *CycleReport) map[string]int {
+	originOf := make(map[string]string, len(sites)) // normalized origin URL -> site name
+	hosts := make(map[string]bool, len(sites))
+	for _, s := range sites {
+		u := normalizeURL(s.Origin())
+		originOf[u] = s.SiteName()
+		if p, err := url.Parse(u); err == nil {
+			hosts[p.Host] = true
+		}
+	}
+
+	type item struct {
+		url   string
+		depth int
+	}
+	var queue []item
+	seen := make(map[string]bool)
+	bootstrap := len(demand) == 0
+	var fetcher *fetch.Fetcher
+	for _, s := range sites {
+		if bootstrap || demand[s.SiteName()] > 0 {
+			u := normalizeURL(s.Origin())
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, item{u, 0})
+			}
+			if fetcher == nil {
+				fetcher = s.PrefetchFetcher()
+			}
+		}
+	}
+
+	depthOf := make(map[string]int) // site name -> min link depth
+	budget := c.cfg.MaxPages
+	for len(queue) > 0 && budget > 0 && ctx.Err() == nil {
+		it := queue[0]
+		queue = queue[1:]
+		if name, ok := originOf[it.url]; ok {
+			if d, have := depthOf[name]; !have || it.depth < d {
+				depthOf[name] = it.depth
+			}
+		}
+		if it.depth >= c.cfg.Depth {
+			continue
+		}
+		links, ok := c.fetchLinks(ctx, fetcher, it.url, rep)
+		budget--
+		if !ok {
+			continue
+		}
+		for _, l := range links {
+			if seen[l] {
+				continue
+			}
+			if p, err := url.Parse(l); err != nil || !hosts[p.Host] {
+				continue
+			}
+			seen[l] = true
+			queue = append(queue, item{l, it.depth + 1})
+		}
+	}
+	return depthOf
+}
+
+// fetchLinks returns the outbound links of one origin page, via the
+// cross-cycle validator cache: a 304 answers from the cached link set
+// for the cost of a header exchange.
+func (c *Crawler) fetchLinks(ctx context.Context, fetcher *fetch.Fetcher, pageURL string, rep *CycleReport) ([]string, bool) {
+	if fetcher == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	pe := c.pages[pageURL]
+	var cond fetch.Condition
+	if pe != nil {
+		cond = fetch.Condition{ETag: pe.etag, LastModified: pe.lastModified}
+	}
+	c.mu.Unlock()
+
+	page, err := fetcher.GetConditionalContext(ctx, pageURL, cond)
+	rep.Crawled++
+	if err != nil {
+		return nil, false
+	}
+	if page.NotModified && pe != nil {
+		rep.CrawlNotModified++
+		return pe.links, true
+	}
+	links := extractLinks(page.Body, pageURL)
+	c.mu.Lock()
+	c.pages[pageURL] = &pageEntry{etag: page.ETag, lastModified: page.LastModified, links: links}
+	c.mu.Unlock()
+	return links, true
+}
+
+// rank orders sites by decayed demand plus a link-proximity boost
+// (1/(1+depth) when the origin was seen in this cycle's crawl) and
+// keeps the top N. Name breaks ties so cycles are deterministic.
+func (c *Crawler) rank(sites []Site, demand map[string]float64, depth map[string]int) []Site {
+	type scored struct {
+		site  Site
+		score float64
+	}
+	ranked := make([]scored, 0, len(sites))
+	for _, s := range sites {
+		score := demand[s.SiteName()]
+		if d, ok := depth[s.SiteName()]; ok {
+			score += 1 / float64(1+d)
+		}
+		ranked = append(ranked, scored{s, score})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].site.SiteName() < ranked[j].site.SiteName()
+	})
+	if len(ranked) > c.cfg.TopN {
+		ranked = ranked[:c.cfg.TopN]
+	}
+	out := make([]Site, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.site
+	}
+	return out
+}
+
+// refresh brings one site's bundle current. Decision table, in order:
+// no stored validator → plain prefetch build (reuses an existing
+// bundle, builds if absent); origin crawled this cycle and validators
+// match → TTL touch only; otherwise a conditional probe (or the crawl's
+// mismatch) decides between touch and forced rebuild.
+func (c *Crawler) refresh(ctx context.Context, s Site, rep *CycleReport) {
+	name := s.SiteName()
+	val := s.BundleValidator()
+
+	if val.ETag == "" && val.LastModified == "" {
+		c.build(ctx, s, false, rep)
+		return
+	}
+
+	origin := normalizeURL(s.Origin())
+	c.mu.Lock()
+	pe := c.pages[origin]
+	c.mu.Unlock()
+	if pe != nil && validatorsMatch(val, pe.etag, pe.lastModified) {
+		c.touch(s, rep)
+		return
+	}
+	if pe != nil {
+		// The crawl already saw a different validator: the origin
+		// changed since the bundle was built.
+		c.count("msite_prefetch_revalidated_total", name)
+		rep.Refreshed = append(rep.Refreshed, name)
+		c.build(ctx, s, true, rep)
+		return
+	}
+
+	// Origin not covered by this cycle's crawl budget: probe it with the
+	// bundle's own validator.
+	page, err := s.PrefetchFetcher().GetConditionalContext(ctx, origin,
+		fetch.Condition{ETag: val.ETag, LastModified: val.LastModified})
+	if err != nil {
+		rep.Errors[name] = err.Error()
+		return
+	}
+	c.count("msite_prefetch_revalidated_total", name)
+	if page.NotModified {
+		c.touch(s, rep)
+		return
+	}
+	rep.Refreshed = append(rep.Refreshed, name)
+	c.build(ctx, s, true, rep)
+}
+
+func (c *Crawler) build(ctx context.Context, s Site, force bool, rep *CycleReport) {
+	name := s.SiteName()
+	ran, err := s.PrefetchBuild(ctx, force)
+	switch {
+	case errors.Is(err, admission.ErrBackgroundBusy):
+		c.count("msite_prefetch_skipped_busy_total", name)
+		rep.SkippedBusy = append(rep.SkippedBusy, name)
+	case err != nil:
+		rep.Errors[name] = err.Error()
+	case ran:
+		c.count("msite_prefetch_built_total", name)
+		rep.Built = append(rep.Built, name)
+	}
+}
+
+func (c *Crawler) touch(s Site, rep *CycleReport) {
+	name := s.SiteName()
+	c.count("msite_prefetch_not_modified_total", name)
+	rep.NotModified = append(rep.NotModified, name)
+	s.TouchBundle()
+}
+
+func (c *Crawler) count(metric, site string) {
+	if c.cfg.Obs != nil {
+		c.cfg.Obs.Counter(metric, "site", site).Inc()
+	}
+}
+
+// validatorsMatch compares the bundle's stored validator with the
+// origin's current one: ETag decides when both sides have one,
+// Last-Modified otherwise. Either side lacking both is a mismatch (no
+// evidence of freshness).
+func validatorsMatch(v proxy.BundleValidator, etag, lastModified string) bool {
+	if v.ETag != "" && etag != "" {
+		return v.ETag == etag
+	}
+	if v.LastModified != "" && lastModified != "" {
+		return v.LastModified == lastModified
+	}
+	return false
+}
+
+// normalizeURL canonicalizes a URL for graph identity: fragment
+// dropped, trailing slash on a bare host made explicit.
+func normalizeURL(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return raw
+	}
+	u.Fragment = ""
+	if u.Path == "" {
+		u.Path = "/"
+	}
+	return u.String()
+}
+
+// extractLinks parses an origin page and returns its absolute,
+// deduplicated anchor targets (http/https only), capped at 64 per page
+// to keep a pathological page from flooding the crawl queue.
+func extractLinks(body []byte, base string) []string {
+	doc := html.Parse(string(body))
+	baseURL, err := url.Parse(base)
+	if err != nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	doc.Walk(func(n *dom.Node) bool {
+		if len(out) >= 64 {
+			return false
+		}
+		if n.Type != dom.ElementNode || n.Tag != "a" {
+			return true
+		}
+		href := n.AttrOr("href", "")
+		if href == "" || strings.HasPrefix(href, "#") ||
+			strings.HasPrefix(href, "javascript:") || strings.HasPrefix(href, "mailto:") {
+			return true
+		}
+		u, err := baseURL.Parse(href)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") {
+			return true
+		}
+		abs := normalizeURL(u.String())
+		if !seen[abs] {
+			seen[abs] = true
+			out = append(out, abs)
+		}
+		return true
+	})
+	return out
+}
+
+func names(sites []Site) []string {
+	out := make([]string, len(sites))
+	for i, s := range sites {
+		out[i] = s.SiteName()
+	}
+	return out
+}

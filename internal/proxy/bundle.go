@@ -19,9 +19,11 @@ import (
 	"msite/internal/spec"
 )
 
-// bundleWireVersion guards the gob layout; a decoder seeing another
-// version discards the bundle and rebuilds.
-const bundleWireVersion = 1
+// bundleWireVersion guards the gob layout; a decoder seeing a newer
+// version discards the bundle and rebuilds. Version 1 records (no
+// validator) still decode — the validator is simply absent and the
+// first revalidation falls back to an unconditional fetch.
+const bundleWireVersion = 2
 
 // bundleKey derives the durable cache key of a build product:
 // (site, spec hash, device class, fidelity). The spec hash keys bundles
@@ -48,6 +50,26 @@ type bundleWire struct {
 	Notes    []string
 	Files    []fileWire
 	Images   []imageWire
+	// Validator (version 2+) carries the origin's cache validators from
+	// the build's entry fetch; the prefetch refresher revalidates with
+	// them instead of re-downloading. gob leaves it zero when decoding a
+	// version-1 record.
+	Validator BundleValidator
+}
+
+// BundleValidator is the origin-freshness evidence stored with a
+// bundle: the entry page's ETag and Last-Modified as fetched, plus when
+// the fetch happened.
+type BundleValidator struct {
+	ETag         string
+	LastModified string
+	FetchedAt    time.Time
+}
+
+// Zero reports whether no validator was captured (pre-v2 bundle, or an
+// origin that sends none).
+func (v BundleValidator) Zero() bool {
+	return v.ETag == "" && v.LastModified == "" && v.FetchedAt.IsZero()
 }
 
 type fileWire struct {
@@ -80,7 +102,7 @@ type imageWire struct {
 
 // encodeBundle serializes a build product for the durable tier.
 func encodeBundle(site string, b *builtAdaptation) ([]byte, error) {
-	w := bundleWire{Version: bundleWireVersion, Site: site, Notes: b.notes}
+	w := bundleWire{Version: bundleWireVersion, Site: site, Notes: b.notes, Validator: b.validator}
 	for _, sub := range b.subpages {
 		sw := subpageWire{
 			Name:       sub.Name,
@@ -135,12 +157,13 @@ func decodeBundle(data []byte) (*builtAdaptation, error) {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return nil, fmt.Errorf("proxy: decoding bundle: %w", err)
 	}
-	if w.Version != bundleWireVersion {
-		return nil, fmt.Errorf("proxy: bundle version %d (want %d)", w.Version, bundleWireVersion)
+	if w.Version < 1 || w.Version > bundleWireVersion {
+		return nil, fmt.Errorf("proxy: bundle version %d (want 1..%d)", w.Version, bundleWireVersion)
 	}
 	b := &builtAdaptation{
-		subpages: make(map[string]*attr.Subpage, len(w.Subpages)),
-		notes:    w.Notes,
+		subpages:  make(map[string]*attr.Subpage, len(w.Subpages)),
+		notes:     w.Notes,
+		validator: w.Validator,
 	}
 	for _, sw := range w.Subpages {
 		sub := &attr.Subpage{
@@ -199,6 +222,7 @@ func (p *Proxy) loadBundle(ctx context.Context) (*builtAdaptation, bool) {
 	}
 	p.obs.Counter("msite_proxy_bundle_reuses_total", "site", p.cfg.Spec.Name).Inc()
 	obs.TraceFrom(ctx).Annotate("bundle", "reuse")
+	p.setBundleValidator(b.validator)
 	return b, true
 }
 
@@ -212,4 +236,5 @@ func (p *Proxy) saveBundle(b *builtAdaptation) {
 		return
 	}
 	p.cfg.Cache.Put(p.bundleKey, cache.Entry{Data: data, MIME: "application/x-msite-bundle"}, p.bundleTTL)
+	p.setBundleValidator(b.validator)
 }

@@ -69,6 +69,9 @@ type MultiConfig struct {
 	// to every site (see Config).
 	PersistBundles bool
 	BundleTTL      time.Duration
+	// Demand is the live-traffic feed for the prefetch crawler's demand
+	// ranking, applied to every site (see Config).
+	Demand func(site string)
 }
 
 // NewMulti builds the composite proxy.
@@ -113,6 +116,7 @@ func NewMulti(cfg MultiConfig) (*MultiProxy, error) {
 			ATFHeight:           cfg.ATFHeight,
 			SnapshotProgressive: cfg.SnapshotProgressive,
 			MinimalMarkup:       cfg.MinimalMarkup,
+			Demand:              cfg.Demand,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("proxy: site %q: %w", name, err)

@@ -1,6 +1,8 @@
 package proxy
 
 import (
+	"bytes"
+	"encoding/gob"
 	"image"
 	"image/color"
 	"net/http"
@@ -265,5 +267,77 @@ func TestBundleRoundTrip(t *testing.T) {
 	// A corrupt blob is rejected, not served.
 	if _, err := decodeBundle(blob[:len(blob)/2]); err == nil {
 		t.Fatal("truncated bundle decoded")
+	}
+}
+
+// bundleWireV1 is the exact wire shape of version-1 records (pre
+// validator capture), kept here so the regression test below encodes a
+// genuinely old record rather than a new struct with the field zeroed.
+type bundleWireV1 struct {
+	Version  int
+	Site     string
+	Subpages []subpageWire
+	Notes    []string
+	Files    []fileWire
+	Images   []imageWire
+}
+
+func TestDecodeV1BundleBackwardCompatible(t *testing.T) {
+	old := bundleWireV1{
+		Version: 1,
+		Site:    "sawdust",
+		Subpages: []subpageWire{{
+			Name:    "nav",
+			Title:   "Navigation",
+			DocHTML: []byte("<html><body><p>hi</p></body></html>"),
+		}},
+		Notes: []string{"from v1"},
+		Files: []fileWire{{Dir: "pages", Name: "main.html", Data: []byte("<html></html>"), Kind: "main"}},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&old); err != nil {
+		t.Fatalf("encoding v1 record: %v", err)
+	}
+	got, err := decodeBundle(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decoding v1 record: %v", err)
+	}
+	if len(got.subpages) != 1 || got.subpages["nav"] == nil || got.subpages["nav"].Title != "Navigation" {
+		t.Fatalf("v1 subpages mangled: %+v", got.subpages)
+	}
+	if len(got.notes) != 1 || got.notes[0] != "from v1" {
+		t.Fatalf("v1 notes mangled: %v", got.notes)
+	}
+	if !got.validator.Zero() {
+		t.Fatalf("v1 record decoded with a non-zero validator: %+v", got.validator)
+	}
+	// A v2 record round-trips its validator.
+	v2src := &builtAdaptation{
+		subpages: map[string]*attr.Subpage{"nav": {Name: "nav"}},
+		validator: BundleValidator{
+			ETag:         `"abc"`,
+			LastModified: "Mon, 02 Jan 2006 15:04:05 GMT",
+			FetchedAt:    time.Unix(1700000000, 0).UTC(),
+		},
+	}
+	blob, err := encodeBundle("sawdust", v2src)
+	if err != nil {
+		t.Fatalf("encoding v2 record: %v", err)
+	}
+	v2got, err := decodeBundle(blob)
+	if err != nil {
+		t.Fatalf("decoding v2 record: %v", err)
+	}
+	if v2got.validator != v2src.validator {
+		t.Fatalf("v2 validator mangled: got %+v want %+v", v2got.validator, v2src.validator)
+	}
+	// A future version is rejected so the loader rebuilds.
+	future := bundleWireV1{Version: bundleWireVersion + 1}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&future); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeBundle(buf.Bytes()); err == nil {
+		t.Fatal("future-version bundle decoded")
 	}
 }

@@ -122,6 +122,11 @@ type Config struct {
 	// MinimalMarkup forces the MAML-style minimal-markup entry mode for
 	// every request, regardless of the spec's minimal_markup attribute.
 	MinimalMarkup bool
+	// Demand, when non-nil, is called with the site name on every entry
+	// and subpage request — the live-traffic signal the prefetch
+	// crawler's demand ranking decays over. Must be cheap and
+	// non-blocking; it runs on the serve path.
+	Demand func(site string)
 }
 
 // DefaultATFHeight is the above-the-fold boundary (in scaled snapshot
@@ -178,6 +183,11 @@ type Proxy struct {
 	// PersistBundles is off.
 	bundleKey string
 	bundleTTL time.Duration
+	// bundleVal mirrors the persisted bundle's validator in memory so the
+	// prefetch refresher reads it without decoding the stored bundle
+	// (valMu-guarded; populated by saveBundle and loadBundle).
+	valMu     sync.Mutex
+	bundleVal BundleValidator
 
 	// Work counters are atomic (not under mu) so Stats() snapshots and
 	// metric scrapes never contend with the adaptation hot path.
@@ -431,6 +441,9 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	kind := handlerKind(path)
 	site := p.cfg.Spec.Name
 	p.obs.Counter("msite_proxy_requests_total", "handler", kind, "site", site).Inc()
+	if p.cfg.Demand != nil && (kind == "entry" || kind == "subpage") {
+		p.cfg.Demand(site)
+	}
 	ctx, tr := p.obs.StartTrace(r.Context(), kind)
 	r = r.WithContext(ctx)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -788,6 +801,10 @@ type builtAdaptation struct {
 	notes    []string
 	images   map[string]image.Image
 	files    []buildFile
+	// validator is the origin's freshness evidence from this build's
+	// entry fetch, persisted with the bundle (v2) so the prefetch
+	// refresher can revalidate instead of re-downloading.
+	validator BundleValidator
 }
 
 // buildFile is one generated file, named relative to a session
@@ -875,6 +892,11 @@ func (p *Proxy) buildAdaptation(ctx context.Context, f *fetch.Fetcher) (*builtAd
 	b := &builtAdaptation{
 		subpages: make(map[string]*attr.Subpage),
 		images:   images,
+		validator: BundleValidator{
+			ETag:         page.ETag,
+			LastModified: page.LastModified,
+			FetchedAt:    time.Now(),
+		},
 	}
 	for _, sub := range result.Subpages {
 		b.subpages[sub.Name] = sub

@@ -48,6 +48,10 @@ const (
 
 	opPut    = 1
 	opDelete = 2
+	// opTouch revises the expiry of a live record without rewriting its
+	// payload — the record the revalidation path appends when the origin
+	// answers 304 Not Modified and a bundle's TTL just gets extended.
+	opTouch = 3
 )
 
 // DefaultSegmentMaxBytes is the roll-over size of one segment file.
@@ -260,6 +264,7 @@ func Open(o Options) (*Store, error) {
 		}
 	}
 	s.mu.Lock()
+	s.pruneExpiredLocked()
 	s.evictOverBudgetLocked()
 	s.mu.Unlock()
 	if s.fsync == FsyncInterval {
@@ -513,6 +518,23 @@ func (s *Store) tornTail(seg *segment, off int64, last bool) {
 
 // applyScanned replays one valid record into the index.
 func (s *Store) applyScanned(seg *segment, op byte, key string, off, frame int64, expires int64) {
+	if op == opTouch {
+		// A touch only revises the live record's expiry; the touch frame
+		// itself is dead weight. A touch whose key has no live record
+		// (deleted later in the log, or dropped by compaction races) is a
+		// no-op.
+		seg.dead += frame
+		if r, ok := s.index[key]; ok {
+			if expires != 0 && expires <= s.clock().UnixNano() {
+				r.seg.dead += r.frameLen
+				s.liveBytes.Add(-r.frameLen)
+				delete(s.index, key)
+			} else {
+				r.expires = expires
+			}
+		}
+		return
+	}
 	if old, ok := s.index[key]; ok {
 		old.seg.dead += old.frameLen
 		s.liveBytes.Add(-old.frameLen)
@@ -520,10 +542,10 @@ func (s *Store) applyScanned(seg *segment, op byte, key string, off, frame int64
 	}
 	switch op {
 	case opPut:
-		if expires != 0 && expires <= s.clock().UnixNano() {
-			seg.dead += frame
-			return
-		}
+		// Expired puts are still indexed here: a later touch record may
+		// have extended their expiry, and the replay must see the put to
+		// apply it. pruneExpiredLocked sweeps the leftovers once the whole
+		// log has been replayed.
 		s.index[key] = &rec{
 			seg:      seg,
 			off:      off,
@@ -538,6 +560,18 @@ func (s *Store) applyScanned(seg *segment, op byte, key string, off, frame int64
 	default:
 		s.markCorrupt()
 		seg.dead += frame
+	}
+}
+
+// pruneExpiredLocked drops index entries whose expiry — after every
+// touch in the log has been replayed — has already passed. Caller holds
+// s.mu.
+func (s *Store) pruneExpiredLocked() {
+	now := s.clock().UnixNano()
+	for key, r := range s.index {
+		if r.expires != 0 && r.expires <= now {
+			s.dropLocked(key, r)
+		}
 	}
 }
 
@@ -683,6 +717,43 @@ func (s *Store) Put(key string, data []byte, mime string, ttl time.Duration) err
 		s.compactAsync()
 	}
 	return nil
+}
+
+// Touch extends (or shortens) the expiry of a live record without
+// rewriting its payload: a small touch frame is appended to the log and
+// the index updated in place, so revalidating a multi-hundred-KB bundle
+// costs a few dozen bytes of disk instead of a full rewrite. Returns
+// false when the key has no live, unexpired record. A non-positive ttl
+// clears the expiry.
+func (s *Store) Touch(key string, ttl time.Duration) bool {
+	var expires int64
+	if ttl > 0 {
+		expires = s.clock().Add(ttl).UnixNano()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	r, ok := s.index[key]
+	if ok && r.expires != 0 && r.expires <= s.clock().UnixNano() {
+		s.dropLocked(key, r)
+		ok = false
+	}
+	if !ok {
+		return false
+	}
+	frame := encodeRecord(opTouch, key, "", nil, expires)
+	_, seg, err := s.appendLocked(frame)
+	if err != nil {
+		return false
+	}
+	// The touch frame is immediately dead: it never carries the payload,
+	// only the expiry revision the index (and the recovery scan) applies.
+	seg.dead += int64(len(frame))
+	r.expires = expires
+	r.access = s.accessClock.Add(1)
+	return true
 }
 
 // Delete appends a tombstone and removes the key from the index.
@@ -850,6 +921,14 @@ func (s *Store) compactSegmentLocked(victim *segment) (int, error) {
 			s.markCorrupt()
 			s.dropLocked(key, r)
 			continue
+		}
+		// A record whose expiry was since revised by a touch must be
+		// re-encoded with the index's current expiry: the moved copy lands
+		// after the touch frame in log order, so a raw byte copy would
+		// resurrect the stale expiry on the next recovery scan. The frame
+		// length is unchanged (the expiry field is fixed-width).
+		if op, k, mime, data, exp, perr := decodePayload(payload); perr == nil && op == opPut && exp != r.expires {
+			buf = encodeRecord(opPut, k, mime, data, r.expires)
 		}
 		off, seg, err := s.appendLocked(buf)
 		if err != nil {

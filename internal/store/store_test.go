@@ -412,3 +412,95 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestTouchExtendsExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s := openTest(t, t.TempDir(), func(o *Options) { o.Clock = clock })
+	if err := s.Put("k", []byte("v"), "m", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Touch("k", time.Hour) {
+		t.Fatal("Touch of live record returned false")
+	}
+	// Past the original TTL but inside the touched one.
+	now = now.Add(30 * time.Minute)
+	if _, _, _, ok := s.Get("k"); !ok {
+		t.Fatal("record expired despite touch")
+	}
+	if s.Touch("missing", time.Hour) {
+		t.Fatal("Touch of absent key returned true")
+	}
+	// Past the touched TTL the record is gone, and a touch then fails.
+	now = now.Add(2 * time.Hour)
+	if s.Touch("k", time.Hour) {
+		t.Fatal("Touch of expired record returned true")
+	}
+	if _, _, _, ok := s.Get("k"); ok {
+		t.Fatal("expired record still served")
+	}
+}
+
+func TestTouchSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s := openTest(t, dir, func(o *Options) { o.Clock = clock })
+	if err := s.Put("k", []byte("v"), "m", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Touch("k", time.Hour) {
+		t.Fatal("Touch failed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovery scan must replay the touch over the put.
+	now = now.Add(30 * time.Minute)
+	s2 := openTest(t, dir, func(o *Options) { o.Clock = clock })
+	if _, _, _, ok := s2.Get("k"); !ok {
+		t.Fatal("touched expiry lost across reopen")
+	}
+}
+
+func TestTouchSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	// Tiny segments so the put's segment seals and compacts.
+	s := openTest(t, dir, func(o *Options) {
+		o.Clock = clock
+		o.SegmentMaxBytes = 256
+		o.CompactFraction = -1 // compact only on demand
+	})
+	if err := s.Put("k", []byte("keep"), "m", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Filler rolls the segment and leaves dead weight behind.
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("fill%d", i)
+		if err := s.Put(key, make([]byte, 64), "m", 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Touch("k", time.Hour) {
+		t.Fatal("Touch failed")
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Compaction moved the put after the touch in log order; the moved
+	// copy must carry the touched expiry or recovery resurrects the old
+	// one.
+	now = now.Add(30 * time.Minute)
+	s2 := openTest(t, dir, func(o *Options) { o.Clock = clock })
+	if _, _, _, ok := s2.Get("k"); !ok {
+		t.Fatal("touched expiry lost across compaction + reopen")
+	}
+}
