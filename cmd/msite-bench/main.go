@@ -17,6 +17,7 @@
 //	msite-bench obs          # SLO burn-rate alerting + flight recorder → BENCH_PR6.json
 //	msite-bench streaming    # flush-early vs buffered entry serving → BENCH_PR7.json
 //	msite-bench prefetch     # speculative pre-adaptation crawler + revalidation → BENCH_PR8.json
+//	msite-bench quality      # repair rules + content-parity lint → BENCH_PR9.json
 package main
 
 import (
@@ -61,6 +62,9 @@ func run() error {
 	prefetchOut := flag.String("prefetch-out", "BENCH_PR8.json", "where the prefetch bench writes its JSON record (empty = don't write)")
 	prefetchSites := flag.Int("prefetch-sites", 5, "hosted sites for the prefetch bench's fleet")
 	prefetchReqs := flag.Int("prefetch-requests", 300, "zipfian trace length for the prefetch bench's steady-state phase")
+	qualityOut := flag.String("quality-out", "BENCH_PR9.json", "where the quality bench writes its JSON record (empty = don't write)")
+	qualitySites := flag.Int("quality-sites", 2, "forum origins in the quality bench's clean fleet (plus one classifieds site)")
+	qualityWarm := flag.Int("quality-warm", 120, "timed warm requests per side for the quality bench's overhead phase")
 	obsBatches := flag.Int("obs-batches", 8, "warm batches per side for the observability bench's overhead measurement")
 	obsWarm := flag.Int("obs-warm", 150, "warm requests per batch for the observability bench")
 	obsSpike := flag.Duration("obs-spike", 400*time.Millisecond, "injected origin latency spike for the observability bench")
@@ -312,6 +316,31 @@ func run() error {
 			if len(rep.Violations) > 0 {
 				return fmt.Errorf("prefetch: %d invariant violation(s)", len(rep.Violations))
 			}
+		case "quality":
+			// Runs against its own fleet of internal origins (the -origin
+			// flag does not apply): the scenario seeds content-drop filter
+			// bugs into mutated specs and compares quality-on/off twins.
+			rep, err := experiments.Quality(experiments.QualityConfig{
+				Sites: *qualitySites,
+				Warm:  *qualityWarm,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatQuality(rep))
+			if *qualityOut != "" {
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*qualityOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n\n", *qualityOut)
+			}
+			if len(rep.Violations) > 0 {
+				return fmt.Errorf("quality: %d invariant violation(s)", len(rep.Violations))
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -319,7 +348,7 @@ func run() error {
 	}
 
 	if what == "all" {
-		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "persistence", "obs", "streaming", "prefetch", "stages", "fig7"} {
+		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "persistence", "obs", "streaming", "prefetch", "quality", "stages", "fig7"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

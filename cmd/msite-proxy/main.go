@@ -75,6 +75,9 @@ func run() error {
 	prefetchTopN := flag.Int("prefetch-top-n", 0, "sites the crawler builds or revalidates per cycle (0 = default 4)")
 	prefetchInterval := flag.Duration("prefetch-interval", 0, "nominal gap between crawler cycles, jittered ±20% (0 = default 30s)")
 	prefetchDepth := flag.Int("prefetch-depth", 0, "links deep the crawler walks from each entry page when ranking by proximity (0 = default 1)")
+	repairRules := flag.String("repair-rules", "", "mobile-repair rules run over every adapted page post-attr: comma-separated rule names or \"all\" (empty = off)")
+	parityCheck := flag.Bool("parity-check", false, "validate content parity of origin vs adapted closure on every build (score via /metrics and /debug/parity)")
+	parityMinScore := flag.Float64("parity-min-score", 0, "fail builds whose parity score drops below this (0 = report only; requires -parity-check)")
 	flag.Parse()
 
 	if len(specPaths) == 0 {
@@ -122,6 +125,9 @@ func run() error {
 		PrefetchTopN:     *prefetchTopN,
 		PrefetchInterval: *prefetchInterval,
 		PrefetchDepth:    *prefetchDepth,
+		RepairRules:      *repairRules,
+		ParityCheck:      *parityCheck,
+		ParityMinScore:   *parityMinScore,
 	}
 
 	if len(specPaths) > 1 {

@@ -236,6 +236,61 @@ func TestPrefetchDocCoversEveryKnob(t *testing.T) {
 	}
 }
 
+// TestQualityDocCoversEveryKnob pins the adaptation-quality doc to the
+// quality subsystem's surface: flags, metrics, the debug endpoint, the
+// rule catalog, and the bench record.
+func TestQualityDocCoversEveryKnob(t *testing.T) {
+	doc, err := os.ReadFile("docs/QUALITY.md")
+	if err != nil {
+		t.Fatalf("read docs/QUALITY.md: %v", err)
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README: %v", err)
+	}
+	for _, flag := range []string{
+		"-repair-rules", "-parity-check", "-parity-min-score",
+	} {
+		if !strings.Contains(string(doc), "`"+flag+"`") {
+			t.Errorf("docs/QUALITY.md does not document %s", flag)
+		}
+		if !strings.Contains(string(readme), "| `"+flag+"`") {
+			t.Errorf("README.md operator runbook is missing a row for %s", flag)
+		}
+	}
+	obsDoc, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read docs/OBSERVABILITY.md: %v", err)
+	}
+	for _, metric := range []string{
+		"msite_quality_repairs_total", "msite_quality_parity_score",
+		"msite_quality_parity_failures_total",
+	} {
+		if !strings.Contains(string(doc), metric) {
+			t.Errorf("docs/QUALITY.md does not document metric %s", metric)
+		}
+		if !strings.Contains(string(obsDoc), metric) {
+			t.Errorf("docs/OBSERVABILITY.md does not list metric %s", metric)
+		}
+	}
+	for _, topic := range []string{
+		"viewport", "fixed-width", "touch-target", "font-floor",
+		"/debug/parity", "sanctioned", "BENCH_PR9.json",
+		"msite-bench quality", "RegisterExtension",
+	} {
+		if !strings.Contains(string(doc), topic) {
+			t.Errorf("docs/QUALITY.md does not cover %q", topic)
+		}
+	}
+	attrDoc, err := os.ReadFile("docs/ATTRIBUTES.md")
+	if err != nil {
+		t.Fatalf("read docs/ATTRIBUTES.md: %v", err)
+	}
+	if !strings.Contains(string(attrDoc), "`repair`") {
+		t.Error("docs/ATTRIBUTES.md does not document the repair attribute")
+	}
+}
+
 // coreConfigFields extracts the exported field names of core.Config
 // from its source, so the lint cannot drift from the struct.
 func coreConfigFields(t *testing.T) []string {

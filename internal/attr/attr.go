@@ -12,6 +12,7 @@ import (
 	"image"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"msite/internal/ajax"
@@ -136,6 +137,48 @@ type Applier struct {
 	// in place of placeholders — the subresources the proxy downloaded
 	// on the client's behalf (§3.2).
 	Images map[string]image.Image
+	// DeviceClass names the device class this build targets (a
+	// device.Profile name). Extension attributes gated on a "device"
+	// param match against it; empty means "any device".
+	DeviceClass string
+}
+
+// ExtensionContext is what a registered attribute extension sees: the
+// applier configuration, the in-progress result (for notes/assets), and
+// the located object nodes the attribute applies to.
+type ExtensionContext struct {
+	Applier *Applier
+	Result  *Result
+	Object  spec.Object
+	Attr    spec.Attribute
+	Nodes   []*dom.Node
+}
+
+// ExtensionFunc applies one spec attribute the core switch does not
+// know about.
+type ExtensionFunc func(ctx ExtensionContext) error
+
+var (
+	extMu  sync.RWMutex
+	extFns = make(map[spec.AttrType]ExtensionFunc)
+)
+
+// RegisterExtension installs a handler for an attribute type, turning
+// the attribute system into an open policy engine: packages add new
+// adaptation passes (e.g. quality's "repair" rules) without editing the
+// core switch. Registering a type the switch already handles has no
+// effect — built-ins win. Typically called from init.
+func RegisterExtension(t spec.AttrType, fn ExtensionFunc) {
+	extMu.Lock()
+	defer extMu.Unlock()
+	extFns[t] = fn
+}
+
+func extensionFor(t spec.AttrType) (ExtensionFunc, bool) {
+	extMu.RLock()
+	defer extMu.RUnlock()
+	fn, ok := extFns[t]
+	return fn, ok
 }
 
 func (a *Applier) subpageURL(name string) string {
@@ -413,6 +456,24 @@ type applyEnv struct {
 	// mainImage is the original page's raster, rendered lazily the
 	// first time a thumbnail attribute needs pixels to crop.
 	mainImage *image.RGBA
+	// assetSeen tracks emitted asset names: distinct object names can
+	// sanitize to the same file name ("nav bar" vs "nav_bar") and must
+	// not overwrite each other's Asset.
+	assetSeen map[string]bool
+}
+
+// uniqueAssetName reserves base+ext, appending a numeric suffix when the
+// plain name is already taken by an earlier object.
+func (env *applyEnv) uniqueAssetName(base, ext string) string {
+	if env.assetSeen == nil {
+		env.assetSeen = make(map[string]bool)
+	}
+	name := base + ext
+	for k := 2; env.assetSeen[name]; k++ {
+		name = base + "_" + strconv.Itoa(k) + ext
+	}
+	env.assetSeen[name] = true
+	return name
 }
 
 // applyOne handles one attribute on one object's nodes.
@@ -462,6 +523,14 @@ func (a *Applier) applyOne(env *applyEnv, obj spec.Object, at spec.Attribute,
 			if dest == nil {
 				res.Notes = append(res.Notes,
 					fmt.Sprintf("object %q: relocate target %q not found", obj.Name, target))
+				continue
+			}
+			// before/after need a parent to splice into; a target resolving
+			// to the document (or a detached) root has none.
+			if dest.Parent == nil && (position == "before" || position == "after") {
+				res.Notes = append(res.Notes,
+					fmt.Sprintf("object %q: relocate target %q has no parent for position %q",
+						obj.Name, target, position))
 				continue
 			}
 			n.Detach()
@@ -552,6 +621,9 @@ func (a *Applier) applyOne(env *applyEnv, obj spec.Object, at spec.Attribute,
 		return a.applyThumbnail(env, obj, at, nodes)
 
 	default:
+		if fn, ok := extensionFor(at.Type); ok {
+			return fn(ExtensionContext{Applier: a, Result: res, Object: obj, Attr: at, Nodes: nodes})
+		}
 		return fmt.Errorf("attr: object %q: unhandled attribute %q", obj.Name, at.Type)
 	}
 	return nil
@@ -587,11 +659,11 @@ func (a *Applier) applyThumbnail(env *applyEnv, obj spec.Object, at spec.Attribu
 		if err != nil {
 			return fmt.Errorf("attr: object %q: encoding thumbnail: %w", obj.Name, err)
 		}
-		name := sanitize(obj.Name)
+		base := sanitize(obj.Name)
 		if i > 0 {
-			name += "_" + strconv.Itoa(i)
+			base += "_" + strconv.Itoa(i)
 		}
-		name += "_thumb" + fid.Ext()
+		name := env.uniqueAssetName(base+"_thumb", fid.Ext())
 		env.res.Assets = append(env.res.Assets, Asset{
 			Name: name, Data: data, MIME: fid.MIME(),
 		})

@@ -673,3 +673,39 @@ func TestInsertJSServerStage(t *testing.T) {
 		t.Fatal("script text must not paint")
 	}
 }
+
+// TestRelocateBeforeDetachedTargetDoesNotPanic reproduces the relocate
+// nil-parent crash: an earlier object removes a container, so a later
+// relocate whose target selector resolves to that detached subtree's
+// root found a dest with no Parent — position=before then dereferenced
+// dest.Parent and panicked. Now it notes and skips like a missing
+// target.
+func TestRelocateBeforeDetachedTargetDoesNotPanic(t *testing.T) {
+	page := `<html><body><div id="junk"><p id="x">stranded paragraph</p></div><p>rest of page</p></body></html>`
+	for _, position := range []string{"before", "after"} {
+		sp := &spec.Spec{Name: "r", Origin: "http://o/", Objects: []spec.Object{
+			{Name: "junk", Selector: "#junk", Attributes: []spec.Attribute{
+				{Type: spec.AttrRemove},
+			}},
+			{Name: "x", Selector: "#x", Attributes: []spec.Attribute{
+				{Type: spec.AttrRelocate, Params: map[string]string{
+					"target": "#junk", "position": position,
+				}},
+			}},
+		}}
+		a := &Applier{ViewportWidth: 800}
+		res, err := a.Apply(sp, html.Tidy(page))
+		if err != nil {
+			t.Fatalf("position=%s: %v", position, err)
+		}
+		noted := false
+		for _, n := range res.Notes {
+			if strings.Contains(n, "has no parent") {
+				noted = true
+			}
+		}
+		if !noted {
+			t.Fatalf("position=%s: parentless target not noted: %v", position, res.Notes)
+		}
+	}
+}

@@ -202,3 +202,44 @@ func TestAbsolutizeURLsBadBase(t *testing.T) {
 		t.Fatal("bad base should rewrite nothing")
 	}
 }
+
+// TestThumbnailNameCollision: two objects whose names sanitize to the
+// same file name ("nav bar" vs "nav_bar") used to overwrite each
+// other's Asset; now the second gets a disambiguated name.
+func TestThumbnailNameCollision(t *testing.T) {
+	page := `<html><body>
+<object id="m1" width="400" height="300" data="/a.swf"></object>
+<object id="m2" width="400" height="300" data="/b.swf"></object>
+</body></html>`
+	sp := &spec.Spec{
+		Name: "media", Origin: "http://o/",
+		Objects: []spec.Object{
+			{Name: "nav bar", Selector: "#m1", Attributes: []spec.Attribute{
+				{Type: spec.AttrThumbnail, Params: map[string]string{"scale": "0.25"}},
+			}},
+			{Name: "nav_bar", Selector: "#m2", Attributes: []spec.Attribute{
+				{Type: spec.AttrThumbnail, Params: map[string]string{"scale": "0.25"}},
+			}},
+		},
+	}
+	a := &Applier{ViewportWidth: 800}
+	res, err := a.Apply(sp, html.Tidy(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assets) != 2 {
+		t.Fatalf("assets = %d, want 2", len(res.Assets))
+	}
+	if res.Assets[0].Name == res.Assets[1].Name {
+		t.Fatalf("asset names collide: %q", res.Assets[0].Name)
+	}
+	out := html.Render(res.Doc)
+	for _, asset := range res.Assets {
+		if len(asset.Data) == 0 {
+			t.Fatalf("asset %q has no data", asset.Name)
+		}
+		if !strings.Contains(out, "/asset/"+asset.Name) {
+			t.Fatalf("doc does not reference asset %q: %s", asset.Name, out)
+		}
+	}
+}

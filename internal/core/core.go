@@ -6,6 +6,7 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -21,6 +22,7 @@ import (
 	"msite/internal/obs"
 	"msite/internal/prefetch"
 	"msite/internal/proxy"
+	"msite/internal/quality"
 	"msite/internal/session"
 	"msite/internal/spec"
 	"msite/internal/store"
@@ -186,6 +188,21 @@ type Config struct {
 	// entry page when ranking by proximity (the -prefetch-depth knob;
 	// default 1).
 	PrefetchDepth int
+	// RepairRules selects the mobile-repair rules run over every adapted
+	// document and subpage after the attribute phase (the -repair-rules
+	// knob): a comma-separated list of internal/quality rule names, or
+	// "all". Empty disables the repair pass.
+	RepairRules string
+	// ParityCheck enables the content-parity validator (the
+	// -parity-check knob): every build diffs the origin's text/link/form
+	// inventory against the adapted closure, reporting the score via
+	// metrics, adaptation notes, and /debug/parity.
+	ParityCheck bool
+	// ParityMinScore fails a build loudly when its parity score drops
+	// below this threshold (the -parity-min-score knob; 0 means report
+	// only, 1 demands every non-sanctioned item survive). Requires
+	// ParityCheck.
+	ParityMinScore float64
 }
 
 // buildCache wires the render cache: a plain in-memory cache, or — when
@@ -439,6 +456,9 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 		SnapshotProgressive: cfg.SnapshotProgressive,
 		MinimalMarkup:       cfg.MinimalMarkup,
 		Demand:              demand,
+		RepairRules:         cfg.RepairRules,
+		ParityCheck:         cfg.ParityCheck,
+		ParityMinScore:      cfg.ParityMinScore,
 	})
 	if err != nil {
 		sharedCache.Close()
@@ -526,6 +546,9 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 		SnapshotProgressive: cfg.SnapshotProgressive,
 		MinimalMarkup:       cfg.MinimalMarkup,
 		Demand:              demand,
+		RepairRules:         cfg.RepairRules,
+		ParityCheck:         cfg.ParityCheck,
+		ParityMinScore:      cfg.ParityMinScore,
 	})
 	if err != nil {
 		sharedCache.Close()
@@ -571,7 +594,15 @@ func (m *MultiFramework) TracesHandler() http.Handler { return obs.TracesHandler
 // HandlerWithMetrics mounts the composite proxy plus the observability
 // surface (/metrics, /debug/traces) on one handler.
 func (m *MultiFramework) HandlerWithMetrics() http.Handler {
-	return mountMetrics(m.multi, m.obs, m.tier)
+	return mountMetrics(m.multi, m.obs, m.tier, parityHandler(func() map[string]*quality.Parity {
+		reports := make(map[string]*quality.Parity)
+		for _, name := range m.multi.Names() {
+			if p, ok := m.multi.Site(name); ok {
+				reports[name] = p.ParityReport()
+			}
+		}
+		return reports
+	}))
 }
 
 // Sessions exposes the shared session manager.
@@ -676,17 +707,38 @@ func (f *Framework) TracesHandler() http.Handler { return obs.TracesHandler(f.ob
 // HandlerWithMetrics mounts the proxy plus the observability surface
 // (/metrics, /debug/traces) on one handler.
 func (f *Framework) HandlerWithMetrics() http.Handler {
-	return mountMetrics(f.proxy, f.obs, f.tier)
+	return mountMetrics(f.proxy, f.obs, f.tier, parityHandler(func() map[string]*quality.Parity {
+		return map[string]*quality.Parity{f.sp.Name: f.proxy.ParityReport()}
+	}))
+}
+
+// parityHandler serves the latest content-parity report per site as
+// JSON at /debug/parity. Sites whose validator has not produced a
+// report yet (ParityCheck off, or no build completed) are omitted.
+func parityHandler(reports func() map[string]*quality.Parity) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		out := make(map[string]*quality.Parity)
+		for name, p := range reports() {
+			if p != nil {
+				out[name] = p
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
 }
 
 // mountMetrics composes a serving handler with the observability
 // endpoints; the longer mux patterns win over the proxy's catch-all.
 // The pprof handlers are mounted on the debug mux unconditionally;
 // /slo and /debug/incidents appear when the second tier is enabled.
-func mountMetrics(h http.Handler, reg *obs.Registry, tier *obsTier) http.Handler {
+func mountMetrics(h http.Handler, reg *obs.Registry, tier *obsTier, parity http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(reg))
 	mux.Handle("/debug/traces", obs.TracesHandler(reg))
+	if parity != nil {
+		mux.Handle("/debug/parity", parity)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

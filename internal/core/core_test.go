@@ -213,3 +213,54 @@ func TestListenAndServeBindFailure(t *testing.T) {
 		t.Fatal("expected multi bind error")
 	}
 }
+
+func TestDebugParityEndpoint(t *testing.T) {
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	defer originSrv.Close()
+
+	fw, err := New(testSpec(originSrv.URL), Config{
+		SessionRoot: t.TempDir(),
+		RepairRules: "all",
+		ParityCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	srv := httptest.NewServer(fw.HandlerWithMetrics())
+	defer srv.Close()
+
+	jar, _ := cookiejar.New(nil)
+	client := &http.Client{Jar: jar}
+
+	// Before any build the endpoint serves an empty object.
+	resp, err := client.Get(srv.URL + "/debug/parity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "{}" {
+		t.Fatalf("pre-build /debug/parity: %d %q", resp.StatusCode, body)
+	}
+
+	if resp, err = client.Get(srv.URL + "/"); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+
+	resp, err = client.Get(srv.URL + "/debug/parity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"score"`) {
+		t.Fatalf("/debug/parity after build: %d %q", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"forum"`) {
+		t.Fatalf("report not keyed by site: %q", body)
+	}
+}

@@ -1,0 +1,448 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"msite/internal/core"
+	"msite/internal/html"
+	"msite/internal/origin"
+	"msite/internal/quality"
+	"msite/internal/spec"
+)
+
+// QualityConfig tunes the adaptation-quality benchmark: clean-corpus
+// parity, seeded content-drop detection, the repair-rule lint loop, and
+// the live overhead of running all of it in the pipeline.
+type QualityConfig struct {
+	// Sites is how many forum origins the clean fleet hosts alongside the
+	// classifieds origin (default 2).
+	Sites int
+	// Warm is the timed warm-request count per side in the overhead phase
+	// (default 120).
+	Warm int
+	// Clients is how many distinct mobile clients (cookie jars, hence
+	// proxy sessions) issue the warm trace (default 4).
+	Clients int
+}
+
+func (cfg QualityConfig) withDefaults() QualityConfig {
+	if cfg.Sites <= 0 {
+		cfg.Sites = 2
+	}
+	if cfg.Warm <= 0 {
+		cfg.Warm = 120
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	return cfg
+}
+
+// QualityReport is the PR's adaptation-quality record (BENCH_PR9.json):
+// the strict parity gate passing every clean forum/classifieds origin
+// with zero false failures, flagging 100% of seeded content-drop
+// mutations, every repair rule firing and re-linting clean on a broken
+// page, and the whole quality pass costing ≤5% live p99.
+type QualityReport struct {
+	Sites int `json:"sites"`
+
+	// Clean corpus under the strict gate: every site must serve 200 and
+	// score exactly 1.0 through /debug/parity.
+	CleanSites         int                `json:"clean_sites"`
+	CleanFalseFailures int                `json:"clean_false_failures"`
+	CleanScores        map[string]float64 `json:"clean_scores"`
+	InventoryItems     int                `json:"inventory_items"`
+
+	// Seeded mutations: overzealous filters that eat a text block, a
+	// form, and a link list. Each must fail its build loudly.
+	SeededMutations   int      `json:"seeded_mutations"`
+	DetectedMutations int      `json:"detected_mutations"`
+	MutationResults   []string `json:"mutation_results"`
+
+	// Repair lint loop on a deliberately broken page, plus the repairs
+	// the clean live runs made.
+	LintFindingsBefore int    `json:"lint_findings_before"`
+	RulesTotal         int    `json:"repair_rules_total"`
+	RulesFired         int    `json:"repair_rules_fired"`
+	LintFindingsAfter  int    `json:"lint_findings_after"`
+	LiveRepairs        uint64 `json:"live_repairs_total"`
+
+	// Overhead: identical warm traces with the full quality pass on vs
+	// off (allowed +5% +2 ms).
+	WarmRequests int     `json:"warm_requests"`
+	P99OnMS      float64 `json:"quality_on_p99_ms"`
+	P99OffMS     float64 `json:"quality_off_p99_ms"`
+
+	Violations []string `json:"violations"`
+}
+
+// SpecForClassifieds builds a small adaptation spec for the synthetic
+// classifieds origin — the second clean corpus the quality bench holds
+// to the strict parity gate.
+func SpecForClassifieds(originURL string) *spec.Spec {
+	return &spec.Spec{
+		Name:          "postings",
+		Origin:        originURL + "/",
+		ViewportWidth: 1024,
+		Objects: []spec.Object{
+			{Name: "categories", Selector: "#sidebar", Attributes: []spec.Attribute{
+				{Type: spec.AttrSubpage, Params: map[string]string{"title": "Categories"}},
+			}},
+		},
+	}
+}
+
+// brokenMobilePage trips every repair rule at once: no viewport meta,
+// fixed desktop widths on a table, an image, and a styled div, cramped
+// links and inputs, and sub-floor font sizes both ways.
+const brokenMobilePage = `<!DOCTYPE html><html><head><title>legacy desktop page</title></head>
+<body>
+<table width="1200"><tr><td>fixed-width shell</td></tr></table>
+<img src="/hero.jpg" width="900" height="300">
+<div style="width:700px">announcement column</div>
+<a href="/a">one</a> <a href="/b">two</a> <a href="/c">three</a>
+<form action="/go"><input type="text" name="q"><button name="s">go</button></form>
+<span style="font-size:9px">legalese footer text</span>
+<font size="1">more legalese</font>
+</body></html>`
+
+// qualityFleet is the clean corpus: N synthetic forums plus one
+// classifieds site, each the origin of one spec.
+type qualityFleet struct {
+	originURLs []string // forum origins only, for the mutation phase
+	specs      []*spec.Spec
+	names      []string
+}
+
+func newQualityFleet(t interface{ Cleanup(func()) }, forums int) *qualityFleet {
+	fl := &qualityFleet{}
+	for i := 0; i < forums; i++ {
+		forum := origin.NewForum(origin.ForumConfig{
+			Name: fmt.Sprintf("Sawdust %c", 'A'+i), Members: 40_000 + i*1000,
+			Forums: 24, Online: 200, Scripts: 8, Seed: int64(42 + i),
+		})
+		srv := httptest.NewServer(forum.Handler())
+		t.Cleanup(srv.Close)
+		sp := SpecForForum(srv.URL)
+		sp.Name = fmt.Sprintf("forum%d", i)
+		fl.originURLs = append(fl.originURLs, srv.URL)
+		fl.specs = append(fl.specs, sp)
+		fl.names = append(fl.names, sp.Name)
+	}
+	cls := origin.NewClassifieds(origin.DefaultClassifiedsConfig())
+	srv := httptest.NewServer(cls.Handler())
+	t.Cleanup(srv.Close)
+	sp := SpecForClassifieds(srv.URL)
+	fl.specs = append(fl.specs, sp)
+	fl.names = append(fl.names, sp.Name)
+	return fl
+}
+
+// contentDropMutations are the seeded regressions: each filter eats one
+// div of the forum page — a text block, the login form, the birthday
+// link list — the canonical "filter pattern got greedy" bug class.
+var contentDropMutations = []struct{ name, pattern string }{
+	{"drop-announcement-text", `(?is)<div id="announce".*?</div>`},
+	{"drop-login-form", `(?is)<form id="loginform".*?</form>`},
+	{"drop-birthday-links", `(?is)<div id="birthdays".*?</div>`},
+}
+
+// Quality runs the adaptation-quality benchmark.
+func Quality(cfg QualityConfig) (*QualityReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &QualityReport{
+		Sites:       cfg.Sites + 1,
+		CleanScores: make(map[string]float64),
+	}
+
+	cl := &cleanups{}
+	defer cl.run()
+	fleet := newQualityFleet(cl, cfg.Sites)
+
+	root, err := os.MkdirTemp("", "msite-quality-*")
+	if err != nil {
+		return nil, err
+	}
+	cl.Cleanup(func() { _ = os.RemoveAll(root) })
+
+	boot := func(tag string, specs []*spec.Spec, qualityOn bool) (*core.MultiFramework, *httptest.Server, error) {
+		c := core.Config{
+			SessionRoot:              filepath.Join(root, "sessions-"+tag),
+			FetchTimeout:             30 * time.Second,
+			MaxConcurrentAdaptations: 4,
+		}
+		if qualityOn {
+			c.RepairRules = "all"
+			c.ParityCheck = true
+			c.ParityMinScore = 1
+		}
+		fw, err := core.NewMulti(specs, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		// HandlerWithMetrics so the bench exercises /debug/parity too.
+		srv := httptest.NewServer(fw.HandlerWithMetrics())
+		return fw, srv, nil
+	}
+
+	// Phase A — the clean corpus under the strict gate. Every site must
+	// build, serve 200, and score exactly 1.0: administrator-sanctioned
+	// drops are exempt, so anything less is a false failure.
+	fwOn, srvOn, err := boot("on", fleet.specs, true)
+	if err != nil {
+		return nil, err
+	}
+	defer fwOn.Close()
+	defer srvOn.Close()
+
+	client, err := newQualityClient()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range fleet.names {
+		resp, err := client.Get(srvOn.URL + "/p/" + name + "/")
+		if err != nil {
+			return nil, err
+		}
+		_ = resp.Body.Close()
+		rep.CleanSites++
+		if resp.StatusCode != http.StatusOK {
+			rep.CleanFalseFailures++
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("clean site %s refused under the strict parity gate (status %d)", name, resp.StatusCode))
+		}
+		if fails := fwOn.Obs().Counter("msite_quality_parity_failures_total", "site", name).Value(); fails > 0 {
+			rep.CleanFalseFailures++
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("clean site %s tripped the parity failure counter %d time(s)", name, fails))
+		}
+		for _, rule := range quality.RuleNames() {
+			rep.LiveRepairs += fwOn.Obs().Counter("msite_quality_repairs_total", "rule", rule, "site", name).Value()
+		}
+	}
+	reports, err := fetchParityReports(srvOn)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range fleet.names {
+		par, ok := reports[name]
+		if !ok || par == nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("/debug/parity has no report for clean site %s", name))
+			continue
+		}
+		rep.CleanScores[name] = par.Score
+		rep.InventoryItems += par.TotalItems
+		if par.Score != 1 || par.MissingItems != 0 {
+			rep.CleanFalseFailures++
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("clean site %s scored %.4f (missing %d of %d items)",
+					name, par.Score, par.MissingItems, par.TotalItems))
+		}
+	}
+	if rep.LiveRepairs == 0 {
+		rep.Violations = append(rep.Violations, "no repair rule fired on the live clean corpus")
+	}
+
+	// Phase B — seeded content drops. One mutated spec per regression,
+	// all against forum origin 0; the strict gate must refuse each build
+	// and say why.
+	var mutSpecs []*spec.Spec
+	for i, m := range contentDropMutations {
+		sp := SpecForForum(fleet.originURLs[0])
+		sp.Name = fmt.Sprintf("mut%d", i)
+		sp.Filters = append(sp.Filters, spec.Filter{
+			Type:   "replace",
+			Params: map[string]string{"pattern": m.pattern},
+		})
+		mutSpecs = append(mutSpecs, sp)
+	}
+	fwMut, srvMut, err := boot("mut", mutSpecs, true)
+	if err != nil {
+		return nil, err
+	}
+	defer fwMut.Close()
+	defer srvMut.Close()
+	rep.SeededMutations = len(contentDropMutations)
+	for i, m := range contentDropMutations {
+		name := mutSpecs[i].Name
+		resp, err := client.Get(srvMut.URL + "/p/" + name + "/")
+		if err != nil {
+			return nil, err
+		}
+		_ = resp.Body.Close()
+		fails := fwMut.Obs().Counter("msite_quality_parity_failures_total", "site", name).Value()
+		if resp.StatusCode != http.StatusOK && fails > 0 {
+			rep.DetectedMutations++
+			rep.MutationResults = append(rep.MutationResults,
+				fmt.Sprintf("%s: detected (status %d, %d parity failure(s))", m.name, resp.StatusCode, fails))
+		} else {
+			rep.MutationResults = append(rep.MutationResults,
+				fmt.Sprintf("%s: MISSED (status %d, %d parity failure(s))", m.name, resp.StatusCode, fails))
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("seeded mutation %s not flagged by the parity gate", m.name))
+		}
+	}
+
+	// Phase C — the repair lint loop: the broken page must lint dirty,
+	// every rule must fire, and the repaired page must re-lint clean.
+	rules := quality.AllRules()
+	rep.RulesTotal = len(rules)
+	doc := html.Tidy(brokenMobilePage)
+	rep.LintFindingsBefore = len(quality.CheckAll(rules, doc))
+	if rep.LintFindingsBefore == 0 {
+		rep.Violations = append(rep.Violations, "broken page linted clean before repair")
+	}
+	fired := quality.RepairAll(rules, doc)
+	for _, name := range quality.RuleNames() {
+		if fired[name] > 0 {
+			rep.RulesFired++
+		} else {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("repair rule %s made no fixes on the broken page", name))
+		}
+	}
+	rep.LintFindingsAfter = len(quality.CheckAll(rules, doc))
+	if rep.LintFindingsAfter > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("repaired page still fails lint: %v", quality.CheckAll(rules, doc)))
+	}
+
+	// Phase D — live overhead: identical warm traces against the quality
+	// fleet with the pass on (phase A's framework, already warm) and a
+	// twin with it off.
+	fwOff, srvOff, err := boot("off", fleet.specs, false)
+	if err != nil {
+		return nil, err
+	}
+	defer fwOff.Close()
+	defer srvOff.Close()
+
+	rep.WarmRequests = cfg.Warm
+	latOn, err := runQualityTrace(srvOn, fleet.names, cfg.Warm, cfg.Clients)
+	if err != nil {
+		return nil, err
+	}
+	latOff, err := runQualityTrace(srvOff, fleet.names, cfg.Warm, cfg.Clients)
+	if err != nil {
+		return nil, err
+	}
+	rep.P99OnMS = p99ms(latOn)
+	rep.P99OffMS = p99ms(latOff)
+	if rep.P99OnMS > rep.P99OffMS*1.05+2 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("warm p99 %.1f ms with quality on vs %.1f ms off (allowed +5%% +2 ms)",
+				rep.P99OnMS, rep.P99OffMS))
+	}
+	return rep, nil
+}
+
+func newQualityClient() (*http.Client, error) {
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &http.Client{Jar: jar, Timeout: time.Minute}, nil
+}
+
+// fetchParityReports reads the per-site reports off /debug/parity.
+func fetchParityReports(srv *httptest.Server) (map[string]*quality.Parity, error) {
+	resp, err := http.Get(srv.URL + "/debug/parity")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("experiments: /debug/parity status %d", resp.StatusCode)
+	}
+	var out map[string]*quality.Parity
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runQualityTrace warms every site once, then issues warm timed requests
+// round-robin across sites and clients.
+func runQualityTrace(srv *httptest.Server, names []string, warm, nClients int) ([]time.Duration, error) {
+	clients := make([]*http.Client, nClients)
+	for i := range clients {
+		c, err := newQualityClient()
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
+	}
+	get := func(client *http.Client, site string) (time.Duration, error) {
+		start := time.Now()
+		resp, err := client.Get(srv.URL + "/p/" + site + "/")
+		if err != nil {
+			return 0, err
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("experiments: quality trace %s status %d", site, resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+	for _, client := range clients {
+		for _, name := range names {
+			if _, err := get(client, name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	latencies := make([]time.Duration, 0, warm)
+	for i := 0; i < warm; i++ {
+		lat, err := get(clients[i%len(clients)], names[i%len(names)])
+		if err != nil {
+			return nil, err
+		}
+		latencies = append(latencies, lat)
+	}
+	return latencies, nil
+}
+
+// FormatQuality renders the adaptation-quality report.
+func FormatQuality(rep *QualityReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Adaptation quality: repair rules + content-parity lint\n")
+	fmt.Fprintf(&b, "clean corpus: %d sites under the strict gate, %d false failures (%d inventory items)\n",
+		rep.CleanSites, rep.CleanFalseFailures, rep.InventoryItems)
+	for _, name := range sortedKeys(rep.CleanScores) {
+		fmt.Fprintf(&b, "  %s: parity %.4f\n", name, rep.CleanScores[name])
+	}
+	fmt.Fprintf(&b, "seeded content drops: %d/%d detected\n", rep.DetectedMutations, rep.SeededMutations)
+	for _, r := range rep.MutationResults {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	fmt.Fprintf(&b, "repair lint: %d findings before, %d/%d rules fired, %d after (%d live repairs)\n",
+		rep.LintFindingsBefore, rep.RulesFired, rep.RulesTotal, rep.LintFindingsAfter, rep.LiveRepairs)
+	fmt.Fprintf(&b, "warm p99 (%d requests): %.1f ms quality on vs %.1f ms off\n",
+		rep.WarmRequests, rep.P99OnMS, rep.P99OffMS)
+	if len(rep.Violations) > 0 {
+		fmt.Fprintf(&b, "VIOLATIONS:\n")
+		for _, v := range rep.Violations {
+			fmt.Fprintf(&b, "  - %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQualityBench runs a scaled-down version of the PR's acceptance
+// scenario end to end and requires a clean report: strict parity passes
+// the clean corpus, every seeded drop is flagged, every repair rule
+// fires and re-lints clean.
+func TestQualityBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Quality(QualityConfig{
+		Sites:   1,
+		Warm:    20,
+		Clients: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The overhead gate can flake on a loaded CI box; everything else in
+	// Violations is a hard correctness failure.
+	var hard []string
+	for _, v := range rep.Violations {
+		if !strings.Contains(v, "warm p99") {
+			hard = append(hard, v)
+		}
+	}
+	if len(hard) > 0 {
+		t.Fatalf("violations: %v\n%s", hard, FormatQuality(rep))
+	}
+	if rep.DetectedMutations != rep.SeededMutations || rep.SeededMutations == 0 {
+		t.Fatalf("detected %d of %d seeded mutations", rep.DetectedMutations, rep.SeededMutations)
+	}
+	if rep.CleanFalseFailures != 0 {
+		t.Fatalf("%d false failures on the clean corpus", rep.CleanFalseFailures)
+	}
+	if rep.RulesFired != rep.RulesTotal || rep.LintFindingsAfter != 0 {
+		t.Fatalf("repair loop incomplete: %d/%d rules fired, %d findings after",
+			rep.RulesFired, rep.RulesTotal, rep.LintFindingsAfter)
+	}
+	if rep.InventoryItems == 0 {
+		t.Fatal("empty clean-corpus inventory")
+	}
+	out := FormatQuality(rep)
+	for _, want := range []string{"clean corpus", "seeded content drops", "repair lint", "warm p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpecForClassifiedsValid keeps the shared classifieds spec loadable
+// by the same validator real spec files go through.
+func TestSpecForClassifiedsValid(t *testing.T) {
+	sp := SpecForClassifieds("http://origin.example")
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("classifieds spec invalid: %v", err)
+	}
+}

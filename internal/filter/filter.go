@@ -22,8 +22,9 @@ var (
 	reScript    = regexp.MustCompile(`(?is)<script[^>]*>.*?</script>|<script[^>]*/>`)
 	reStyle     = regexp.MustCompile(`(?is)<style[^>]*>.*?</style>`)
 	reStyleLink = regexp.MustCompile(`(?is)<link[^>]*rel=["']?stylesheet["']?[^>]*>`)
-	reImgSrc    = regexp.MustCompile(`(?is)(<img[^>]*\bsrc=["'])([^"']+)(["'])`)
+	reImgSrc    = regexp.MustCompile(`(?is)(<img[^>]*\bsrc=)("([^"]+)"|'([^']+)'|([^\s>"'][^\s>]*))`)
 	reHeadOpen  = regexp.MustCompile(`(?is)<head[^>]*>`)
+	reHTMLOpen  = regexp.MustCompile(`(?is)<html[^>]*>`)
 )
 
 // Apply runs each filter over src in order. Unknown filter types are an
@@ -106,7 +107,15 @@ func SetTitle(src, title string) string {
 	if loc := reHeadOpen.FindStringIndex(src); loc != nil {
 		return src[:loc[1]] + element + src[loc[1]:]
 	}
-	return element + src
+	// No <head>: synthesize one right after <html>, or failing that after
+	// the doctype — never in front of it, which would emit invalid markup.
+	if loc := reHTMLOpen.FindStringIndex(src); loc != nil {
+		return src[:loc[1]] + "<head>" + element + "</head>" + src[loc[1]:]
+	}
+	if loc := reDoctype.FindStringIndex(src); loc != nil {
+		return src[:loc[1]] + "<head>" + element + "</head>" + src[loc[1]:]
+	}
+	return "<head>" + element + "</head>" + src
 }
 
 // StripScripts blanket-removes script elements at the source level.
@@ -121,14 +130,23 @@ func StripCSS(src string) string {
 
 // RewriteImages rewrites every <img src> through fn — the paper's
 // "rewriting all images to reference a low-fidelity image cache or
-// different server".
+// different server". Double-quoted, single-quoted, and legacy unquoted
+// src values are all rewritten; unquoted values come back quoted so the
+// rewritten URL survives characters the bare form could not carry.
 func RewriteImages(src string, fn func(string) string) string {
 	return reImgSrc.ReplaceAllStringFunc(src, func(m string) string {
 		parts := reImgSrc.FindStringSubmatch(m)
 		if parts == nil {
 			return m
 		}
-		return parts[1] + fn(parts[2]) + parts[3]
+		switch {
+		case strings.HasPrefix(parts[2], `"`):
+			return parts[1] + `"` + fn(parts[3]) + `"`
+		case strings.HasPrefix(parts[2], "'"):
+			return parts[1] + "'" + fn(parts[4]) + "'"
+		default:
+			return parts[1] + `"` + fn(parts[5]) + `"`
+		}
 	})
 }
 

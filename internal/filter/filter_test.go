@@ -156,3 +156,63 @@ func TestStripScriptsMultiline(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 }
+
+// TestRewriteImagesQuotingForms: the original reImgSrc only matched
+// quoted src values, silently leaving legacy unquoted src=logo.png
+// pointing at the origin.
+func TestRewriteImagesQuotingForms(t *testing.T) {
+	prefix := func(s string) string { return "/lowfi" + s }
+	cases := []struct {
+		name, in, want string
+	}{
+		{"double-quoted", `<img src="/a.png">`, `<img src="/lowfi/a.png">`},
+		{"single-quoted", `<img src='/b.png'>`, `<img src='/lowfi/b.png'>`},
+		{"unquoted", `<img src=/c.png>`, `<img src="/lowfi/c.png">`},
+		{"unquoted with following attr", `<img src=/logo.png border=0>`, `<img src="/lowfi/logo.png" border=0>`},
+		{"unquoted last before close", `<img alt=x src=/d.gif>`, `<img alt=x src="/lowfi/d.gif">`},
+		{"mixed document", `<p><img src="/a.png"><img src=/c.png></p>`,
+			`<p><img src="/lowfi/a.png"><img src="/lowfi/c.png"></p>`},
+		{"not an img", `<script src=app.js></script>`, `<script src=app.js></script>`},
+	}
+	for _, tc := range cases {
+		if got := RewriteImages(tc.in, prefix); got != tc.want {
+			t.Errorf("%s: RewriteImages(%q) = %q, want %q", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSetTitleNoHeadKeepsDoctypeFirst: the fallback used to prepend the
+// title element in front of the doctype, emitting invalid markup.
+func TestSetTitleNoHeadKeepsDoctypeFirst(t *testing.T) {
+	src := "<!DOCTYPE html>\n<body><p>content</p></body>"
+	got := SetTitle(src, "Mobile")
+	if !strings.HasPrefix(got, "<!DOCTYPE html>") {
+		t.Fatalf("doctype no longer first: %q", got)
+	}
+	if !strings.Contains(got, "<head><title>Mobile</title></head>") {
+		t.Fatalf("title not inserted in a synthesized head: %q", got)
+	}
+	if strings.Index(got, "<title>") > strings.Index(got, "<body>") {
+		t.Fatalf("title inserted after body: %q", got)
+	}
+}
+
+func TestSetTitleNoHeadInsertsInsideHTML(t *testing.T) {
+	src := `<!DOCTYPE html><html lang="en"><body><p>content</p></body></html>`
+	got := SetTitle(src, "Mobile")
+	htmlAt := strings.Index(got, `<html lang="en">`)
+	titleAt := strings.Index(got, "<title>")
+	if htmlAt < 0 || titleAt < htmlAt {
+		t.Fatalf("title not inside html element: %q", got)
+	}
+	if !strings.Contains(got, `<html lang="en"><head><title>Mobile</title></head>`) {
+		t.Fatalf("head not synthesized after <html>: %q", got)
+	}
+}
+
+func TestSetTitleBareFragment(t *testing.T) {
+	got := SetTitle("<p>just a fragment</p>", "Mobile")
+	if !strings.HasPrefix(got, "<head><title>Mobile</title></head>") {
+		t.Fatalf("fragment fallback wrong: %q", got)
+	}
+}

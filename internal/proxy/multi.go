@@ -72,6 +72,11 @@ type MultiConfig struct {
 	// Demand is the live-traffic feed for the prefetch crawler's demand
 	// ranking, applied to every site (see Config).
 	Demand func(site string)
+	// RepairRules, ParityCheck, and ParityMinScore are the adaptation
+	// quality knobs, applied to every site (see Config).
+	RepairRules    string
+	ParityCheck    bool
+	ParityMinScore float64
 }
 
 // NewMulti builds the composite proxy.
@@ -117,6 +122,9 @@ func NewMulti(cfg MultiConfig) (*MultiProxy, error) {
 			SnapshotProgressive: cfg.SnapshotProgressive,
 			MinimalMarkup:       cfg.MinimalMarkup,
 			Demand:              cfg.Demand,
+			RepairRules:         cfg.RepairRules,
+			ParityCheck:         cfg.ParityCheck,
+			ParityMinScore:      cfg.ParityMinScore,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("proxy: site %q: %w", name, err)

@@ -33,11 +33,13 @@ import (
 	"msite/internal/ajax"
 	"msite/internal/attr"
 	"msite/internal/cache"
+	"msite/internal/dom"
 	"msite/internal/fetch"
 	"msite/internal/filter"
 	"msite/internal/imaging"
 	"msite/internal/layout"
 	"msite/internal/obs"
+	"msite/internal/quality"
 	"msite/internal/raster"
 	"msite/internal/render"
 	"msite/internal/session"
@@ -127,6 +129,19 @@ type Config struct {
 	// crawler's demand ranking decays over. Must be cheap and
 	// non-blocking; it runs on the serve path.
 	Demand func(site string)
+	// RepairRules selects mobile-repair rules (internal/quality) to run
+	// over every adapted document and subpage after the attribute
+	// phase: a comma-separated rule list, or "all". Empty disables the
+	// pass. Unknown rule names are a construction error.
+	RepairRules string
+	// ParityCheck enables the content-parity validator: every build
+	// inventories origin vs adapted text/links/forms, records the score
+	// in metrics, notes, and the /debug/parity report.
+	ParityCheck bool
+	// ParityMinScore, with ParityCheck, fails the build loudly when the
+	// parity score drops below it (0 disables the hard gate; 1 demands
+	// every non-sanctioned content item survive adaptation).
+	ParityMinScore float64
 }
 
 // DefaultATFHeight is the above-the-fold boundary (in scaled snapshot
@@ -213,6 +228,11 @@ type Proxy struct {
 	// handler waits on them instead of 404ing a not-yet-written file.
 	snapMu sync.Mutex
 	snaps  map[string]*snapState
+
+	// repairRules is the parsed RepairRules pass (nil when disabled);
+	// lastParity is the most recent parity report for /debug/parity.
+	repairRules []quality.Rule
+	lastParity  atomic.Pointer[quality.Parity]
 }
 
 // adaptation is one session's generated content.
@@ -288,6 +308,13 @@ func New(cfg Config) (*Proxy, error) {
 		adapted:    make(map[string]*adaptation),
 		inflight:   make(map[string]chan struct{}),
 		snaps:      make(map[string]*snapState),
+	}
+	if cfg.RepairRules != "" {
+		rules, err := quality.ParseRules(cfg.RepairRules)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: %w", err)
+		}
+		p.repairRules = rules
 	}
 	if cfg.PersistBundles {
 		key, err := bundleKey(cfg.Spec, width)
@@ -867,11 +894,20 @@ func (p *Proxy) buildAdaptation(ctx context.Context, f *fetch.Fetcher) (*builtAd
 		degraded = append(degraded, p.degrade(ctx, "attributes", err))
 		result = &attr.Result{Doc: doc}
 	}
+	sp.End()
+
+	// Quality pass (post-attr hook): repair rules over the adapted
+	// closure, then content parity against the raw origin — before URL
+	// re-anchoring so origin and adapted hrefs still compare equal.
+	if err := p.qualityPass(ctx, page, result); err != nil {
+		return nil, err
+	}
 
 	// Re-anchor origin-relative URLs: adapted pages are served from the
 	// proxy host, so links back into the origin must be absolute, while
 	// proxy-internal references (subpages, assets, rewritten AJAX calls)
 	// stay local.
+	sp = obs.StartSpan(ctx, "absolutize")
 	skip := []string{
 		p.prefix + "/subpage/", p.prefix + "/asset/", p.prefix + "/ajax",
 		p.prefix + "/login", p.prefix + "/logout", p.prefix + "/auth",
@@ -981,6 +1017,65 @@ func (p *Proxy) installAdaptation(sess *session.Session, b *builtAdaptation) (*a
 		images:   b.images,
 	}, nil
 }
+
+// qualityPass is the post-attr quality hook: it runs the configured
+// mobile-repair rules over the adapted entry document and every
+// subpage, then (when ParityCheck is on) validates content parity of
+// the raw origin against the adapted closure. A parity score below
+// ParityMinScore fails the build — the one quality condition that is
+// louder than degradation, because silently serving a page with
+// missing content is exactly the failure mode this pass exists to
+// catch.
+func (p *Proxy) qualityPass(ctx context.Context, page *fetch.Page, result *attr.Result) error {
+	if len(p.repairRules) == 0 && !p.cfg.ParityCheck {
+		return nil
+	}
+	sp := obs.StartSpan(ctx, "quality")
+	defer sp.End()
+	site := p.cfg.Spec.Name
+
+	roots := make([]*dom.Node, 0, 1+len(result.Subpages))
+	roots = append(roots, result.Doc)
+	for _, sub := range result.Subpages {
+		roots = append(roots, sub.Doc)
+	}
+
+	for _, root := range roots {
+		for rule, n := range quality.RepairAll(p.repairRules, root) {
+			p.obs.Counter("msite_quality_repairs_total", "rule", rule, "site", site).Add(uint64(n))
+			result.Notes = append(result.Notes,
+				fmt.Sprintf("quality: repair rule %s made %d fixes", rule, n))
+		}
+	}
+
+	if !p.cfg.ParityCheck {
+		return nil
+	}
+	// The origin inventory comes from the *raw* body — before the filter
+	// phase — so overzealous filters count as drops too. Subtracting the
+	// sanctioned inventory exempts what the spec deliberately removes.
+	originDoc := tidyDoc(string(page.Body))
+	originInv := quality.InventoryOf(originDoc)
+	originInv.Subtract(quality.SanctionedInventory(p.cfg.Spec, originDoc))
+	par := quality.Compare(originInv, quality.InventoryOf(roots...))
+	p.lastParity.Store(par)
+	p.obs.Gauge("msite_quality_parity_score", "site", site).Set(par.Score)
+	result.Notes = append(result.Notes, par.Notes()...)
+	if min := p.cfg.ParityMinScore; min > 0 && !par.Ok(min) {
+		p.obs.Counter("msite_quality_parity_failures_total", "site", site).Inc()
+		obs.TraceFrom(ctx).Annotate("parity_failure",
+			fmt.Sprintf("score %.4f < %.4f", par.Score, min))
+		return fmt.Errorf(
+			"proxy: content parity %.4f below minimum %.4f (%d of %d items missing: %d text, %d links, %d forms)",
+			par.Score, min, par.MissingItems, par.TotalItems,
+			par.TextMissing, par.LinksMissing, par.FormsMissing)
+	}
+	return nil
+}
+
+// ParityReport returns the most recent content-parity report, or nil
+// when ParityCheck is off or no build has completed yet.
+func (p *Proxy) ParityReport() *quality.Parity { return p.lastParity.Load() }
 
 // degrade records one non-fatal pipeline-stage failure: the stage's
 // output is dropped and adaptation continues with what it has. The

@@ -1,0 +1,164 @@
+package proxy
+
+import (
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"msite/internal/cache"
+	"msite/internal/origin"
+	"msite/internal/session"
+	"msite/internal/spec"
+)
+
+// newQualityRig is newRig with control over the quality knobs.
+func newQualityRig(t *testing.T, mutateSpec func(*spec.Spec), mutateCfg func(*Config)) *testRig {
+	t.Helper()
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	t.Cleanup(originSrv.Close)
+
+	sp := forumSpec(originSrv.URL)
+	if mutateSpec != nil {
+		mutateSpec(sp)
+	}
+	sessions, err := session.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Spec: sp, Sessions: sessions, Cache: cache.New()}
+	if mutateCfg != nil {
+		mutateCfg(&cfg)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(p)
+	t.Cleanup(proxySrv.Close)
+
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{
+		origin: originSrv,
+		proxy:  proxySrv,
+		p:      p,
+		client: &http.Client{Jar: jar, Timeout: 30 * time.Second},
+	}
+}
+
+// TestQualityCleanForumPassesStrictParity: with repair rules and the
+// strict parity gate on, the real forum spec builds cleanly — the spec's
+// deliberate drops (banner replace, pre-rendered forums subpage) are
+// sanctioned, everything else survives in the entry+subpage closure.
+func TestQualityCleanForumPassesStrictParity(t *testing.T) {
+	rig := newQualityRig(t, nil, func(cfg *Config) {
+		cfg.RepairRules = "all"
+		cfg.ParityCheck = true
+		cfg.ParityMinScore = 1
+	})
+	_, resp := rig.get(t, "/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("entry status %d with strict parity on a clean spec", resp.StatusCode)
+	}
+	par := rig.p.ParityReport()
+	if par == nil {
+		t.Fatal("no parity report after a build")
+	}
+	if par.Score != 1 || par.MissingItems != 0 {
+		t.Fatalf("clean forum spec scored %.4f, missing %d: %+v", par.Score, par.MissingItems, par)
+	}
+	if par.TotalItems < 20 {
+		t.Fatalf("suspiciously small inventory: %+v", par)
+	}
+	// The forum page ships without a viewport meta, so the repair pass
+	// must have fired at least that rule.
+	if got := rig.p.obs.Counter("msite_quality_repairs_total", "rule", "viewport", "site", "sawdust").Value(); got == 0 {
+		t.Fatal("viewport repair did not fire on the forum page")
+	}
+	if got := rig.p.obs.Gauge("msite_quality_parity_score", "site", "sawdust").Value(); got != 1 {
+		t.Fatalf("parity gauge = %v", got)
+	}
+}
+
+// TestQualityParityFailsBuildOnContentDrop: an overzealous filter that
+// eats the announcement div must fail the build loudly when the strict
+// gate is on.
+func TestQualityParityFailsBuildOnContentDrop(t *testing.T) {
+	drop := func(sp *spec.Spec) {
+		sp.Filters = append(sp.Filters, spec.Filter{
+			Type:   "replace",
+			Params: map[string]string{"pattern": `(?is)<div id="announce".*?</div>`},
+		})
+	}
+	rig := newQualityRig(t, drop, func(cfg *Config) {
+		cfg.ParityCheck = true
+		cfg.ParityMinScore = 1
+	})
+	_, resp := rig.get(t, "/")
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("build served OK despite dropped content under the strict parity gate")
+	}
+	if got := rig.p.obs.Counter("msite_quality_parity_failures_total", "site", "sawdust").Value(); got == 0 {
+		t.Fatal("parity failure counter not incremented")
+	}
+	par := rig.p.ParityReport()
+	if par == nil || par.TextMissing == 0 {
+		t.Fatalf("parity report does not show the dropped text: %+v", par)
+	}
+}
+
+// TestQualityParityReportOnlyMode: without a minimum score the same
+// drop is reported (metrics, notes, report) but still serves.
+func TestQualityParityReportOnlyMode(t *testing.T) {
+	drop := func(sp *spec.Spec) {
+		sp.Filters = append(sp.Filters, spec.Filter{
+			Type:   "replace",
+			Params: map[string]string{"pattern": `(?is)<div id="announce".*?</div>`},
+		})
+	}
+	rig := newQualityRig(t, drop, func(cfg *Config) {
+		cfg.ParityCheck = true
+	})
+	_, resp := rig.get(t, "/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report-only parity failed the build: %d", resp.StatusCode)
+	}
+	par := rig.p.ParityReport()
+	if par == nil || par.Score >= 1 || par.TextMissing == 0 {
+		t.Fatalf("drop not reported: %+v", par)
+	}
+	noted := false
+	for _, n := range par.Notes() {
+		if strings.Contains(n, "missing text") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatalf("notes missing the diff: %v", par.Notes())
+	}
+}
+
+// TestQualityUnknownRuleRejectedAtConstruction: bad -repair-rules
+// values surface at startup, not mid-build.
+func TestQualityUnknownRuleRejectedAtConstruction(t *testing.T) {
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	t.Cleanup(originSrv.Close)
+	sessions, err := session.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{
+		Spec: forumSpec(originSrv.URL), Sessions: sessions, Cache: cache.New(),
+		RepairRules: "viewport,bogus",
+	})
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown rule accepted: %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package quality
+
+import (
+	"fmt"
+	"strings"
+
+	"msite/internal/attr"
+	"msite/internal/spec"
+)
+
+// init plugs the "repair" attribute into the attr policy engine:
+// administrators attach it to an object (typically body or html) and
+// the rule pass runs over that subtree during the attribute phase.
+//
+// Params:
+//
+//	rules:  comma-separated rule names, or "all" (default).
+//	device: comma-separated device-class names (device.Profile names)
+//	        the pass is limited to; empty applies on every device.
+func init() {
+	attr.RegisterExtension(spec.AttrRepair, applyRepairAttr)
+}
+
+// DeviceMatch reports whether a repair attribute's "device" param
+// selects the given device class. An empty param matches everything;
+// matching is case-insensitive.
+func DeviceMatch(param, deviceClass string) bool {
+	param = strings.TrimSpace(param)
+	if param == "" {
+		return true
+	}
+	for _, want := range strings.Split(param, ",") {
+		if strings.EqualFold(strings.TrimSpace(want), strings.TrimSpace(deviceClass)) {
+			return true
+		}
+	}
+	return false
+}
+
+func applyRepairAttr(ctx attr.ExtensionContext) error {
+	if !DeviceMatch(ctx.Attr.Param("device", ""), ctx.Applier.DeviceClass) {
+		ctx.Result.Notes = append(ctx.Result.Notes, fmt.Sprintf(
+			"object %q: repair skipped (device class %q not in %q)",
+			ctx.Object.Name, ctx.Applier.DeviceClass, ctx.Attr.Param("device", "")))
+		return nil
+	}
+	rules, err := ParseRules(ctx.Attr.Param("rules", "all"))
+	if err != nil {
+		return fmt.Errorf("attr: object %q: %w", ctx.Object.Name, err)
+	}
+	for _, n := range ctx.Nodes {
+		for rule, count := range RepairAll(rules, n) {
+			ctx.Result.Notes = append(ctx.Result.Notes, fmt.Sprintf(
+				"object %q: repair rule %s made %d fixes", ctx.Object.Name, rule, count))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+
+	"msite/internal/attr"
+	"msite/internal/html"
+	"msite/internal/spec"
+)
+
+// TestRepairAttrThroughApplier drives the spec "repair" attribute end
+// to end through the attr policy engine: the extension registered in
+// init picks it up from the default switch case.
+func TestRepairAttrThroughApplier(t *testing.T) {
+	sp := &spec.Spec{Name: "q", Origin: "http://o/", Objects: []spec.Object{
+		{Name: "page", Selector: "body", Attributes: []spec.Attribute{
+			{Type: spec.AttrRepair, Params: map[string]string{"rules": "viewport,fixed-width"}},
+		}},
+	}}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("repair attr rejected by spec validation: %v", err)
+	}
+	doc := html.Tidy(brokenPage)
+	a := &attr.Applier{ViewportWidth: 800}
+	res, err := a.Apply(sp, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := html.Render(res.Doc)
+	if !strings.Contains(out, "width=device-width") {
+		t.Fatalf("viewport rule did not run through the attr pass: %s", out)
+	}
+	if strings.Contains(out, `width="1200"`) {
+		t.Fatal("fixed-width rule did not run through the attr pass")
+	}
+	// font-floor was not selected, so the tiny font survives.
+	if !strings.Contains(out, "font-size: 9px") {
+		t.Fatal("unselected rule ran anyway")
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "repair rule") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no repair notes recorded: %v", res.Notes)
+	}
+}
+
+func TestRepairAttrDeviceGating(t *testing.T) {
+	sp := &spec.Spec{Name: "q", Origin: "http://o/", Objects: []spec.Object{
+		{Name: "page", Selector: "body", Attributes: []spec.Attribute{
+			{Type: spec.AttrRepair, Params: map[string]string{"device": "iPhone 4"}},
+		}},
+	}}
+	doc := html.Tidy(brokenPage)
+	a := &attr.Applier{ViewportWidth: 800, DeviceClass: "Desktop"}
+	res, err := a.Apply(sp, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(html.Render(res.Doc), "width=device-width") {
+		t.Fatal("repair ran for a device class the spec excluded")
+	}
+	skipped := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "repair skipped") {
+			skipped = true
+		}
+	}
+	if !skipped {
+		t.Fatalf("no skip note: %v", res.Notes)
+	}
+
+	a.DeviceClass = "iPhone 4"
+	res, err = a.Apply(sp, html.Tidy(brokenPage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html.Render(res.Doc), "width=device-width") {
+		t.Fatal("repair did not run for the selected device class")
+	}
+}
+
+func TestRepairAttrUnknownRuleFails(t *testing.T) {
+	sp := &spec.Spec{Name: "q", Origin: "http://o/", Objects: []spec.Object{
+		{Name: "page", Selector: "body", Attributes: []spec.Attribute{
+			{Type: spec.AttrRepair, Params: map[string]string{"rules": "bogus"}},
+		}},
+	}}
+	a := &attr.Applier{ViewportWidth: 800}
+	if _, err := a.Apply(sp, html.Tidy(brokenPage)); err == nil {
+		t.Fatal("unknown repair rule accepted")
+	}
+}
+
+func TestDeviceMatch(t *testing.T) {
+	cases := []struct {
+		param, class string
+		want         bool
+	}{
+		{"", "Desktop", true},
+		{"iPhone 4", "iphone 4", true},
+		{"iPhone 4, iPad 1", "iPad 1", true},
+		{"iPhone 4", "Desktop", false},
+	}
+	for _, tc := range cases {
+		if got := DeviceMatch(tc.param, tc.class); got != tc.want {
+			t.Errorf("DeviceMatch(%q, %q) = %v", tc.param, tc.class, got)
+		}
+	}
+}

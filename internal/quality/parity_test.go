@@ -1,0 +1,114 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+
+	"msite/internal/html"
+	"msite/internal/spec"
+)
+
+const parityOrigin = `<html><body>
+<p>A long paragraph of body copy that must survive adaptation.</p>
+<p>Another independent block of meaningful text content.</p>
+<a href="/forum/1">General Woodworking</a>
+<a href="/forum/2">Finishing and Refinishing</a>
+<form action="/login"><input type="text" name="username"><input type="password" name="password">
+<input type="hidden" name="csrf" value="x"><select name="jump"><option>one</option></select></form>
+</body></html>`
+
+func TestParityIdenticalDocsScoreOne(t *testing.T) {
+	origin := InventoryOf(html.Tidy(parityOrigin))
+	adapted := InventoryOf(html.Tidy(parityOrigin))
+	p := Compare(origin, adapted)
+	if p.Score != 1 || p.MissingItems != 0 {
+		t.Fatalf("score = %v, missing = %d: %+v", p.Score, p.MissingItems, p)
+	}
+	if p.TotalItems == 0 {
+		t.Fatal("empty inventory")
+	}
+	// Hidden inputs are not user-visible content.
+	for k := range origin.Forms {
+		if strings.Contains(k, "hidden") {
+			t.Fatalf("hidden input counted: %q", k)
+		}
+	}
+}
+
+func TestParityDetectsEachCategory(t *testing.T) {
+	origin := html.Tidy(parityOrigin)
+	cases := []struct {
+		name, drop string
+		check      func(p *Parity) bool
+	}{
+		{"text", "Another independent block of meaningful text content.",
+			func(p *Parity) bool { return p.TextMissing == 1 && len(p.MissingText) == 1 }},
+		{"link", `<a href="/forum/2">Finishing and Refinishing</a>`,
+			func(p *Parity) bool { return p.LinksMissing == 1 }},
+		{"form", `<input type="password" name="password">`,
+			func(p *Parity) bool { return p.FormsMissing == 1 }},
+	}
+	for _, tc := range cases {
+		mutated := strings.Replace(parityOrigin, tc.drop, "", 1)
+		if mutated == parityOrigin {
+			t.Fatalf("%s: mutation did not apply", tc.name)
+		}
+		p := Compare(InventoryOf(origin), InventoryOf(html.Tidy(mutated)))
+		if !tc.check(p) || p.Score >= 1 {
+			t.Errorf("%s drop not detected: %+v", tc.name, p)
+		}
+		if len(p.Notes()) < 2 {
+			t.Errorf("%s: notes missing detail: %v", tc.name, p.Notes())
+		}
+	}
+}
+
+func TestParitySplitAcrossSubpagesStillCounts(t *testing.T) {
+	entry := html.Tidy(`<html><body><p>A long paragraph of body copy that must survive adaptation.</p></body></html>`)
+	sub := html.Tidy(`<html><body>
+<p>Another independent block of meaningful text content.</p>
+<a href="/forum/1">General Woodworking</a>
+<a href="/forum/2">Finishing and Refinishing</a>
+<form action="/login"><input type="text" name="username"><input type="password" name="password">
+<select name="jump"><option>one</option></select></form>
+</body></html>`)
+	p := Compare(InventoryOf(html.Tidy(parityOrigin)), InventoryOf(entry, sub))
+	if p.Score != 1 {
+		t.Fatalf("closure across subpages scored %v: %+v", p.Score, p)
+	}
+}
+
+func TestSanctionedDropsAreExempt(t *testing.T) {
+	origin := html.Tidy(`<html><body>
+<div id="ad"><a href="/sponsor">A very insistent sponsor banner link</a></div>
+<p>Body copy that is genuinely part of the page content.</p>
+</body></html>`)
+	sp := &spec.Spec{Name: "s", Origin: "http://o/", Objects: []spec.Object{
+		{Name: "ad", Selector: "#ad", Attributes: []spec.Attribute{{Type: spec.AttrRemove}}},
+	}}
+	inv := InventoryOf(origin)
+	inv.Subtract(SanctionedInventory(sp, origin))
+	adapted := html.Tidy(`<html><body><p>Body copy that is genuinely part of the page content.</p></body></html>`)
+	p := Compare(inv, InventoryOf(adapted))
+	if p.Score != 1 || p.MissingItems != 0 {
+		t.Fatalf("sanctioned removal read as a failure: %+v", p)
+	}
+}
+
+func TestParityScoreArithmetic(t *testing.T) {
+	origin := NewInventory()
+	origin.Text["kept text block number one"] = 1
+	origin.Text["dropped text block number two"] = 1
+	origin.Links["/a|kept"] = 1
+	origin.Links["/b|dropped"] = 1
+	adapted := NewInventory()
+	adapted.Text["kept text block number one"] = 1
+	adapted.Links["/a|kept"] = 1
+	p := Compare(origin, adapted)
+	if p.TotalItems != 4 || p.MissingItems != 2 || p.Score != 0.5 {
+		t.Fatalf("got %+v", p)
+	}
+	if p.Ok(0.75) || !p.Ok(0.5) {
+		t.Fatalf("Ok thresholds wrong: %+v", p)
+	}
+}

@@ -1,0 +1,67 @@
+package quality
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"msite/internal/filter"
+	"msite/internal/html"
+	"msite/internal/origin"
+	"msite/internal/spec"
+)
+
+// benignFilters are source-level transforms that, by contract, may
+// restructure markup but never remove user-visible content.
+var benignFilters = []spec.Filter{
+	{Type: "doctype", Params: map[string]string{"value": "html"}},
+	{Type: "strip-scripts"},
+	{Type: "strip-css"},
+	{Type: "rewrite-images", Params: map[string]string{"prefix": "/lowfi"}},
+}
+
+// TestPropertyFilterParsePreservesInventory is the satellite property
+// test: filter.Apply composed with a DOM parse must never lose text,
+// link, or form inventory on generated origin pages. It sweeps seeded
+// variants of both origin generators (the same page corpus the benches
+// adapt), so a filter whose pattern starts eating surrounding markup
+// shows up as a concrete missing-item diff. CI runs the whole test job
+// under -race.
+func TestPropertyFilterParsePreservesInventory(t *testing.T) {
+	var pages []struct{ name, path, body string }
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := origin.DefaultForumConfig()
+		cfg.Seed = seed
+		forum := origin.NewForum(cfg)
+		for _, path := range []string{"/", "/forumdisplay.php?f=2"} {
+			rec := httptest.NewRecorder()
+			forum.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+			pages = append(pages, struct{ name, path, body string }{
+				fmt.Sprintf("forum seed %d", seed), path, rec.Body.String()})
+		}
+		ccfg := origin.DefaultClassifiedsConfig()
+		ccfg.Seed = seed
+		cls := origin.NewClassifieds(ccfg)
+		for _, path := range []string{"/", "/search/?q=bicycle"} {
+			rec := httptest.NewRecorder()
+			cls.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+			pages = append(pages, struct{ name, path, body string }{
+				fmt.Sprintf("classifieds seed %d", seed), path, rec.Body.String()})
+		}
+	}
+
+	for _, page := range pages {
+		origInv := InventoryOf(html.Tidy(page.body))
+		filtered, err := filter.Apply(page.body, benignFilters)
+		if err != nil {
+			t.Fatalf("%s %s: %v", page.name, page.path, err)
+		}
+		p := Compare(origInv, InventoryOf(html.Tidy(filtered)))
+		if p.TextMissing > 0 || p.LinksMissing > 0 || p.FormsMissing > 0 {
+			t.Errorf("%s %s: benign filters lost content: %+v", page.name, page.path, p)
+		}
+		if origInv.Total() == 0 {
+			t.Errorf("%s %s: empty origin inventory (test is vacuous)", page.name, page.path)
+		}
+	}
+}

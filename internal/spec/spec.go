@@ -89,6 +89,13 @@ const (
 	// "scale" (default 0.5), "fidelity" (high|medium|low, default low), "href"
 	// (link target; default the element's own src).
 	AttrThumbnail AttrType = "thumbnail"
+	// AttrRepair runs the mobile-repair rule pass (internal/quality) over
+	// the object's subtree: viewport meta injection, fixed-width
+	// rewrites, touch-target sizing, font floor. Params: "rules"
+	// (comma-separated rule names, default "all"), "device"
+	// (comma-separated device-class names the pass is limited to;
+	// empty means every device).
+	AttrRepair AttrType = "repair"
 )
 
 // knownAttrs validates attribute types on load.
@@ -99,6 +106,7 @@ var knownAttrs = map[AttrType]bool{
 	AttrRemoveJS: true, AttrImageFidelity: true, AttrSearchable: true,
 	AttrCacheable: true, AttrAJAXify: true, AttrPartialCSS: true,
 	AttrHTTPAuth: true, AttrRewriteLinks: true, AttrThumbnail: true,
+	AttrRepair: true,
 }
 
 // Attribute is one attribute assignment with its parameters.
