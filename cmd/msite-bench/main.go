@@ -18,6 +18,8 @@
 //	msite-bench streaming    # flush-early vs buffered entry serving → BENCH_PR7.json
 //	msite-bench prefetch     # speculative pre-adaptation crawler + revalidation → BENCH_PR8.json
 //	msite-bench quality      # repair rules + content-parity lint → BENCH_PR9.json
+//	msite-bench cluster      # consistent-hash scale-out fleet → BENCH_PR10.json
+//	msite-bench history      # fold BENCH_PR*.json into BENCH_HISTORY.json
 package main
 
 import (
@@ -65,6 +67,11 @@ func run() error {
 	qualityOut := flag.String("quality-out", "BENCH_PR9.json", "where the quality bench writes its JSON record (empty = don't write)")
 	qualitySites := flag.Int("quality-sites", 2, "forum origins in the quality bench's clean fleet (plus one classifieds site)")
 	qualityWarm := flag.Int("quality-warm", 120, "timed warm requests per side for the quality bench's overhead phase")
+	clusterOut := flag.String("cluster-out", "BENCH_PR10.json", "where the cluster bench writes its JSON record (empty = don't write)")
+	clusterSites := flag.Int("cluster-sites", 6, "cold sites for the cluster bench's throughput phase (balanced across owners)")
+	clusterCrowd := flag.Int("cluster-crowd", 12, "cross-node flash-crowd size for the cluster bench")
+	clusterLatency := flag.Duration("cluster-latency", 0, "injected origin latency for the cluster bench (0 = default 200ms)")
+	historyDir := flag.String("history-dir", ".", "directory whose BENCH_PR*.json records the history subcommand folds")
 	obsBatches := flag.Int("obs-batches", 8, "warm batches per side for the observability bench's overhead measurement")
 	obsWarm := flag.Int("obs-warm", 150, "warm requests per batch for the observability bench")
 	obsSpike := flag.Duration("obs-spike", 400*time.Millisecond, "injected origin latency spike for the observability bench")
@@ -341,6 +348,40 @@ func run() error {
 			if len(rep.Violations) > 0 {
 				return fmt.Errorf("quality: %d invariant violation(s)", len(rep.Violations))
 			}
+		case "cluster":
+			// Runs against its own fleet of latency-injected internal
+			// origins (the -origin flag does not apply): the scenario boots
+			// several cluster nodes on loopback listeners, kills one, and
+			// rejoins it.
+			rep, err := experiments.ClusterBench(experiments.ClusterBenchConfig{
+				Sites:         *clusterSites,
+				Crowd:         *clusterCrowd,
+				OriginLatency: *clusterLatency,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatCluster(rep))
+			if *clusterOut != "" {
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*clusterOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n\n", *clusterOut)
+			}
+			if len(rep.Violations) > 0 {
+				return fmt.Errorf("cluster: %d invariant violation(s)", len(rep.Violations))
+			}
+		case "history":
+			hist, err := experiments.WriteHistory(*historyDir)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatHistory(hist))
+			fmt.Printf("wrote %s\n\n", experiments.HistoryFile)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -348,7 +389,7 @@ func run() error {
 	}
 
 	if what == "all" {
-		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "persistence", "obs", "streaming", "prefetch", "quality", "stages", "fig7"} {
+		for _, name := range []string{"pageweight", "table1", "speedup", "fidelity", "ablation", "parallel", "resilience", "overload", "persistence", "obs", "streaming", "prefetch", "quality", "cluster", "stages", "fig7", "history"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -291,6 +291,57 @@ func TestQualityDocCoversEveryKnob(t *testing.T) {
 	}
 }
 
+// TestClusterDocCoversEveryKnob pins the cluster doc to the scale-out
+// subsystem's surface: flags, metrics, the peer protocol endpoints,
+// the failure matrix, and the bench record.
+func TestClusterDocCoversEveryKnob(t *testing.T) {
+	doc, err := os.ReadFile("docs/CLUSTER.md")
+	if err != nil {
+		t.Fatalf("read docs/CLUSTER.md: %v", err)
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README: %v", err)
+	}
+	for _, flag := range []string{
+		"-cluster-listen", "-cluster-peers", "-cluster-replicas", "-cluster-token",
+	} {
+		if !strings.Contains(string(doc), "`"+flag+"`") {
+			t.Errorf("docs/CLUSTER.md does not document %s", flag)
+		}
+		if !strings.Contains(string(readme), "| `"+flag+"`") {
+			t.Errorf("README.md operator runbook is missing a row for %s", flag)
+		}
+	}
+	obsDoc, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read docs/OBSERVABILITY.md: %v", err)
+	}
+	for _, metric := range []string{
+		"msite_cluster_ring_nodes", "msite_cluster_peer_state",
+		"msite_cluster_forwarded_total", "msite_cluster_owner_builds_total",
+		"msite_cluster_fallback_local_total", "msite_cluster_peer_errors_total",
+	} {
+		if !strings.Contains(string(doc), metric) {
+			t.Errorf("docs/CLUSTER.md does not document metric %s", metric)
+		}
+		if !strings.Contains(string(obsDoc), metric) {
+			t.Errorf("docs/OBSERVABILITY.md does not list metric %s", metric)
+		}
+	}
+	for _, topic := range []string{
+		"consistent-hash", "owner", "/internal/cluster/health",
+		"/internal/cluster/bundle/", "/internal/cluster/snapshot/",
+		"X-MSite-Trace", "Sticky personalized", "Split config",
+		"Bounded movement", "ClusterProbeInterval",
+		"BENCH_PR10.json", "msite-bench cluster", "msite-bench\nhistory",
+	} {
+		if !strings.Contains(string(doc), topic) {
+			t.Errorf("docs/CLUSTER.md does not cover %q", topic)
+		}
+	}
+}
+
 // coreConfigFields extracts the exported field names of core.Config
 // from its source, so the lint cannot drift from the struct.
 func coreConfigFields(t *testing.T) []string {

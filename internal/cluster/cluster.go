@@ -1,0 +1,419 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"msite/internal/cache"
+	"msite/internal/fetch"
+	"msite/internal/obs"
+)
+
+// DefaultProbeInterval is the liveness probe period.
+const DefaultProbeInterval = 2 * time.Second
+
+// DefaultPeerTimeout bounds one peer transport request. It must cover
+// the owner's cold build (pipeline run, not just a cache read), so it
+// is far longer than a health probe's budget.
+const DefaultPeerTimeout = 20 * time.Second
+
+// PathPrefix is where the peer transport mounts on each node's serving
+// mux.
+const PathPrefix = "/internal/cluster/"
+
+// traceHeader mirrors proxy.TraceHeader: a forwarded build carries the
+// originating request's trace ID, so /debug/traces on the requesting
+// and owning nodes stitch into one story.
+const traceHeader = "X-MSite-Trace"
+
+// bundleMIME is the Content-Type the bundle endpoint serves — the same
+// type the cache stores bundles under.
+const bundleMIME = "application/x-msite-bundle"
+
+// Builder is the per-site surface the peer transport serves;
+// *proxy.Proxy implements it. The indirection keeps the transport
+// testable against fakes without full adaptation pipelines.
+type Builder interface {
+	// ClusterBuild returns the site's encoded bundle, building it
+	// through the owner's admission controller when cold. built reports
+	// whether a pipeline run actually happened.
+	ClusterBuild(ctx context.Context) (data []byte, built bool, err error)
+	// ClusterSnapshot returns the site's shared snapshot cache entry,
+	// ok=false when absent or not shared.
+	ClusterSnapshot() (cache.Entry, bool)
+}
+
+// Config wires a Node.
+type Config struct {
+	// Self is this node's advertised base URL — its identity on the
+	// ring, and the ClusterPeers entry other nodes reach its
+	// /internal/cluster/ endpoints at (the -cluster-listen knob).
+	Self string
+	// Peers is the full static fleet, including Self (the -cluster-peers
+	// knob). Self is added if absent.
+	Peers []string
+	// Replicas is the virtual-node count per peer (the -cluster-replicas
+	// knob; <= 0 uses DefaultReplicas).
+	Replicas int
+	// Token is the shared bearer token authenticating peer transport
+	// requests (the -cluster-token knob). Empty serves unauthenticated —
+	// acceptable only on a trusted internal network.
+	Token string
+	// ProbeInterval is the liveness probe period (0 uses
+	// DefaultProbeInterval).
+	ProbeInterval time.Duration
+	// PeerTimeout bounds one peer transport request (0 uses
+	// DefaultPeerTimeout).
+	PeerTimeout time.Duration
+	// Retries is the retry budget per peer fetch (fetch.WithRetries).
+	Retries int
+	// Obs receives the msite_cluster_* metrics and the owner-side
+	// transport traces. Nil disables both.
+	Obs *obs.Registry
+	// Logger, when set, gets a line per membership transition.
+	Logger *slog.Logger
+}
+
+// Node is one member of the cluster: the ring + membership state, the
+// requester-side peer client, and the owner-side transport handler.
+type Node struct {
+	cfg  Config
+	self string
+	// breakers short-circuits requests to a peer that keeps failing —
+	// the same circuit-breaker machinery the origin fetch path uses,
+	// keyed per peer host.
+	breakers *fetch.BreakerSet
+	probes   *http.Client
+
+	mu    sync.Mutex
+	alive map[string]bool
+	ring  *Ring
+	sites map[string]Builder
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewNode validates cfg and builds the membership state. Every peer
+// starts presumed alive (a fleet booting together must not all mark
+// each other down before the first probe); the probe loop corrects the
+// picture within one interval.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Self (the -cluster-listen advertised URL) is required")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = DefaultPeerTimeout
+	}
+	self, err := normalizePeer(cfg.Self)
+	if err != nil {
+		return nil, err
+	}
+	peers := make([]string, 0, len(cfg.Peers)+1)
+	seen := map[string]bool{}
+	for _, p := range append([]string{cfg.Self}, cfg.Peers...) {
+		u, err := normalizePeer(p)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[u] {
+			seen[u] = true
+			peers = append(peers, u)
+		}
+	}
+	n := &Node{
+		cfg:      cfg,
+		self:     self,
+		breakers: fetch.NewBreakerSet(fetch.BreakerConfig{}),
+		// Probes get a short independent budget: a health check must not
+		// wait out a slow build on the peer's mux.
+		probes: &http.Client{Timeout: probeTimeout(cfg.ProbeInterval)},
+		alive:  make(map[string]bool, len(peers)),
+		sites:  make(map[string]Builder),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if cfg.Obs != nil {
+		n.breakers.SetObs(cfg.Obs)
+	}
+	for _, p := range peers {
+		n.alive[p] = true
+	}
+	n.rebuildLocked()
+	return n, nil
+}
+
+// normalizePeer canonicalizes a peer URL for ring identity: scheme
+// required (http/https), trailing slash dropped.
+func normalizePeer(raw string) (string, error) {
+	raw = strings.TrimSuffix(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", errors.New("cluster: bad peer URL " + raw)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", errors.New("cluster: peer URL " + raw + " must be http(s)://host:port")
+	}
+	return raw, nil
+}
+
+func probeTimeout(interval time.Duration) time.Duration {
+	if interval < time.Second {
+		return interval
+	}
+	return time.Second
+}
+
+// SetSites points the transport at the node's proxies, keyed by site
+// name. Called once at boot, after the proxies exist.
+func (n *Node) SetSites(sites map[string]Builder) {
+	n.mu.Lock()
+	n.sites = sites
+	n.mu.Unlock()
+}
+
+// Self returns the node's normalized ring identity.
+func (n *Node) Self() string { return n.self }
+
+// Peers returns the configured fleet (alive or not), sorted by the
+// ring's member listing when all are up.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.alive))
+	for p := range n.alive {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Owner returns the live peer owning key (the requester-side routing
+// decision). ok is false when no peer is live — callers then build
+// locally.
+func (n *Node) Owner(key string) (string, bool) {
+	n.mu.Lock()
+	r := n.ring
+	n.mu.Unlock()
+	return r.Owner(key)
+}
+
+// rebuildLocked reconstructs the ring from the live subset and updates
+// the membership gauges. Caller holds n.mu.
+func (n *Node) rebuildLocked() {
+	var live []string
+	for p, ok := range n.alive {
+		if ok {
+			live = append(live, p)
+		}
+	}
+	n.ring = NewRing(n.cfg.Replicas, live)
+	if n.cfg.Obs != nil {
+		n.cfg.Obs.Gauge("msite_cluster_ring_nodes").Set(float64(len(live)))
+		for p, ok := range n.alive {
+			v := 0.0
+			if ok {
+				v = 1
+			}
+			n.cfg.Obs.Gauge("msite_cluster_peer_state", "peer", p).Set(v)
+		}
+	}
+}
+
+// setAlive transitions one peer's liveness, rebuilding the ring on
+// change. Returns whether the state changed.
+func (n *Node) setAlive(peer string, alive bool) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cur, known := n.alive[peer]; !known || cur == alive {
+		return false
+	}
+	n.alive[peer] = alive
+	n.rebuildLocked()
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Info("cluster membership change",
+			"peer", peer, "alive", alive, "ring_nodes", n.ring.Size())
+	}
+	return true
+}
+
+// Start launches the liveness probe loop; Close stops it. A node used
+// without Start (tests driving ProbeOnce by hand) still routes — every
+// peer is presumed alive until evidence arrives.
+func (n *Node) Start() {
+	n.startOnce.Do(func() {
+		go n.loop()
+	})
+}
+
+// Close stops the probe loop. Safe without Start, and more than once.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.startOnce.Do(func() { close(n.done) })
+	<-n.done
+}
+
+func (n *Node) loop() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeInterval)
+		n.ProbeOnce(ctx)
+		cancel()
+	}
+}
+
+// ProbeOnce liveness-checks every peer (except self) once, marking each
+// up or down and rebuilding the ring on transitions. Exported so tests
+// and benches converge membership deterministically instead of waiting
+// out the probe ticker.
+func (n *Node) ProbeOnce(ctx context.Context) {
+	n.mu.Lock()
+	peers := make([]string, 0, len(n.alive))
+	for p := range n.alive {
+		if p != n.self {
+			peers = append(peers, p)
+		}
+	}
+	n.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			n.setAlive(peer, n.probe(ctx, peer))
+		}(p)
+	}
+	wg.Wait()
+}
+
+// probe reports whether one peer answers its health endpoint.
+func (n *Node) probe(ctx context.Context, peer string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+PathPrefix+"health", nil)
+	if err != nil {
+		return false
+	}
+	n.authorize(req.Header)
+	resp, err := n.probes.Do(req)
+	if err != nil {
+		return false
+	}
+	_ = resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (n *Node) authorize(h http.Header) {
+	if n.cfg.Token != "" {
+		h.Set("Authorization", "Bearer "+n.cfg.Token)
+	}
+}
+
+// peerFetcher builds the requester-side client for one forwarded
+// build: the fetch package's retry/breaker machinery (breakers keyed by
+// peer host), the bearer token, and the originating trace ID.
+func (n *Node) peerFetcher(ctx context.Context) *fetch.Fetcher {
+	opts := []fetch.Option{
+		fetch.WithTimeout(n.cfg.PeerTimeout),
+		fetch.WithBreaker(n.breakers),
+	}
+	if n.cfg.Retries > 0 {
+		opts = append(opts, fetch.WithRetries(n.cfg.Retries))
+	}
+	if n.cfg.Token != "" {
+		opts = append(opts, fetch.WithHeader("Authorization", "Bearer "+n.cfg.Token))
+	}
+	if id := obs.TraceFrom(ctx).ID(); id != "" {
+		opts = append(opts, fetch.WithHeader(traceHeader, id))
+	}
+	if n.cfg.Obs != nil {
+		opts = append(opts, fetch.WithObs(n.cfg.Obs))
+	}
+	return fetch.New(nil, opts...)
+}
+
+// snapshotWire is the snapshot endpoint's JSON body (Data is base64 on
+// the wire, per encoding/json's []byte convention).
+type snapshotWire struct {
+	MIME string `json:"mime"`
+	Data []byte `json:"data"`
+}
+
+// FetchBundle implements the proxy's cluster hook: it resolves key's
+// ring owner and, when that owner is a remote live peer, fetches its
+// encoded bundle (and shared snapshot, best-effort).
+//
+// remote=false means this node owns the key — or no peer is live — and
+// the caller should build locally as usual. remote=true with a non-nil
+// err means the owner was tried and failed: the caller takes over
+// locally (availability over ownership), and the failing peer is
+// marked down immediately on transport-class errors so the next
+// request does not re-pay the timeout before the probe loop catches up.
+func (n *Node) FetchBundle(ctx context.Context, site, key string) (bundle []byte, snapshot *cache.Entry, remote bool, err error) {
+	owner, ok := n.Owner(key)
+	if !ok || owner == n.self {
+		return nil, nil, false, nil
+	}
+	f := n.peerFetcher(ctx)
+	page, err := f.GetContext(ctx, owner+PathPrefix+"bundle/"+url.PathEscape(site))
+	if err != nil {
+		n.peerError(owner, site, err)
+		return nil, nil, true, err
+	}
+	n.count("msite_cluster_forwarded_total", "peer", owner)
+	var snap *cache.Entry
+	if sp, serr := f.GetContext(ctx, owner+PathPrefix+"snapshot/"+url.PathEscape(site)); serr == nil {
+		var w snapshotWire
+		if json.Unmarshal(sp.Body, &w) == nil && len(w.Data) > 0 {
+			snap = &cache.Entry{Data: w.Data, MIME: w.MIME}
+		}
+	}
+	return page.Body, snap, true, nil
+}
+
+// peerError accounts a failed forward and, for transport-class
+// failures (refused, reset, timeout, DNS — not an HTTP status or auth
+// challenge from a peer that is evidently alive), marks the owner down
+// without waiting for the next probe, so the next request routes
+// around it instead of re-paying the timeout.
+func (n *Node) peerError(owner, site string, err error) {
+	n.count("msite_cluster_peer_errors_total", "peer", owner)
+	n.count("msite_cluster_fallback_local_total", "site", site)
+	var fe *fetch.Error
+	if !errors.As(err, &fe) {
+		return
+	}
+	switch fe.Kind {
+	case fetch.KindTimeout, fetch.KindRefused, fetch.KindReset, fetch.KindDNS, fetch.KindTransport:
+		n.setAlive(owner, false)
+	}
+}
+
+func (n *Node) count(name string, labels ...string) {
+	if n.cfg.Obs != nil {
+		n.cfg.Obs.Counter(name, labels...).Inc()
+	}
+}
+
+func (n *Node) site(name string) (Builder, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b, ok := n.sites[name]
+	return b, ok
+}

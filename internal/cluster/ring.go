@@ -1,0 +1,119 @@
+// Package cluster scales the adaptation tier out: N msite-proxy
+// processes form a consistent-hash ring over the bundle keyspace
+// (site, spec hash, device class, fidelity — the durable bundle key),
+// and every cold non-personalized build is routed to the key's owning
+// peer over an authenticated internal HTTP endpoint. The fleet then
+// behaves as one logical render store: a flash crowd spread across
+// nodes still costs one pipeline run (the owner's), and each node's
+// local cache/store tier fills from the owner instead of the origin.
+//
+// Membership is static configuration plus liveness: the peer list is
+// fixed at boot, a background probe marks peers up or down, and the
+// ring is rebuilt from the live subset — so a killed node's keys move
+// to its ring successors (bounded movement, the consistent-hashing
+// property) and move back when it rejoins. When the owner of a key is
+// down or failing, the requesting node builds locally (availability
+// over strict ownership).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per peer on the ring. More
+// replicas smooth the keyspace split between peers at the cost of a
+// larger (still tiny) sorted point table.
+const DefaultReplicas = 64
+
+// point is one virtual node: a position on the hash circle owned by a
+// peer.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a set of node IDs.
+// Rebuild on membership change by constructing a new Ring; lookups are
+// lock-free on the immutable value.
+type Ring struct {
+	points []point
+}
+
+// hashKey positions a string on the circle: FNV-64a (deterministic
+// across processes, which is what makes independent nodes agree on
+// ownership without coordination) followed by a splitmix64 finalizer.
+// The finalizer matters: raw FNV on short, similar vnode labels
+// ("…:9000#0", "…:9001#0", …) clusters badly enough that one of four
+// nodes can own half the keyspace; the mix restores avalanche and
+// brings per-node share within ~±12% of fair at DefaultReplicas.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewRing builds a ring with replicas virtual nodes per member
+// (replicas <= 0 uses DefaultReplicas). An empty member list yields a
+// ring that owns nothing.
+func NewRing(replicas int, nodes []string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{points: make([]point, 0, replicas*len(nodes))}
+	for _, n := range nodes {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, point{hashKey(fmt.Sprintf("%s#%d", n, i)), n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node name so every
+		// process sorts the circle identically.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Owner returns the node owning key: the first virtual node clockwise
+// from the key's position. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (node string, ok bool) {
+	if r == nil || len(r.points) == 0 {
+		return "", false
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point succeeds its last
+	}
+	return r.points[i].node, true
+}
+
+// Nodes returns the distinct members on the ring, sorted.
+func (r *Ring) Nodes() []string {
+	if r == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range r.points {
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size reports the member count.
+func (r *Ring) Size() int { return len(r.Nodes()) }

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys fabricates a deterministic keyspace shaped like real bundle
+// keys (site, spec hash, width, fidelity).
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bundle:site%d:%016x:w%d:high", i%97, uint64(i)*0x9e3779b97f4a7c15, 320+10*(i%4))
+	}
+	return keys
+}
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://127.0.0.1:%d", 9000+i)
+	}
+	return nodes
+}
+
+// Assignment must be a pure function of (membership, key): two rings
+// over the same members — even listed in a different order — agree on
+// every key, and repeated lookups never drift. This is what lets N
+// independent processes route without coordination.
+func TestRingStableAssignment(t *testing.T) {
+	nodes := ringNodes(5)
+	shuffled := []string{nodes[3], nodes[0], nodes[4], nodes[2], nodes[1]}
+	a := NewRing(0, nodes)
+	b := NewRing(0, shuffled)
+	for _, key := range ringKeys(5000) {
+		oa, ok := a.Owner(key)
+		if !ok {
+			t.Fatalf("no owner for %q", key)
+		}
+		if ob, _ := b.Owner(key); ob != oa {
+			t.Fatalf("order-dependent assignment for %q: %s vs %s", key, oa, ob)
+		}
+		if again, _ := a.Owner(key); again != oa {
+			t.Fatalf("unstable repeat lookup for %q: %s then %s", key, oa, again)
+		}
+	}
+}
+
+// A single join must move at most roughly its fair share of keys
+// (keys/N plus vnode-variance slack); everything else stays put. This
+// is the bounded-movement property that makes membership churn cheap.
+func TestRingBoundedMovementOnJoin(t *testing.T) {
+	keys := ringKeys(20000)
+	nodes := ringNodes(5)
+	before := NewRing(0, nodes[:4])
+	after := NewRing(0, nodes)
+	moved := 0
+	for _, key := range keys {
+		ob, _ := before.Owner(key)
+		oa, _ := after.Owner(key)
+		if ob != oa {
+			moved++
+			// Every moved key must have moved TO the joiner — a join may
+			// not reshuffle keys between incumbent nodes.
+			if oa != nodes[4] {
+				t.Fatalf("join moved %q between incumbents: %s -> %s", key, ob, oa)
+			}
+		}
+	}
+	// Fair share is keys/5; allow 75% slack for 64-vnode variance.
+	limit := len(keys)/5 + len(keys)*3/20
+	if moved == 0 || moved > limit {
+		t.Fatalf("join moved %d keys, want (0, %d]", moved, limit)
+	}
+}
+
+// A single leave must move exactly the departed node's keys — to its
+// ring successors — and nothing else.
+func TestRingBoundedMovementOnLeave(t *testing.T) {
+	keys := ringKeys(20000)
+	nodes := ringNodes(5)
+	before := NewRing(0, nodes)
+	after := NewRing(0, nodes[:4])
+	moved := 0
+	for _, key := range keys {
+		ob, _ := before.Owner(key)
+		oa, _ := after.Owner(key)
+		if ob == nodes[4] {
+			if oa == nodes[4] {
+				t.Fatalf("departed node still owns %q", key)
+			}
+			moved++
+			continue
+		}
+		if oa != ob {
+			t.Fatalf("leave moved %q owned by surviving %s to %s", key, ob, oa)
+		}
+	}
+	limit := len(keys)/5 + len(keys)*3/20
+	if moved == 0 || moved > limit {
+		t.Fatalf("leave moved %d keys, want (0, %d]", moved, limit)
+	}
+}
+
+// The vnode count must spread the keyspace roughly evenly: no node may
+// own more than ~2x its fair share at DefaultReplicas.
+func TestRingBalance(t *testing.T) {
+	nodes := ringNodes(4)
+	r := NewRing(0, nodes)
+	counts := map[string]int{}
+	keys := ringKeys(20000)
+	for _, key := range keys {
+		o, _ := r.Owner(key)
+		counts[o]++
+	}
+	fair := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Fatalf("node %s owns nothing", n)
+		}
+		if counts[n] > 2*fair {
+			t.Fatalf("node %s owns %d keys, more than 2x fair share %d", n, counts[n], fair)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if _, ok := NewRing(0, nil).Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	var nilRing *Ring
+	if _, ok := nilRing.Owner("k"); ok {
+		t.Fatal("nil ring claimed an owner")
+	}
+	solo := NewRing(0, []string{"http://a:1"})
+	for _, key := range ringKeys(100) {
+		if o, ok := solo.Owner(key); !ok || o != "http://a:1" {
+			t.Fatalf("single-node ring routed %q to %q", key, o)
+		}
+	}
+	if got := solo.Size(); got != 1 {
+		t.Fatalf("Size() = %d, want 1", got)
+	}
+}

@@ -13,10 +13,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"time"
 
 	"msite/internal/admission"
 	"msite/internal/cache"
+	"msite/internal/cluster"
 	"msite/internal/fetch"
 	"msite/internal/gen"
 	"msite/internal/obs"
@@ -203,6 +205,26 @@ type Config struct {
 	// only, 1 demands every non-sanctioned item survive). Requires
 	// ParityCheck.
 	ParityMinScore float64
+	// ClusterListen enables cluster mode (the -cluster-listen knob): this
+	// node's advertised base URL — its identity on the consistent-hash
+	// ring, and the address peers reach its /internal/cluster/ endpoints
+	// at. Empty disables clustering. Enabling it also enables bundle
+	// persistence (the ring routes by bundle key).
+	ClusterListen string
+	// ClusterPeers is the full static fleet of advertised base URLs,
+	// including this node (the -cluster-peers knob, comma-separated on
+	// the command line). Self is added if absent.
+	ClusterPeers []string
+	// ClusterReplicas is the ring's virtual-node count per peer (the
+	// -cluster-replicas knob; 0 uses cluster.DefaultReplicas).
+	ClusterReplicas int
+	// ClusterToken is the shared bearer token authenticating peer
+	// transport requests (the -cluster-token knob). Empty serves
+	// unauthenticated — acceptable only on a trusted internal network.
+	ClusterToken string
+	// ClusterProbeInterval is the peer liveness probe period (0 uses
+	// cluster.DefaultProbeInterval).
+	ClusterProbeInterval time.Duration
 }
 
 // buildCache wires the render cache: a plain in-memory cache, or — when
@@ -372,18 +394,53 @@ func (cfg Config) fetchOptions(reg *obs.Registry) []fetch.Option {
 // buildPrefetch maps the Prefetch knobs onto a crawler; nil when the
 // feature is off. The crawler is created before the proxies so its
 // RecordHit can be wired as their demand feed, pointed at the sites
-// after they exist, and only then started.
+// after they exist, and only then started. With a StoreDir, the demand
+// ranking persists there across restarts.
 func (cfg Config) buildPrefetch(reg *obs.Registry) *prefetch.Crawler {
 	if !cfg.Prefetch {
 		return nil
 	}
+	var stateFile string
+	if cfg.StoreDir != "" {
+		stateFile = filepath.Join(cfg.StoreDir, "prefetch-demand.json")
+	}
 	return prefetch.New(prefetch.Config{
-		TopN:     cfg.PrefetchTopN,
-		Interval: cfg.PrefetchInterval,
-		Depth:    cfg.PrefetchDepth,
-		Obs:      reg,
-		Logger:   cfg.Logger,
+		TopN:      cfg.PrefetchTopN,
+		Interval:  cfg.PrefetchInterval,
+		Depth:     cfg.PrefetchDepth,
+		Obs:       reg,
+		Logger:    cfg.Logger,
+		StateFile: stateFile,
 	})
+}
+
+// buildCluster maps the Cluster knobs onto a membership node; nil when
+// cluster mode is off. The node is created before the proxies (its
+// FetchBundle hook goes into their config), pointed at the sites after
+// they exist, and only then started.
+func (cfg Config) buildCluster(reg *obs.Registry) (*cluster.Node, error) {
+	if cfg.ClusterListen == "" {
+		return nil, nil
+	}
+	return cluster.NewNode(cluster.Config{
+		Self:          cfg.ClusterListen,
+		Peers:         cfg.ClusterPeers,
+		Replicas:      cfg.ClusterReplicas,
+		Token:         cfg.ClusterToken,
+		ProbeInterval: cfg.ClusterProbeInterval,
+		Retries:       cfg.FetchRetries,
+		Obs:           reg,
+		Logger:        cfg.Logger,
+	})
+}
+
+// clusterHook adapts a possibly-nil *cluster.Node to the proxy's hook
+// field without smuggling a typed nil into the interface.
+func clusterHook(node *cluster.Node) proxy.ClusterHook {
+	if node == nil {
+		return nil
+	}
+	return node
 }
 
 // Framework is a running m.Site instance for one adaptation spec.
@@ -396,6 +453,7 @@ type Framework struct {
 	obs      *obs.Registry
 	tier     *obsTier          // nil without SLO/incident knobs
 	crawler  *prefetch.Crawler // nil without Prefetch
+	cluster  *cluster.Node     // nil without ClusterListen
 }
 
 // New builds a Framework from a validated spec.
@@ -437,6 +495,14 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 	if crawler != nil {
 		demand = crawler.RecordHit
 	}
+	node, err := cfg.buildCluster(reg)
+	if err != nil {
+		sharedCache.Close()
+		if st != nil {
+			_ = st.Close()
+		}
+		return nil, err
+	}
 	p, err := proxy.New(proxy.Config{
 		Spec:                sp,
 		Sessions:            sessions,
@@ -450,7 +516,7 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 		ServeStale:          cfg.ServeStale,
 		StaleFor:            cfg.StaleFor,
 		Admission:           adm,
-		PersistBundles:      st != nil || cfg.Prefetch,
+		PersistBundles:      st != nil || cfg.Prefetch || node != nil,
 		Stream:              cfg.Stream,
 		ATFHeight:           cfg.ATFHeight,
 		SnapshotProgressive: cfg.SnapshotProgressive,
@@ -459,6 +525,7 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 		RepairRules:         cfg.RepairRules,
 		ParityCheck:         cfg.ParityCheck,
 		ParityMinScore:      cfg.ParityMinScore,
+		Cluster:             clusterHook(node),
 	})
 	if err != nil {
 		sharedCache.Close()
@@ -479,7 +546,11 @@ func New(sp *spec.Spec, cfg Config) (*Framework, error) {
 		crawler.SetSites([]prefetch.Site{p})
 		crawler.Start()
 	}
-	return &Framework{sp: sp, sessions: sessions, cache: sharedCache, store: st, proxy: p, obs: reg, tier: tier, crawler: crawler}, nil
+	if node != nil {
+		node.SetSites(map[string]cluster.Builder{sp.Name: p})
+		node.Start()
+	}
+	return &Framework{sp: sp, sessions: sessions, cache: sharedCache, store: st, proxy: p, obs: reg, tier: tier, crawler: crawler, cluster: node}, nil
 }
 
 // MultiFramework hosts the proxies for several adapted pages under one
@@ -492,6 +563,7 @@ type MultiFramework struct {
 	obs      *obs.Registry
 	tier     *obsTier          // nil without SLO/incident knobs
 	crawler  *prefetch.Crawler // nil without Prefetch
+	cluster  *cluster.Node     // nil without ClusterListen
 }
 
 // NewMulti wires several specs into one composite handler.
@@ -527,6 +599,14 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 	if crawler != nil {
 		demand = crawler.RecordHit
 	}
+	node, err := cfg.buildCluster(reg)
+	if err != nil {
+		sharedCache.Close()
+		if st != nil {
+			_ = st.Close()
+		}
+		return nil, err
+	}
 	multi, err := proxy.NewMulti(proxy.MultiConfig{
 		Specs:               specs,
 		Sessions:            sessions,
@@ -540,7 +620,7 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 		ServeStale:          cfg.ServeStale,
 		StaleFor:            cfg.StaleFor,
 		Admission:           adm,
-		PersistBundles:      st != nil || cfg.Prefetch,
+		PersistBundles:      st != nil || cfg.Prefetch || node != nil,
 		Stream:              cfg.Stream,
 		ATFHeight:           cfg.ATFHeight,
 		SnapshotProgressive: cfg.SnapshotProgressive,
@@ -549,6 +629,7 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 		RepairRules:         cfg.RepairRules,
 		ParityCheck:         cfg.ParityCheck,
 		ParityMinScore:      cfg.ParityMinScore,
+		Cluster:             clusterHook(node),
 	})
 	if err != nil {
 		sharedCache.Close()
@@ -575,7 +656,17 @@ func NewMulti(specs []*spec.Spec, cfg Config) (*MultiFramework, error) {
 		crawler.SetSites(sites)
 		crawler.Start()
 	}
-	return &MultiFramework{sessions: sessions, cache: sharedCache, store: st, multi: multi, obs: reg, tier: tier, crawler: crawler}, nil
+	if node != nil {
+		builders := make(map[string]cluster.Builder)
+		for _, name := range multi.Names() {
+			if p, ok := multi.Site(name); ok {
+				builders[name] = p
+			}
+		}
+		node.SetSites(builders)
+		node.Start()
+	}
+	return &MultiFramework{sessions: sessions, cache: sharedCache, store: st, multi: multi, obs: reg, tier: tier, crawler: crawler, cluster: node}, nil
 }
 
 // Handler returns the composite handler.
@@ -602,7 +693,7 @@ func (m *MultiFramework) HandlerWithMetrics() http.Handler {
 			}
 		}
 		return reports
-	}))
+	}), m.cluster)
 }
 
 // Sessions exposes the shared session manager.
@@ -709,7 +800,7 @@ func (f *Framework) TracesHandler() http.Handler { return obs.TracesHandler(f.ob
 func (f *Framework) HandlerWithMetrics() http.Handler {
 	return mountMetrics(f.proxy, f.obs, f.tier, parityHandler(func() map[string]*quality.Parity {
 		return map[string]*quality.Parity{f.sp.Name: f.proxy.ParityReport()}
-	}))
+	}), f.cluster)
 }
 
 // parityHandler serves the latest content-parity report per site as
@@ -732,12 +823,15 @@ func parityHandler(reports func() map[string]*quality.Parity) http.Handler {
 // endpoints; the longer mux patterns win over the proxy's catch-all.
 // The pprof handlers are mounted on the debug mux unconditionally;
 // /slo and /debug/incidents appear when the second tier is enabled.
-func mountMetrics(h http.Handler, reg *obs.Registry, tier *obsTier, parity http.Handler) http.Handler {
+func mountMetrics(h http.Handler, reg *obs.Registry, tier *obsTier, parity http.Handler, node *cluster.Node) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(reg))
 	mux.Handle("/debug/traces", obs.TracesHandler(reg))
 	if parity != nil {
 		mux.Handle("/debug/parity", parity)
+	}
+	if node != nil {
+		mux.Handle(cluster.PathPrefix, node.Handler())
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -766,6 +860,9 @@ func (f *Framework) CacheStats() cache.Stats { return f.cache.Stats() }
 // (drained first, so queued persists land) and the store itself. Safe
 // to call more than once.
 func (f *Framework) Close() {
+	if f.cluster != nil {
+		f.cluster.Close()
+	}
 	if f.crawler != nil {
 		f.crawler.Close()
 	}
@@ -779,6 +876,10 @@ func (f *Framework) Close() {
 // Prefetcher exposes the speculative pre-adaptation crawler; nil unless
 // Prefetch is enabled.
 func (f *Framework) Prefetcher() *prefetch.Crawler { return f.crawler }
+
+// Cluster exposes the consistent-hash membership node; nil unless
+// ClusterListen is set.
+func (f *Framework) Cluster() *cluster.Node { return f.cluster }
 
 // Store exposes the durable render store; nil without StoreDir.
 func (m *MultiFramework) Store() *store.Store { return m.store }
@@ -803,6 +904,9 @@ func (m *MultiFramework) Recorder() *obs.Recorder {
 // cache's expiry sweeper, the store write-through pool, and the store).
 // Safe to call more than once.
 func (m *MultiFramework) Close() {
+	if m.cluster != nil {
+		m.cluster.Close()
+	}
 	if m.crawler != nil {
 		m.crawler.Close()
 	}
@@ -816,6 +920,10 @@ func (m *MultiFramework) Close() {
 // Prefetcher exposes the speculative pre-adaptation crawler; nil unless
 // Prefetch is enabled.
 func (m *MultiFramework) Prefetcher() *prefetch.Crawler { return m.crawler }
+
+// Cluster exposes the consistent-hash membership node; nil unless
+// ClusterListen is set.
+func (m *MultiFramework) Cluster() *cluster.Node { return m.cluster }
 
 // GenerateCode emits the standalone Go proxy source for this framework's
 // spec — the m.Site "shell code" artifact.

@@ -1,0 +1,483 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msite/internal/cluster"
+	"msite/internal/core"
+	"msite/internal/origin"
+	"msite/internal/proxy"
+	"msite/internal/spec"
+)
+
+// ClusterBenchConfig tunes the scale-out benchmark: a fleet of
+// consistent-hash peers measured against one node of the same build,
+// a cross-node flash crowd, and a node kill + rejoin.
+type ClusterBenchConfig struct {
+	// Nodes is the fleet size (default 3).
+	Nodes int
+	// Sites is how many cold sites the throughput phase adapts; owners
+	// are balanced across the fleet by construction (default 6).
+	Sites int
+	// Crowd is the flash-crowd size, spread across every node
+	// (default 12).
+	Crowd int
+	// AvailabilityRequests is how many requests the kill phase issues
+	// against the survivors (default 24).
+	AvailabilityRequests int
+	// OriginLatency is the injected per-response origin delay that makes
+	// cold builds expensive enough to measure (default 200ms).
+	OriginLatency time.Duration
+	// Root is the scratch directory (default: a fresh temp dir).
+	Root string
+}
+
+func (cfg ClusterBenchConfig) withDefaults() ClusterBenchConfig {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Sites <= 0 {
+		cfg.Sites = 6
+	}
+	if cfg.Crowd <= 0 {
+		cfg.Crowd = 12
+	}
+	if cfg.AvailabilityRequests <= 0 {
+		cfg.AvailabilityRequests = 24
+	}
+	if cfg.OriginLatency <= 0 {
+		cfg.OriginLatency = 200 * time.Millisecond
+	}
+	return cfg
+}
+
+// ClusterReport is the PR's scale-out record (BENCH_PR10.json): cold
+// adaptation throughput scaling with fleet size, a cross-node flash
+// crowd costing one build, and full availability through a node kill
+// and rejoin.
+type ClusterReport struct {
+	Nodes int `json:"nodes"`
+	Sites int `json:"sites"`
+	Crowd int `json:"crowd"`
+
+	// Throughput: wall time to cold-adapt every site, one admission slot
+	// per node, fleet vs a single node of the same build.
+	SingleNodeColdMS float64 `json:"single_node_cold_ms"`
+	FleetColdMS      float64 `json:"fleet_cold_ms"`
+	ThroughputX      float64 `json:"throughput_x"`
+
+	// Flash crowd: Crowd cold clients spread across every node hit one
+	// site at once; the fleet must run exactly one pipeline.
+	FlashBuilds  uint64 `json:"flash_builds"`
+	FlashNon200  int    `json:"flash_non_200"`
+	FlashCrowdMS float64 `json:"flash_crowd_ms"`
+
+	// Availability: the victim site's owner is killed mid-fleet; every
+	// request to the survivors must answer non-5xx, the ring must rehash
+	// off the dead node, and rejoin must restore it.
+	AvailabilityRequests int  `json:"availability_requests"`
+	Availability5xx      int  `json:"availability_5xx"`
+	RehashedOffDeadNode  bool `json:"rehashed_off_dead_node"`
+	RingRestoredOnRejoin bool `json:"ring_restored_on_rejoin"`
+
+	Violations []string `json:"violations"`
+}
+
+// clusterNode is one fleet member: a real core framework serving its
+// public handler (cluster transport included) on a pre-bound listener.
+type clusterNode struct {
+	url string
+	fw  *core.MultiFramework
+	srv *http.Server
+	ln  net.Listener
+}
+
+// serve (re)starts the node's HTTP server on addr; used for both boot
+// and the rejoin after a kill.
+func (cn *clusterNode) serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	cn.ln = ln
+	cn.srv = &http.Server{Handler: cn.fw.HandlerWithMetrics()}
+	go func(srv *http.Server, l net.Listener) { _ = srv.Serve(l) }(cn.srv, ln)
+	return nil
+}
+
+// balancedClusterSites builds origin+spec pairs whose bundle keys hash
+// to the fleet's nodes in equal measure, so the throughput phase
+// measures capacity, not hash luck. Extra singles pin specific owners
+// for the flash and kill phases.
+func balancedClusterSites(cl *cleanups, urls []string, sites int, latency time.Duration) ([]*spec.Spec, error) {
+	ring := cluster.NewRing(cluster.DefaultReplicas, urls)
+	quota := make(map[string]int, len(urls))
+	for i, u := range urls {
+		quota[u] = sites / len(urls)
+		if i < sites%len(urls) {
+			quota[u]++
+		}
+	}
+	specs := make([]*spec.Spec, 0, sites)
+	for attempt := 0; len(specs) < sites && attempt < 64*sites; attempt++ {
+		sp, owner, srv, err := candidateSite(urls, ring, fmt.Sprintf("scale%d", attempt), int64(attempt), latency)
+		if err != nil {
+			return nil, err
+		}
+		if quota[owner] == 0 {
+			srv.Close()
+			continue
+		}
+		quota[owner]--
+		cl.Cleanup(srv.Close)
+		specs = append(specs, sp)
+	}
+	if len(specs) < sites {
+		return nil, fmt.Errorf("experiments: could not balance %d sites across %d nodes", sites, len(urls))
+	}
+	return specs, nil
+}
+
+// ownedSite generates a site whose bundle key the ring assigns to
+// wantOwner.
+func ownedSite(cl *cleanups, urls []string, wantOwner, prefix string, latency time.Duration) (*spec.Spec, error) {
+	ring := cluster.NewRing(cluster.DefaultReplicas, urls)
+	for attempt := 0; attempt < 256; attempt++ {
+		sp, owner, srv, err := candidateSite(urls, ring, fmt.Sprintf("%s%d", prefix, attempt), int64(1000+attempt), latency)
+		if err != nil {
+			return nil, err
+		}
+		if owner != wantOwner {
+			srv.Close()
+			continue
+		}
+		cl.Cleanup(srv.Close)
+		return sp, nil
+	}
+	return nil, fmt.Errorf("experiments: no %s site hashed to %s", prefix, wantOwner)
+}
+
+func candidateSite(urls []string, ring *cluster.Ring, name string, seed int64, latency time.Duration) (*spec.Spec, string, *httptest.Server, error) {
+	// Small pages on a slow origin: cold-build cost is dominated by the
+	// injected origin latency, which is what a fleet can parallelize
+	// (CPU on one box cannot scale with node count in-process).
+	forum := origin.NewForum(origin.ForumConfig{
+		Name: "Sawdust " + name, Members: 8_000, Forums: 6,
+		Online: 50, Scripts: 2, Seed: seed,
+	})
+	srv := httptest.NewServer(LatencyHandler(forum.Handler(), latency))
+	sp := SpecForForum(srv.URL)
+	sp.Name = name
+	sp.Snapshot.Scale = 0.25
+	key, err := proxy.BundleKeyForSpec(sp, 0)
+	if err != nil {
+		srv.Close()
+		return nil, "", nil, err
+	}
+	owner, _ := ring.Owner(key)
+	return sp, owner, srv, nil
+}
+
+// ClusterBench runs the consistent-hash scale-out benchmark.
+func ClusterBench(cfg ClusterBenchConfig) (*ClusterReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &ClusterReport{Nodes: cfg.Nodes, Sites: cfg.Sites, Crowd: cfg.Crowd,
+		AvailabilityRequests: cfg.AvailabilityRequests}
+	violate := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+
+	cl := &cleanups{}
+	defer cl.run()
+	root := cfg.Root
+	if root == "" {
+		dir, err := os.MkdirTemp("", "msite-cluster-*")
+		if err != nil {
+			return nil, err
+		}
+		cl.Cleanup(func() { _ = os.RemoveAll(dir) })
+		root = dir
+	}
+
+	// Reserve the fleet's addresses first: peer URLs must be known
+	// before any framework boots.
+	nodes := make([]*clusterNode, cfg.Nodes)
+	urls := make([]string, cfg.Nodes)
+	lns := make([]net.Listener, cfg.Nodes)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+
+	// The benched sites: throughput sites balanced across owners by
+	// construction, plus a flash-crowd site and a kill-phase victim
+	// owned by the node that will die.
+	scaleSpecs, err := balancedClusterSites(cl, urls, cfg.Sites, cfg.OriginLatency)
+	if err != nil {
+		return nil, err
+	}
+	flashSpec, err := ownedSite(cl, urls, urls[0], "flash", cfg.OriginLatency)
+	if err != nil {
+		return nil, err
+	}
+	killIdx := cfg.Nodes - 1
+	victimSpec, err := ownedSite(cl, urls, urls[killIdx], "victim", cfg.OriginLatency)
+	if err != nil {
+		return nil, err
+	}
+	allSpecs := append(append([]*spec.Spec{}, scaleSpecs...), flashSpec, victimSpec)
+
+	// Boot the fleet: every node hosts every site, one admission slot
+	// each, probes driven by hand so the scenario is deterministic.
+	for i := range nodes {
+		fw, err := core.NewMulti(allSpecs, core.Config{
+			SessionRoot:              filepath.Join(root, fmt.Sprintf("sessions-%d", i)),
+			FetchTimeout:             30 * time.Second,
+			MaxConcurrentAdaptations: 1,
+			AdmissionQueue:           64,
+			ClusterListen:            urls[i],
+			ClusterPeers:             urls,
+			ClusterToken:             "bench-fleet",
+			ClusterProbeInterval:     time.Hour,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = &clusterNode{url: urls[i], fw: fw}
+		cl.Cleanup(fw.Close)
+		nodes[i].srv = &http.Server{Handler: fw.HandlerWithMetrics()}
+		cl.Cleanup(func(cn *clusterNode) func() {
+			return func() { _ = cn.srv.Close() }
+		}(nodes[i]))
+		go func(srv *http.Server, l net.Listener) { _ = srv.Serve(l) }(nodes[i].srv, lns[i])
+		nodes[i].ln = lns[i]
+	}
+
+	// The single-node baseline: the same build, the same slot budget per
+	// node, hosting the same sites alone.
+	solo, err := core.NewMulti(allSpecs, core.Config{
+		SessionRoot:              filepath.Join(root, "sessions-solo"),
+		FetchTimeout:             30 * time.Second,
+		MaxConcurrentAdaptations: 1,
+		AdmissionQueue:           64,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl.Cleanup(solo.Close)
+	soloSrv := httptest.NewServer(solo.Handler())
+	cl.Cleanup(soloSrv.Close)
+
+	// Phase 1 — cold throughput. Every site requested at once, fleet vs
+	// solo; with one admission slot per node, elapsed time is capacity.
+	coldSweep := func(get func(sp *spec.Spec) (int, error)) (time.Duration, int, error) {
+		var wg sync.WaitGroup
+		var non200 atomic.Int64
+		errs := make(chan error, len(scaleSpecs))
+		start := time.Now()
+		for _, sp := range scaleSpecs {
+			wg.Add(1)
+			go func(sp *spec.Spec) {
+				defer wg.Done()
+				code, err := get(sp)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if code != http.StatusOK {
+					non200.Add(1)
+				}
+			}(sp)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return 0, 0, err
+		}
+		return time.Since(start), int(non200.Load()), nil
+	}
+
+	fleetElapsed, fleetNon200, err := coldSweep(func(sp *spec.Spec) (int, error) {
+		// Spread entry points across the fleet: the ring, not the client,
+		// decides where the build runs.
+		node := nodes[int(hashString(sp.Name))%len(nodes)]
+		return freshGet(node.url + "/p/" + sp.Name + "/")
+	})
+	if err != nil {
+		return nil, err
+	}
+	soloElapsed, soloNon200, err := coldSweep(func(sp *spec.Spec) (int, error) {
+		return freshGet(soloSrv.URL + "/p/" + sp.Name + "/")
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.FleetColdMS = float64(fleetElapsed) / float64(time.Millisecond)
+	rep.SingleNodeColdMS = float64(soloElapsed) / float64(time.Millisecond)
+	if fleetElapsed > 0 {
+		rep.ThroughputX = float64(soloElapsed) / float64(fleetElapsed)
+	}
+	if fleetNon200+soloNon200 > 0 {
+		violate("cold sweep saw %d fleet and %d solo non-200s", fleetNon200, soloNon200)
+	}
+	if rep.ThroughputX < 2.4 {
+		violate("fleet cold throughput %.2fx the single node, need ≥ 2.4x", rep.ThroughputX)
+	}
+
+	// Phase 2 — cross-node flash crowd on a cold site: one build total.
+	before := fleetAdaptations(nodes)
+	var wg sync.WaitGroup
+	var non200 atomic.Int64
+	flashErrs := make(chan error, cfg.Crowd)
+	flashStart := time.Now()
+	for i := 0; i < cfg.Crowd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, err := freshGet(nodes[i%len(nodes)].url + "/p/" + flashSpec.Name + "/")
+			if err != nil {
+				flashErrs <- err
+				return
+			}
+			if code != http.StatusOK {
+				non200.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(flashErrs)
+	for err := range flashErrs {
+		return nil, err
+	}
+	rep.FlashCrowdMS = float64(time.Since(flashStart)) / float64(time.Millisecond)
+	rep.FlashNon200 = int(non200.Load())
+	rep.FlashBuilds = fleetAdaptations(nodes) - before
+	if rep.FlashBuilds != 1 {
+		violate("flash crowd of %d cost %d builds, want exactly 1", cfg.Crowd, rep.FlashBuilds)
+	}
+	if rep.FlashNon200 > 0 {
+		violate("flash crowd saw %d non-200 responses", rep.FlashNon200)
+	}
+
+	// Phase 3 — kill the victim's owner, serve through the survivors,
+	// rejoin, and watch the ring rehash both ways.
+	victimKey, err := proxy.BundleKeyForSpec(victimSpec, 0)
+	if err != nil {
+		return nil, err
+	}
+	dead := nodes[killIdx]
+	deadAddr := dead.ln.Addr().String()
+	_ = dead.srv.Close()
+	survivors := nodes[:killIdx]
+	probeFleet(survivors)
+	if owner, _ := survivors[0].fw.Cluster().Owner(victimKey); owner != dead.url {
+		rep.RehashedOffDeadNode = true
+	} else {
+		violate("ring still routes %s to the dead node after probes", victimSpec.Name)
+	}
+	for i := 0; i < cfg.AvailabilityRequests; i++ {
+		code, err := freshGet(survivors[i%len(survivors)].url + "/p/" + victimSpec.Name + "/")
+		if err != nil || code >= 500 {
+			rep.Availability5xx++
+		}
+	}
+	if rep.Availability5xx > 0 {
+		violate("%d of %d requests failed while the owner was down",
+			rep.Availability5xx, cfg.AvailabilityRequests)
+	}
+
+	if err := dead.serve(deadAddr); err != nil {
+		return nil, err
+	}
+	cl.Cleanup(func() { _ = dead.srv.Close() })
+	probeFleet(nodes)
+	if owner, _ := survivors[0].fw.Cluster().Owner(victimKey); owner == dead.url {
+		rep.RingRestoredOnRejoin = true
+	} else {
+		violate("ring did not restore the rejoined node as %s's owner (got %s)",
+			victimSpec.Name, owner)
+	}
+	if code, err := freshGet(survivors[0].url + "/p/" + victimSpec.Name + "/"); err != nil || code != http.StatusOK {
+		violate("post-rejoin request failed: code %d, err %v", code, err)
+	}
+	return rep, nil
+}
+
+// probeFleet runs one liveness round on every framework whose server is
+// up, synchronously, so ring state is settled before assertions.
+func probeFleet(nodes []*clusterNode) {
+	for _, cn := range nodes {
+		if node := cn.fw.Cluster(); node != nil {
+			node.ProbeOnce(context.Background())
+		}
+	}
+}
+
+func fleetAdaptations(nodes []*clusterNode) uint64 {
+	var total uint64
+	for _, cn := range nodes {
+		total += cn.fw.ProxyStats().Adaptations
+	}
+	return total
+}
+
+// freshGet issues one request from a brand-new client (fresh jar, so a
+// fresh proxy session on whichever node answers).
+func freshGet(url string) (int, error) {
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return 0, err
+	}
+	client := &http.Client{Jar: jar, Timeout: 2 * time.Minute}
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// hashString spreads client entry points across nodes without
+// math/rand: which node a client walks in through must not matter.
+func hashString(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// FormatCluster renders the scale-out report.
+func FormatCluster(rep *ClusterReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster mode: consistent-hash scale-out across %d nodes\n", rep.Nodes)
+	fmt.Fprintf(&b, "cold throughput: %d sites in %.0f ms on the fleet vs %.0f ms on one node (%.2fx, need ≥ 2.4x)\n",
+		rep.Sites, rep.FleetColdMS, rep.SingleNodeColdMS, rep.ThroughputX)
+	fmt.Fprintf(&b, "flash crowd: %d cross-node clients cost %d build(s) in %.0f ms, %d non-200\n",
+		rep.Crowd, rep.FlashBuilds, rep.FlashCrowdMS, rep.FlashNon200)
+	fmt.Fprintf(&b, "node kill: %d survivor requests, %d failed; rehash off dead node: %v; ring restored on rejoin: %v\n",
+		rep.AvailabilityRequests, rep.Availability5xx, rep.RehashedOffDeadNode, rep.RingRestoredOnRejoin)
+	if len(rep.Violations) > 0 {
+		fmt.Fprintf(&b, "VIOLATIONS:\n")
+		for _, v := range rep.Violations {
+			fmt.Fprintf(&b, "  - %s\n", v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClusterBench runs a scaled-down version of the PR's acceptance
+// scenario end to end and requires a clean report.
+func TestClusterBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := ClusterBench(ClusterBenchConfig{
+		Sites:                6,
+		Crowd:                6,
+		AvailabilityRequests: 6,
+		OriginLatency:        250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations: %v\n%s", rep.Violations, FormatCluster(rep))
+	}
+	if rep.ThroughputX < 2.4 {
+		t.Fatalf("throughput %.2fx < 2.4x", rep.ThroughputX)
+	}
+	if rep.FlashBuilds != 1 {
+		t.Fatalf("flash crowd cost %d builds", rep.FlashBuilds)
+	}
+	if rep.Availability5xx != 0 || !rep.RehashedOffDeadNode || !rep.RingRestoredOnRejoin {
+		t.Fatalf("availability: %+v", rep)
+	}
+	out := FormatCluster(rep)
+	for _, want := range []string{"cold throughput", "flash crowd", "node kill"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistoryFile is the tracked ledger every per-PR bench record folds
+// into, so regressions are visible across the whole PR sequence rather
+// than one BENCH_PR<n>.json at a time.
+const HistoryFile = "BENCH_HISTORY.json"
+
+// prScenarios names the scenario each PR's bench record measures; the
+// key of a history entry is "PR<n>/<scenario>".
+var prScenarios = map[int]string{
+	2:  "parallel",
+	3:  "resilience",
+	4:  "overload",
+	5:  "persistence",
+	6:  "obs",
+	7:  "streaming",
+	8:  "prefetch",
+	9:  "quality",
+	10: "cluster",
+}
+
+// HistoryEntry is one PR's folded bench record.
+type HistoryEntry struct {
+	PR       int    `json:"pr"`
+	Scenario string `json:"scenario"`
+	// Violations is lifted out of the report so a reader (or CI grep)
+	// can scan the ledger for broken gates without parsing every shape.
+	Violations []string `json:"violations"`
+	// Report is the record verbatim; each scenario has its own shape.
+	Report json.RawMessage `json:"report"`
+}
+
+// History is the BENCH_HISTORY.json shape: entries keyed by
+// "PR<n>/<scenario>", sorted keys alongside for stable diffs.
+type History struct {
+	Keys    []string                `json:"keys"`
+	Entries map[string]HistoryEntry `json:"entries"`
+}
+
+var benchRecordPattern = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// FoldHistory reads every BENCH_PR<n>.json in dir and folds them into
+// a History; the caller decides whether to write it back out.
+func FoldHistory(dir string) (*History, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "BENCH_PR*.json"))
+	if err != nil {
+		return nil, err
+	}
+	hist := &History{Entries: make(map[string]HistoryEntry, len(names))}
+	for _, path := range names {
+		m := benchRecordPattern.FindStringSubmatch(filepath.Base(path))
+		if m == nil {
+			continue
+		}
+		pr, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var report struct {
+			Violations []string `json:"violations"`
+		}
+		if err := json.Unmarshal(data, &report); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", path, err)
+		}
+		scenario := prScenarios[pr]
+		if scenario == "" {
+			scenario = fmt.Sprintf("pr%d", pr)
+		}
+		key := fmt.Sprintf("PR%d/%s", pr, scenario)
+		hist.Entries[key] = HistoryEntry{
+			PR: pr, Scenario: scenario,
+			Violations: report.Violations,
+			Report:     json.RawMessage(data),
+		}
+	}
+	for key := range hist.Entries {
+		hist.Keys = append(hist.Keys, key)
+	}
+	sort.Slice(hist.Keys, func(i, j int) bool {
+		return hist.Entries[hist.Keys[i]].PR < hist.Entries[hist.Keys[j]].PR
+	})
+	return hist, nil
+}
+
+// WriteHistory folds dir's bench records and writes dir/BENCH_HISTORY.json.
+func WriteHistory(dir string) (*History, error) {
+	hist, err := FoldHistory(dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, HistoryFile), append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return hist, nil
+}
+
+// FormatHistory renders the ledger one line per entry.
+func FormatHistory(hist *History) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bench history: %d PR records\n", len(hist.Keys))
+	for _, key := range hist.Keys {
+		e := hist.Entries[key]
+		status := "ok"
+		if len(e.Violations) > 0 {
+			status = fmt.Sprintf("%d violation(s)", len(e.Violations))
+		}
+		fmt.Fprintf(&b, "  %-16s %s\n", key, status)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFoldHistory(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("BENCH_PR3.json", `{"errors_5xx": 0}`)
+	write("BENCH_PR10.json", `{"nodes": 3, "violations": ["too slow"]}`)
+	write("BENCH_PRX.json", `{"ignored": true}`) // malformed name: skipped
+	write("BENCH_PR9.broken", `not json`)        // wrong extension: skipped
+
+	hist, err := WriteHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Keys) != 2 {
+		t.Fatalf("keys = %v, want 2 entries", hist.Keys)
+	}
+	if hist.Keys[0] != "PR3/resilience" || hist.Keys[1] != "PR10/cluster" {
+		t.Fatalf("keys not sorted by PR: %v", hist.Keys)
+	}
+	e := hist.Entries["PR10/cluster"]
+	if e.PR != 10 || e.Scenario != "cluster" || len(e.Violations) != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+
+	// The written ledger round-trips.
+	data, err := os.ReadFile(filepath.Join(dir, HistoryFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reread History
+	if err := json.Unmarshal(data, &reread); err != nil {
+		t.Fatal(err)
+	}
+	if len(reread.Entries) != 2 {
+		t.Fatalf("reread entries = %d", len(reread.Entries))
+	}
+}
+
+func TestFoldHistoryRejectsCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_PR4.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FoldHistory(dir); err == nil {
+		t.Fatal("corrupt bench record accepted")
+	}
+}
+
+// TestRepoHistoryCoversEveryBenchRecord is the tracked-ledger gate: the
+// committed BENCH_HISTORY.json must carry an entry for every committed
+// BENCH_PR<n>.json, so a PR cannot land its bench record without
+// folding it in.
+func TestRepoHistoryCoversEveryBenchRecord(t *testing.T) {
+	root := "../.."
+	records, err := filepath.Glob(filepath.Join(root, "BENCH_PR*.json"))
+	if err != nil || len(records) == 0 {
+		t.Skipf("no bench records at repo root (err=%v)", err)
+	}
+	want, err := FoldHistory(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, HistoryFile))
+	if err != nil {
+		t.Fatalf("%s missing at repo root: %v (run: msite-bench history)", HistoryFile, err)
+	}
+	var have History
+	if err := json.Unmarshal(data, &have); err != nil {
+		t.Fatal(err)
+	}
+	for key := range want.Entries {
+		if _, ok := have.Entries[key]; !ok {
+			t.Errorf("%s lacks %s (run: msite-bench history)", HistoryFile, key)
+		}
+	}
+}

@@ -14,10 +14,12 @@ package prefetch
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"log/slog"
 	"math/rand"
 	"net/url"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -73,6 +75,12 @@ type Config struct {
 	Obs *obs.Registry
 	// Logger, when set, gets a debug line per cycle.
 	Logger *slog.Logger
+	// StateFile, when set, persists the decayed demand ranking across
+	// restarts: scores are snapshotted there after each cycle and on
+	// Close, and reloaded by New — so a restarted crawler resumes
+	// ranking where it left off instead of re-learning from zero. Core
+	// points it into the store directory.
+	StateFile string
 }
 
 func (c Config) withDefaults() Config {
@@ -142,7 +150,8 @@ type Crawler struct {
 	done      chan struct{}
 }
 
-// New builds a crawler; it does nothing until Start (or RunCycle).
+// New builds a crawler; it does nothing until Start (or RunCycle). With
+// a StateFile, the previous process's demand ranking is reloaded here.
 func New(cfg Config) *Crawler {
 	c := &Crawler{
 		cfg:    cfg.withDefaults(),
@@ -154,7 +163,65 @@ func New(cfg Config) *Crawler {
 	if c.cfg.Obs != nil {
 		c.queue = c.cfg.Obs.Gauge("msite_prefetch_queue")
 	}
+	c.loadDemand()
 	return c
+}
+
+// demandState is the StateFile's JSON layout.
+type demandState struct {
+	Demand  map[string]float64 `json:"demand"`
+	SavedAt time.Time          `json:"saved_at"`
+}
+
+// loadDemand seeds the demand map from the StateFile. A missing or
+// corrupt file is a cold start, not an error.
+func (c *Crawler) loadDemand() {
+	if c.cfg.StateFile == "" {
+		return
+	}
+	data, err := os.ReadFile(c.cfg.StateFile)
+	if err != nil {
+		return
+	}
+	var st demandState
+	if json.Unmarshal(data, &st) != nil {
+		return
+	}
+	c.mu.Lock()
+	for name, d := range st.Demand {
+		if d >= 0.01 {
+			c.demand[name] = d
+		}
+	}
+	c.mu.Unlock()
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Debug("prefetch demand reloaded",
+			"sites", len(st.Demand), "saved_at", st.SavedAt)
+	}
+}
+
+// saveDemand snapshots the current (already-decayed) demand scores to
+// the StateFile, atomically (tmp + rename) so a crash mid-write leaves
+// the previous snapshot intact.
+func (c *Crawler) saveDemand() {
+	if c.cfg.StateFile == "" {
+		return
+	}
+	c.mu.Lock()
+	st := demandState{Demand: make(map[string]float64, len(c.demand)), SavedAt: time.Now()}
+	for name, d := range c.demand {
+		st.Demand[name] = d
+	}
+	c.mu.Unlock()
+	data, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	tmp := c.cfg.StateFile + ".tmp"
+	if os.WriteFile(tmp, data, 0o644) != nil {
+		return
+	}
+	_ = os.Rename(tmp, c.cfg.StateFile)
 }
 
 // SetSites replaces the crawl targets. Typically called once at boot,
@@ -182,12 +249,14 @@ func (c *Crawler) Start() {
 	})
 }
 
-// Close stops the background loop and waits for an in-flight cycle to
-// finish. Safe to call without Start, and more than once.
+// Close stops the background loop, waits for an in-flight cycle to
+// finish, and snapshots the demand ranking. Safe to call without
+// Start, and more than once.
 func (c *Crawler) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.startOnce.Do(func() { close(c.done) }) // never started: nothing to wait for
 	<-c.done
+	c.saveDemand()
 }
 
 func (c *Crawler) loop() {
@@ -267,6 +336,7 @@ func (c *Crawler) RunCycle(ctx context.Context) CycleReport {
 	if c.queue != nil {
 		c.queue.Set(0)
 	}
+	c.saveDemand()
 	return rep
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -346,4 +347,58 @@ func TestExtractLinksFiltersAndResolves(t *testing.T) {
 	if strings.Join(links, ",") != strings.Join(want, ",") {
 		t.Fatalf("links = %v, want %v", links, want)
 	}
+}
+
+// The demand ranking must survive a restart: hits recorded by one
+// crawler process outrank cold sites in the next process (satellite of
+// the cluster PR; ROADMAP item 2 leftover).
+func TestDemandPersistsAcrossRestart(t *testing.T) {
+	pg := &originPage{}
+	pg.set(`"v1"`, `<html><body>origin</body></html>`)
+	srv := newOrigin(t, map[string]*originPage{"/": pg})
+
+	state := t.TempDir() + "/prefetch-demand.json"
+	hot := &fakeSite{name: "zz-hot", origin: srv.URL + "/", ranOnBuild: true}
+	cold := &fakeSite{name: "aa-cold", origin: srv.URL + "/", ranOnBuild: true}
+
+	c1 := New(Config{TopN: 1, StateFile: state})
+	c1.SetSites([]Site{hot, cold})
+	for i := 0; i < 8; i++ {
+		c1.RecordHit("zz-hot")
+	}
+	c1.Close() // snapshot without running a cycle
+
+	// A fresh process: without the state file "aa-cold" would win the
+	// top-1 slot on the name tiebreak; with it, the reloaded demand must
+	// keep "zz-hot" ranked first.
+	c2 := New(Config{TopN: 1, StateFile: state})
+	c2.SetSites([]Site{hot, cold})
+	rep := c2.RunCycle(context.Background())
+	if len(rep.Targets) != 1 || rep.Targets[0] != "zz-hot" {
+		t.Fatalf("restarted crawler targets = %v, want [zz-hot]", rep.Targets)
+	}
+
+	// The cycle's decayed scores were re-snapshotted; a third process
+	// still remembers (halved) demand.
+	c3 := New(Config{TopN: 1, StateFile: state})
+	c3.SetSites([]Site{hot, cold})
+	if rep := c3.RunCycle(context.Background()); len(rep.Targets) != 1 || rep.Targets[0] != "zz-hot" {
+		t.Fatalf("third-generation targets = %v, want [zz-hot]", rep.Targets)
+	}
+}
+
+// A corrupt or missing state file must cold-start, not fail.
+func TestDemandStateFileCorruptIsColdStart(t *testing.T) {
+	state := t.TempDir() + "/prefetch-demand.json"
+	if err := os.WriteFile(state, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{StateFile: state})
+	c.mu.Lock()
+	n := len(c.demand)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("corrupt state loaded %d entries", n)
+	}
+	c.Close()
 }

@@ -1,0 +1,201 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"msite/internal/cache"
+	"msite/internal/origin"
+	"msite/internal/session"
+)
+
+// ownerHook is a ClusterHook backed by a real owner proxy in the same
+// process: FetchBundle answers with the owner's ClusterBuild product,
+// the way a remote peer's transport would.
+type ownerHook struct {
+	owner *Proxy
+	calls atomic.Int64
+	err   error
+}
+
+func (h *ownerHook) FetchBundle(ctx context.Context, site, key string) ([]byte, *cache.Entry, bool, error) {
+	h.calls.Add(1)
+	if h.err != nil {
+		return nil, nil, true, h.err
+	}
+	data, _, err := h.owner.ClusterBuild(ctx)
+	if err != nil {
+		return nil, nil, true, err
+	}
+	var snap *cache.Entry
+	if e, ok := h.owner.ClusterSnapshot(); ok {
+		snap = &e
+	}
+	return data, snap, true, nil
+}
+
+// newClusterPair builds an owner proxy (bundle persistence on, no hook)
+// and a requester proxy whose cluster hook forwards to it; both adapt
+// the same origin under the same spec, so they share a bundle key.
+func newClusterPair(t *testing.T) (ownerP *Proxy, requester *Proxy, hook *ownerHook, srv *httptest.Server) {
+	t.Helper()
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	t.Cleanup(originSrv.Close)
+
+	newP := func(c ClusterHook) *Proxy {
+		sessions, err := session.NewManager(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(Config{
+			Spec:           forumSpec(originSrv.URL),
+			Sessions:       sessions,
+			Cache:          cache.New(),
+			PersistBundles: true,
+			Cluster:        c,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	ownerP = newP(nil)
+	hook = &ownerHook{owner: ownerP}
+	requester = newP(hook)
+	srv = httptest.NewServer(requester)
+	t.Cleanup(srv.Close)
+	return ownerP, requester, hook, srv
+}
+
+func get(t *testing.T, client *http.Client, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	return resp, b.String()
+}
+
+// A cold request on a non-owner node must be satisfied by the owner's
+// build: zero local pipeline runs, one on the owner, and the local
+// cache seeded so the next cold session here doesn't re-forward.
+func TestClusterColdRequestForwardsToOwner(t *testing.T) {
+	ownerP, requester, hook, srv := newClusterPair(t)
+
+	jar, _ := cookiejar.New(nil)
+	resp, body := get(t, &http.Client{Jar: jar, Timeout: 30 * time.Second}, srv.URL+"/")
+	if resp.StatusCode != 200 || !strings.Contains(body, "usemap") {
+		t.Fatalf("entry: %d: %s", resp.StatusCode, body)
+	}
+	if got := hook.calls.Load(); got != 1 {
+		t.Fatalf("hook calls = %d, want 1", got)
+	}
+	if got := requester.Stats().Adaptations; got != 0 {
+		t.Fatalf("requester ran %d local pipelines, want 0", got)
+	}
+	if got := ownerP.Stats().Adaptations; got != 1 {
+		t.Fatalf("owner ran %d pipelines, want 1", got)
+	}
+	// The owner's shared snapshot rode along: serving the overlay asset
+	// must not cost a local render.
+	if got := requester.Stats().SnapshotRenders; got != 0 {
+		t.Fatalf("requester rendered %d snapshots, want 0 (peer snapshot seeded)", got)
+	}
+
+	// A second cold session hits the seeded local bundle, not the peer.
+	jar2, _ := cookiejar.New(nil)
+	if resp, _ := get(t, &http.Client{Jar: jar2, Timeout: 30 * time.Second}, srv.URL+"/"); resp.StatusCode != 200 {
+		t.Fatal("second session entry failed")
+	}
+	if got := hook.calls.Load(); got != 1 {
+		t.Fatalf("second cold session re-forwarded (hook calls = %d)", got)
+	}
+}
+
+// When the owner fails, the requester must take over locally — the
+// request succeeds with a local pipeline run, never a 5xx.
+func TestClusterOwnerFailureFallsBackLocal(t *testing.T) {
+	_, requester, hook, srv := newClusterPair(t)
+	hook.err = errors.New("peer down")
+
+	jar, _ := cookiejar.New(nil)
+	resp, body := get(t, &http.Client{Jar: jar, Timeout: 30 * time.Second}, srv.URL+"/")
+	if resp.StatusCode != 200 || !strings.Contains(body, "usemap") {
+		t.Fatalf("entry: %d: %s", resp.StatusCode, body)
+	}
+	if got := requester.Stats().Adaptations; got != 1 {
+		t.Fatalf("local takeover ran %d pipelines, want 1", got)
+	}
+}
+
+// Sticky routing: a personalized (session-bearing) request must never
+// consult the ring — its build stays local.
+func TestClusterPersonalizedStaysLocal(t *testing.T) {
+	_, requester, hook, srv := newClusterPair(t)
+
+	sess, err := requester.cfg.Sessions.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.MarkPersonalized()
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/", nil)
+	req.AddCookie(&http.Cookie{Name: session.CookieName, Value: sess.ID})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("personalized entry: %d", resp.StatusCode)
+	}
+	if got := hook.calls.Load(); got != 0 {
+		t.Fatalf("personalized request consulted the ring %d times", got)
+	}
+	if got := requester.Stats().Adaptations; got != 1 {
+		t.Fatalf("personalized build ran %d pipelines locally, want 1", got)
+	}
+}
+
+// BundleKeyForSpec must agree with the key New derives — the ring
+// routes by it, so a mismatch would send requesters to the wrong owner.
+func TestBundleKeyForSpecMatchesProxy(t *testing.T) {
+	forum := origin.NewForum(origin.DefaultForumConfig())
+	originSrv := httptest.NewServer(forum.Handler())
+	t.Cleanup(originSrv.Close)
+	sp := forumSpec(originSrv.URL)
+
+	sessions, err := session.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Spec: sp, Sessions: sessions, Cache: cache.New(), PersistBundles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := BundleKeyForSpec(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != p.BundleKey() {
+		t.Fatalf("BundleKeyForSpec = %q, proxy key = %q", key, p.BundleKey())
+	}
+}

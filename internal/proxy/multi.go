@@ -77,6 +77,9 @@ type MultiConfig struct {
 	RepairRules    string
 	ParityCheck    bool
 	ParityMinScore float64
+	// Cluster is the consistent-hash routing hook, shared by every site
+	// (see Config.Cluster).
+	Cluster ClusterHook
 }
 
 // NewMulti builds the composite proxy.
@@ -125,6 +128,7 @@ func NewMulti(cfg MultiConfig) (*MultiProxy, error) {
 			RepairRules:         cfg.RepairRules,
 			ParityCheck:         cfg.ParityCheck,
 			ParityMinScore:      cfg.ParityMinScore,
+			Cluster:             cfg.Cluster,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("proxy: site %q: %w", name, err)

@@ -142,6 +142,12 @@ type Config struct {
 	// parity score drops below it (0 disables the hard gate; 1 demands
 	// every non-sanctioned content item survive adaptation).
 	ParityMinScore float64
+	// Cluster, when non-nil, routes cold non-personalized builds to the
+	// bundle key's consistent-hash ring owner (internal/cluster) before
+	// spending a local pipeline run. Personalized sessions always build
+	// locally (sticky routing). Requires PersistBundles — without a
+	// bundle key there is nothing to route by.
+	Cluster ClusterHook
 }
 
 // DefaultATFHeight is the above-the-fold boundary (in scaled snapshot
@@ -787,6 +793,13 @@ func (p *Proxy) runAdaptation(ctx context.Context, sess *session.Session, force 
 			if b, ok := p.loadBundle(bctx); ok {
 				return b, nil
 			}
+			// Cold here: in cluster mode the ring owner may already have
+			// (or be building) this bundle — fetch it instead of running
+			// the pipeline. The owner's admission controller holds the
+			// build's one slot; this node spends none.
+			if b, ok := p.fetchFromOwner(bctx); ok {
+				return b, nil
+			}
 		}
 		release, err := p.cfg.Admission.Acquire(bctx)
 		if err != nil {
@@ -805,6 +818,12 @@ func (p *Proxy) runAdaptation(ctx context.Context, sess *session.Session, force 
 		err       error
 	)
 	if sess.Personalized() {
+		// Sticky routing: a session-bearing build never leaves this node
+		// (its origin content may be user-specific, and its session state
+		// lives here).
+		if p.cfg.Cluster != nil {
+			obs.TraceFrom(ctx).Annotate("cluster", "sticky_local")
+		}
 		b, err = build(ctx)
 	} else {
 		b, coalesced, err = p.coalesce.Do(ctx, "adapt:"+p.cfg.Spec.Name, build)
